@@ -1,0 +1,56 @@
+"""Fig. 6: tile-type counts for different tile sizes and overlap modes.
+
+The paper's example: FSRCNN's 960x540 output with 60x72 tiles gives
+960 = 60*16 exact columns and 540 = 72*7 + 36 rows, a 128-tile grid, and
+single-digit tile-type counts (9 / 6 / 3 depending on the mode, with the
+3-type fully-recompute split being 1 + 15 + 112 tiles).
+"""
+
+import pytest
+
+from repro.core.backcalc import backcalculate
+from repro.core.stacks import partition_stacks
+from repro.core.strategy import OverlapMode
+
+from .conftest import write_output
+
+
+def test_fig06_tile_type_counts(benchmark, fsrcnn, meta_df_engine):
+    accel = meta_df_engine.accel
+    stack = partition_stacks(fsrcnn, accel)[0]
+
+    def run():
+        out = {}
+        for mode in OverlapMode:
+            for tile in ((60, 72), (240, 270), (960, 540)):
+                out[(mode, tile)] = backcalculate(stack, mode, *tile)
+        return out
+
+    tilings = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["mode, tile size -> grid, tile count, tile types (x count)"]
+    for (mode, tile), tiling in tilings.items():
+        types = ", ".join(
+            f"t{t.index}x{t.count}" for t in tiling.tile_types
+        )
+        lines.append(
+            f"{mode.value:22s} {tile!s:12s} "
+            f"{tiling.grid_cols}x{tiling.grid_rows} grid, "
+            f"{tiling.tile_count:4d} tiles, "
+            f"{len(tiling.tile_types)} types [{types}]"
+        )
+    write_output("fig06_tile_types.txt", "\n".join(lines))
+
+    t6072 = tilings[(OverlapMode.FULLY_RECOMPUTE, (60, 72))]
+    assert (t6072.grid_cols, t6072.grid_rows) == (16, 8)
+    assert t6072.tile_count == 128
+    for (mode, tile), tiling in tilings.items():
+        assert len(tiling.tile_types) <= 9  # paper: single digits
+        assert sum(t.count for t in tiling.tile_types) == tiling.tile_count
+    # The LBL corner has exactly one tile (type).
+    assert tilings[(OverlapMode.FULLY_CACHED, (960, 540))].tile_count == 1
+    # Fully-recompute has the fewest tile types; fully-cached the most
+    # (first rows/columns differ once caching enters the picture).
+    n_rec = len(tilings[(OverlapMode.FULLY_RECOMPUTE, (60, 72))].tile_types)
+    n_cac = len(tilings[(OverlapMode.FULLY_CACHED, (60, 72))].tile_types)
+    assert n_rec <= n_cac

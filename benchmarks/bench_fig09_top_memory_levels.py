@@ -1,0 +1,46 @@
+"""Fig. 9: the determined top memory level per (operand, layer, tile
+type) for FSRCNN at 60x72 in fully-recompute mode on Meta-proto-like DF.
+
+Paper observations to reproduce:
+1. weights: the first tile takes weights from DRAM, all other tiles from
+   the weight LB;
+2. activations: every tile's first layer reads the stack input from the
+   network-input location (DRAM) and the last layer writes to DRAM; in
+   between, LB or GB serve as the top levels.
+"""
+
+from repro import DFStrategy, OverlapMode
+from repro.analysis import top_level_map
+
+from .conftest import write_output
+
+
+def test_fig09_top_memory_levels(benchmark, fsrcnn, meta_df_engine):
+    strategy = DFStrategy(
+        tile_x=60, tile_y=72, mode=OverlapMode.FULLY_RECOMPUTE
+    )
+    result = benchmark.pedantic(
+        lambda: meta_df_engine.evaluate(fsrcnn, strategy), rounds=1, iterations=1
+    )
+    stack_result = result.stacks[0]
+    accel = meta_df_engine.accel
+    write_output("fig09_top_levels.txt", top_level_map(accel, stack_result))
+
+    w_hier = accel.hierarchy("W")
+    o_hier = accel.hierarchy("O")
+    for tr in stack_result.tile_results:
+        tops = tr.plan.layer_tops
+        # Observation 1: weights from DRAM on the first tile only.
+        for lt in tops:
+            w_level = w_hier[lt.tops["W"]]
+            if tr.tile.is_first_tile:
+                assert w_level.instance.is_dram
+            else:
+                assert w_level.name == "LB_W"
+        # Observation 2: the last layer's output goes to DRAM (the
+        # 27.7 MB output map cannot stay on chip).
+        assert o_hier[tops[-1].tops["O"]].instance.is_dram
+        # Intermediate layers' activations stay on-chip at this tile size.
+        for lt in tops[1:-1]:
+            i_level = accel.hierarchy("I")[lt.tops["I"]]
+            assert not i_level.instance.is_dram

@@ -1,0 +1,54 @@
+"""Fig. 10: per-layer activation data sizes (I, O, I+O) of the tile
+types, against the LB (64KB) and GB (1MB) capacities.
+
+Reproduces the figure's two mechanisms: when I+O fit the LB, both top out
+there; when only one fits, I is prioritized and O is pushed to the GB.
+"""
+
+from repro import DFStrategy, OverlapMode
+
+from .conftest import write_output
+
+LB = 64 * 1024
+GB = 1024 * 1024
+
+
+def test_fig10_activation_sizes(benchmark, fsrcnn, meta_df_engine):
+    strategy = DFStrategy(
+        tile_x=60, tile_y=72, mode=OverlapMode.FULLY_RECOMPUTE
+    )
+    result = benchmark.pedantic(
+        lambda: meta_df_engine.evaluate(fsrcnn, strategy), rounds=1, iterations=1
+    )
+    accel = meta_df_engine.accel
+    i_hier = accel.hierarchy("I")
+    o_hier = accel.hierarchy("O")
+
+    lines = [f"{'tile type/layer':32s} {'I (B)':>9s} {'O (B)':>9s} "
+             f"{'I+O (B)':>9s} {'top I':>7s} {'top O':>7s}"]
+    checked_priority = False
+    for tr in result.stacks[0].tile_results:
+        for geom, tops in zip(tr.tile.geometry, tr.plan.layer_tops):
+            i_level = i_hier[tops.tops["I"]]
+            o_level = o_hier[tops.tops["O"]]
+            lines.append(
+                f"t{tr.tile.index}/{geom.layer.name:28s} "
+                f"{geom.input_bytes:9d} {geom.output_bytes:9d} "
+                f"{geom.input_bytes + geom.output_bytes:9d} "
+                f"{i_level.name:>7s} {o_level.name:>7s}"
+            )
+            is_sink = geom.layer.name == result.stacks[0].layer_names[-1]
+            is_source = geom.is_source
+            if is_sink or is_source:
+                continue  # their tops are pinned to stack boundaries
+            if geom.input_bytes + geom.output_bytes <= LB:
+                # Mechanism 1: both fit -> both in LB.
+                assert i_level.name == "LB_IO"
+                assert o_level.name == "LB_IO"
+            elif geom.input_bytes <= LB:
+                # Mechanism 2: I keeps LB, O pushed to GB.
+                assert i_level.name == "LB_IO"
+                assert o_level.name == "GB_IO"
+                checked_priority = True
+    write_output("fig10_activation_sizes.txt", "\n".join(lines))
+    assert checked_priority, "expected at least one I+O>LB layer at 60x72"

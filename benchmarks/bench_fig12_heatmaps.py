@@ -1,0 +1,76 @@
+"""Fig. 12 (case study 1): energy & latency heatmaps over 3 overlap modes
+and a tile-size grid, for FSRCNN on Meta-proto-like DF.
+
+The paper sweeps 3 x 6 x 6 = 108 points (18 h of artifact runtime);
+the default here sweeps the grid's corners, edges and diagonal (3 x 9
+points) and REPRO_FULL=1 runs the complete 108-point grid.
+
+Shape checks (the paper's four observations):
+1. per mode, both the smallest and the largest tiles are sub-optimal;
+2. per tile size, fully-cached <= H-cached <= fully-recompute energy;
+3. large energy/latency spreads across the space;
+4. all modes coincide at the LBL corner (960, 540).
+"""
+
+from repro.analysis import energy_mj, latency_mcycles, render_heatmap, sweep_grid
+from repro.core.optimizer import ALL_MODES, PAPER_TILE_GRID_X, PAPER_TILE_GRID_Y, sweep
+from repro.core.strategy import OverlapMode
+
+from .conftest import FULL, write_output
+
+if FULL:
+    TILE_SIZES = [
+        (tx, ty) for tx in PAPER_TILE_GRID_X for ty in PAPER_TILE_GRID_Y
+    ]
+else:
+    TILE_SIZES = [
+        (1, 1), (4, 4), (16, 18), (60, 72), (240, 270), (960, 540),
+        (4, 72), (60, 4), (960, 1), (1, 540),
+    ]
+
+
+def test_fig12_heatmaps(benchmark, fsrcnn, meta_df_engine):
+    points = benchmark.pedantic(
+        lambda: sweep(meta_df_engine, fsrcnn, TILE_SIZES, ALL_MODES),
+        rounds=1,
+        iterations=1,
+    )
+
+    xs, ys = PAPER_TILE_GRID_X, PAPER_TILE_GRID_Y
+    sections = []
+    for mode in ALL_MODES:
+        grid_e = sweep_grid(points, mode, xs, ys, energy_mj)
+        grid_l = sweep_grid(points, mode, xs, ys, latency_mcycles)
+        sections.append(render_heatmap(grid_e, xs, ys, f"{mode.value}: energy (mJ)", "{:8.2f}"))
+        sections.append(render_heatmap(grid_l, xs, ys, f"{mode.value}: latency (Mcycles)", "{:8.1f}"))
+    write_output("fig12_heatmaps.txt", "\n\n".join(sections))
+
+    by_key = {
+        (p.strategy.mode, p.strategy.tile_x, p.strategy.tile_y): p.result
+        for p in points
+    }
+
+    # Observation 1: U-shape along the diagonal for every mode.
+    for mode in ALL_MODES:
+        tiny = by_key[(mode, 1, 1)].energy_pj
+        mid = by_key[(mode, 16, 18)].energy_pj
+        lbl = by_key[(mode, 960, 540)].energy_pj
+        assert mid < tiny and mid < lbl, mode
+
+    # Observation 2: mode ordering at small/medium tiles.
+    for tile in ((1, 1), (4, 4), (16, 18), (60, 72)):
+        e_rec = by_key[(OverlapMode.FULLY_RECOMPUTE, *tile)].energy_pj
+        e_h = by_key[(OverlapMode.H_CACHED_V_RECOMPUTE, *tile)].energy_pj
+        e_fc = by_key[(OverlapMode.FULLY_CACHED, *tile)].energy_pj
+        assert e_fc <= e_h * 1.001 <= e_rec * 1.002, tile
+
+    # Observation 3: the spread across the space is large (paper: up to
+    # 26x energy / 57x latency over the full grid).
+    energies = [p.result.energy_pj for p in points]
+    latencies = [p.result.latency_cycles for p in points]
+    assert max(energies) / min(energies) > 3.0
+    assert max(latencies) / min(latencies) > 3.0
+
+    # Observation 4: the LBL corner is mode-independent.
+    corner = [by_key[(m, 960, 540)].energy_pj for m in ALL_MODES]
+    assert max(corner) / min(corner) < 1.001

@@ -1,0 +1,49 @@
+"""Fig. 13: MAC operation count along the diagonal tile sizes for the
+three overlap modes.
+
+Shapes: recompute overhead explodes at small tiles (the paper's (1,1)
+fully-recompute point sits an order of magnitude above the floor), the
+cached modes stay near the nominal MAC count, and all modes converge at
+the LBL corner.
+"""
+
+from repro.core.backcalc import backcalculate
+from repro.core.optimizer import PAPER_DIAGONAL
+from repro.core.stacks import partition_stacks
+from repro.core.strategy import OverlapMode
+
+from .conftest import write_output
+
+
+def test_fig13_mac_counts(benchmark, fsrcnn, meta_df_engine):
+    stack = partition_stacks(fsrcnn, meta_df_engine.accel)[0]
+
+    def run():
+        out = {}
+        for mode in OverlapMode:
+            for tile in PAPER_DIAGONAL:
+                out[(mode, tile)] = backcalculate(stack, mode, *tile).total_mac_count
+        return out
+
+    macs = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [f"{'tile':12s}" + "".join(f"{m.value:>24s}" for m in OverlapMode)]
+    for tile in PAPER_DIAGONAL:
+        row = f"{tile!s:12s}" + "".join(
+            f"{macs[(m, tile)] / 1e9:23.2f}G" for m in OverlapMode
+        )
+        lines.append(row)
+    write_output("fig13_mac_counts.txt", "\n".join(lines))
+
+    nominal = fsrcnn.total_mac_count
+    for tile in PAPER_DIAGONAL:
+        assert macs[(OverlapMode.FULLY_CACHED, tile)] == nominal
+        assert macs[(OverlapMode.FULLY_RECOMPUTE, tile)] >= (
+            macs[(OverlapMode.H_CACHED_V_RECOMPUTE, tile)]
+        )
+        assert macs[(OverlapMode.H_CACHED_V_RECOMPUTE, tile)] >= nominal
+    # Recompute at (1,1) is an order of magnitude above the floor.
+    assert macs[(OverlapMode.FULLY_RECOMPUTE, (1, 1))] > 5 * nominal
+    # Convergence at the LBL corner.
+    corner = {macs[(m, (960, 540))] for m in OverlapMode}
+    assert corner == {nominal}

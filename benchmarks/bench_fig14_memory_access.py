@@ -1,0 +1,88 @@
+"""Fig. 14: memory-access breakdown (activation / weight / data copy /
+total) per memory tier along the diagonal tile sizes.
+
+Shape checks (Section V-B's explanations):
+(a) activations: DRAM+GB access roughly mode-independent; LB access at
+    small tiles ordered fully-recompute > H-cached > fully-cached;
+(b) weights: DRAM access mode- and tile-independent (all weights fit the
+    LB); the tiny (1,1) tile inflates weight LB reads through spatial
+    under-utilization;
+(c) data copies: fully-recompute dominates at small tiles (first-layer
+    window re-fetching);
+(d) totals grow toward both extremes of the diagonal.
+"""
+
+from repro import DFStrategy
+from repro.analysis import access_breakdown
+from repro.core.strategy import OverlapMode
+
+from .conftest import write_output
+
+DIAGONAL = ((1, 1), (4, 4), (16, 18), (60, 72), (240, 270), (960, 540))
+
+
+def test_fig14_memory_access_breakdown(benchmark, fsrcnn, meta_df_engine):
+    accel = meta_df_engine.accel
+
+    def run():
+        out = {}
+        for mode in OverlapMode:
+            for tile in DIAGONAL:
+                r = meta_df_engine.evaluate(
+                    fsrcnn, DFStrategy(tile_x=tile[0], tile_y=tile[1], mode=mode)
+                )
+                out[(mode, tile)] = access_breakdown(accel, r.total)
+        return out
+
+    breakdowns = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = []
+    for category in ("activation", "weight", "copy", None):
+        label = category or "total"
+        lines.append(f"== {label} accesses (millions of elements) ==")
+        header = f"{'mode/tile':24s}" + "".join(
+            f"{t!s:>14s}" for t in DIAGONAL
+        )
+        for tier in ("LB", "GB", "DRAM"):
+            lines.append(f"-- {tier} --")
+            lines.append(header)
+            for mode in OverlapMode:
+                cells = []
+                for tile in DIAGONAL:
+                    bd = breakdowns[(mode, tile)]
+                    cells.append(f"{bd.by_tier(category)[tier] / 1e6:14.1f}")
+                lines.append(f"{mode.value:24s}" + "".join(cells))
+        lines.append("")
+    write_output("fig14_memory_access.txt", "\n".join(lines))
+
+    def acc(mode, tile, category, tier):
+        return breakdowns[(mode, tile)].by_tier(category)[tier]
+
+    # (a) LB activation access ordering at small tiles.
+    for tile in ((1, 1), (4, 4)):
+        rec = acc(OverlapMode.FULLY_RECOMPUTE, tile, "activation", "LB")
+        hc = acc(OverlapMode.H_CACHED_V_RECOMPUTE, tile, "activation", "LB")
+        fc = acc(OverlapMode.FULLY_CACHED, tile, "activation", "LB")
+        assert rec >= hc >= fc * 0.999, tile
+
+    # (a) activation DRAM access rises sharply only at the LBL corner.
+    fc_dram = [
+        acc(OverlapMode.FULLY_CACHED, t, "activation", "DRAM") for t in DIAGONAL
+    ]
+    assert fc_dram[-1] > 10 * fc_dram[2]
+
+    # (b) weight DRAM accesses are tile-size independent (weights fit LB).
+    w_dram = [
+        acc(OverlapMode.FULLY_CACHED, t, "weight", "DRAM") for t in DIAGONAL
+    ]
+    assert max(w_dram) / min(w_dram) < 1.01
+
+    # (b) spatial under-utilization inflates weight LB reads at (1,1).
+    w_lb_tiny = acc(OverlapMode.FULLY_CACHED, (1, 1), "weight", "LB")
+    w_lb_mid = acc(OverlapMode.FULLY_CACHED, (60, 72), "weight", "LB")
+    assert w_lb_tiny > 4 * w_lb_mid
+
+    # (c) fully-recompute's copy traffic dominates at small tiles.
+    copy_rec = acc(OverlapMode.FULLY_RECOMPUTE, (1, 1), "copy", "DRAM")
+    copy_fc = acc(OverlapMode.FULLY_CACHED, (1, 1), "copy", "DRAM")
+    assert copy_rec > copy_fc

@@ -1,0 +1,51 @@
+"""Fig. 15: total energy and latency of the diagonal design points of
+Fig. 14, per overlap mode.
+
+Paper anchor points at (60,72): energy ~2.2-2.3 mJ and latency ~20-23
+Mcycles; the small-tile ends are an order of magnitude worse for
+fully-recompute.
+"""
+
+from repro import DFStrategy
+from repro.core.strategy import OverlapMode
+
+from .conftest import write_output
+
+DIAGONAL = ((1, 1), (4, 4), (16, 18), (60, 72), (240, 270), (960, 540))
+
+
+def test_fig15_diagonal_energy_latency(benchmark, fsrcnn, meta_df_engine):
+    def run():
+        out = {}
+        for mode in OverlapMode:
+            for tile in DIAGONAL:
+                out[(mode, tile)] = meta_df_engine.evaluate(
+                    fsrcnn, DFStrategy(tile_x=tile[0], tile_y=tile[1], mode=mode)
+                )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [f"{'mode/tile':24s}" + "".join(f"{t!s:>16s}" for t in DIAGONAL)]
+    for metric, fmt in (("energy (mJ)", "{:15.2f}"), ("latency (Mcy)", "{:15.1f}")):
+        lines.append(f"-- {metric} --")
+        for mode in OverlapMode:
+            cells = []
+            for tile in DIAGONAL:
+                r = results[(mode, tile)]
+                v = r.energy_mj if "energy" in metric else r.latency_cycles / 1e6
+                cells.append(fmt.format(v) + " ")
+            lines.append(f"{mode.value:24s}" + "".join(cells))
+    write_output("fig15_diagonal.txt", "\n".join(lines))
+
+    # Mid-diagonal beats both ends for every mode (U-shape).
+    for mode in OverlapMode:
+        e = [results[(mode, t)].energy_pj for t in DIAGONAL]
+        assert min(e[1:4]) < e[0]
+        assert min(e[1:4]) < e[-1]
+    # Fully-recompute at (1,1) is the worst point on the diagonal.
+    worst = max(results.values(), key=lambda r: r.energy_pj)
+    assert worst is results[(OverlapMode.FULLY_RECOMPUTE, (1, 1))]
+    # Energy at (60,72) is within the paper's order of magnitude.
+    mid = results[(OverlapMode.FULLY_CACHED, (60, 72))]
+    assert 0.5 < mid.energy_mj < 10.0

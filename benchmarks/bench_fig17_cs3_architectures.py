@@ -1,0 +1,92 @@
+"""Fig. 17 (case study 3): LBL vs best-DF energy per architecture,
+geometric mean over the workloads.
+
+Shape checks:
+* DF beats LBL on every architecture except the TPU-like baseline
+  (paper: up to 4.1x on unadjusted architectures);
+* adding an on-chip weight buffer (TPU-like DF) flips that decisively
+  (paper: 6x);
+* the DF-friendly variants are at least as good as their baselines under
+  DF scheduling.
+
+Default runs FSRCNN + MobileNetV1 (one activation-, one weight-dominant
+workload); REPRO_FULL=1 runs all five Table I(b) workloads.
+"""
+
+import math
+
+from repro import (
+    DepthFirstEngine,
+    OverlapMode,
+    best_single_strategy,
+    evaluate_layer_by_layer,
+    get_accelerator,
+    get_workload,
+)
+from repro.hardware.zoo import ACCELERATOR_FACTORIES
+from repro.mapping import SearchConfig
+
+from .conftest import FULL, write_output
+
+WORKLOADS = (
+    ("fsrcnn", "dmcnn_vd", "mccnn", "mobilenet_v1", "resnet18")
+    if FULL
+    else ("fsrcnn", "mobilenet_v1")
+)
+SWEEP_TILES = ((4, 18), (4, 72), (16, 18), (60, 72))
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def test_fig17_architectures(benchmark):
+    config = SearchConfig(lpf_limit=6, budget=120)
+
+    def run():
+        out = {}
+        for arch_name in ACCELERATOR_FACTORIES:
+            engine = DepthFirstEngine(get_accelerator(arch_name), config)
+            lbl_e, df_e = [], []
+            for wl_name in WORKLOADS:
+                wl = get_workload(wl_name)
+                lbl_e.append(evaluate_layer_by_layer(engine, wl).energy_pj)
+                df_e.append(
+                    best_single_strategy(
+                        engine, wl, tile_sizes=SWEEP_TILES,
+                        modes=(OverlapMode.FULLY_CACHED,),
+                    ).result.energy_pj
+                )
+            out[arch_name] = (geomean(lbl_e), geomean(df_e))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [f"{'architecture':22s} {'LBL (mJ)':>10s} {'best DF (mJ)':>13s} {'gain':>7s}"]
+    for name, (lbl, df) in results.items():
+        lines.append(f"{name:22s} {lbl / 1e9:10.3f} {df / 1e9:13.3f} {lbl / df:6.2f}x")
+    write_output("fig17_cs3_architectures.txt", "\n".join(lines))
+
+    for name, (lbl, df) in results.items():
+        if name == "tpu_like":
+            # The one architecture that cannot profit from DF.
+            assert df > lbl * 0.9, name
+        else:
+            assert df < lbl, name
+
+    # Weight-buffer fix: TPU-like DF crushes its baseline's best DF.
+    assert results["tpu_like"][1] / results["tpu_like_df"][1] > 3.0
+
+    # DF-friendly variants at least as good as baselines under DF.
+    for base in ("meta_proto_like", "tpu_like", "edge_tpu_like",
+                 "ascend_like", "tesla_npu_like"):
+        assert results[base + "_df"][1] <= results[base][1] * 1.05, base
+
+    # Biggest LBL-on-default vs DF-on-DF-variant gap is large (paper:
+    # 4.9x for Edge-TPU-like).
+    gaps = {
+        base: results[base][0] / results[base + "_df"][1]
+        for base in ("meta_proto_like", "tpu_like", "edge_tpu_like",
+                     "ascend_like", "tesla_npu_like")
+    }
+    assert max(gaps.values()) > 3.0

@@ -1,0 +1,159 @@
+"""Fig. 18: the impact of each modeling factor Table II compares.
+
+(a) on-chip data traffic: optimizing DRAM access only vs. the overall
+    energy (paper: 5.64x worse on Meta-proto-like DF with FSRCNN);
+(b) multi-level memory skipping vs. DRAM-only skipping (paper: 17-18%);
+(c) modeling weight traffic: activation-only optimization vs. full
+    (paper: 2.34x / 10.2x on ResNet18);
+(d) optimizing target: latency- vs. energy-optimized schedules trade off
+    (ResNet18).
+"""
+
+import pytest
+
+from repro import (
+    DepthFirstEngine,
+    DFStrategy,
+    MemLevelPolicy,
+    OverlapMode,
+    best_point,
+    evaluate_single_layer,
+    get_accelerator,
+    get_workload,
+    sweep,
+)
+from repro.analysis import energy_components, weight_vs_activation_energy
+from repro.mapping import SearchConfig
+
+from .conftest import write_output
+
+CONFIG = SearchConfig(lpf_limit=6, budget=120)
+TILES = ((2, 2), (4, 18), (4, 72), (16, 18), (60, 72), (120, 4))
+MODES = (OverlapMode.FULLY_CACHED,)
+
+
+@pytest.fixture(scope="module")
+def fsrcnn_points():
+    engine = DepthFirstEngine(get_accelerator("meta_proto_like_df"), CONFIG)
+    wl = get_workload("fsrcnn")
+    return engine, wl, sweep(engine, wl, TILES, MODES)
+
+
+def test_fig18a_onchip_traffic(benchmark, fsrcnn_points):
+    """Optimizing only DRAM access leaves on-chip traffic on the table."""
+    engine, wl, points = fsrcnn_points
+
+    def run():
+        sl = evaluate_single_layer(engine, wl)
+        dram_opt = best_point(points, "dram_accesses")
+        energy_opt = best_point(points, "energy")
+        return sl, dram_opt, energy_opt
+
+    sl, dram_opt, energy_opt = benchmark.pedantic(run, rounds=1, iterations=1)
+    accel = engine.accel
+
+    lines = ["scenario, energy(mJ), {mac, on_chip, dram} (mJ)"]
+    for label, result in (
+        ("SL", sl),
+        ("DF opt DRAM-only", dram_opt.result),
+        ("DF opt energy (ours)", energy_opt.result),
+    ):
+        parts = energy_components(accel, result.total)
+        parts_mj = {k: v / 1e9 for k, v in parts.items()}
+        lines.append(f"{label:22s} {result.energy_mj:8.3f}  {parts_mj}")
+    write_output("fig18a_onchip_traffic.txt", "\n".join(lines))
+
+    # DRAM dominates SL (the hatched bars of Fig. 18a).
+    sl_parts = energy_components(accel, sl.total)
+    assert sl_parts["dram"] > sl_parts["on_chip"]
+    # DRAM-only optimization minimizes DRAM but not total energy.
+    assert dram_opt.result.dram_accesses() <= energy_opt.result.dram_accesses() * 1.01
+    assert energy_opt.result.energy_pj <= dram_opt.result.energy_pj
+    assert energy_opt.result.energy_pj < sl.energy_pj / 3
+
+
+def test_fig18b_memory_skipping(benchmark):
+    """Multi-level on-chip memory skipping vs. DRAM-only skipping."""
+    wl = get_workload("fsrcnn")
+    strategy = DFStrategy(tile_x=4, tile_y=72, mode=OverlapMode.FULLY_CACHED)
+
+    def run():
+        multi = DepthFirstEngine(
+            get_accelerator("meta_proto_like_df"), CONFIG,
+            policy=MemLevelPolicy(multi_level_skip=True),
+        ).evaluate(wl, strategy)
+        dram_only = DepthFirstEngine(
+            get_accelerator("meta_proto_like_df"), CONFIG,
+            policy=MemLevelPolicy(multi_level_skip=False),
+        ).evaluate(wl, strategy)
+        return multi, dram_only
+
+    multi, dram_only = benchmark.pedantic(run, rounds=1, iterations=1)
+    gain = 1 - multi.energy_pj / dram_only.energy_pj
+    write_output(
+        "fig18b_memory_skipping.txt",
+        f"multi-level skip: {multi.energy_mj:.3f} mJ\n"
+        f"DRAM-only skip:   {dram_only.energy_mj:.3f} mJ\n"
+        f"gain: {gain * 100:.1f}% (paper: 17-18%)",
+    )
+    assert multi.energy_pj < dram_only.energy_pj
+    assert gain > 0.05
+
+
+def test_fig18c_weight_traffic(benchmark):
+    """Ignoring weights while optimizing activations backfires on
+    weight-dominant ResNet18."""
+    engine = DepthFirstEngine(get_accelerator("meta_proto_like_df"), CONFIG)
+    wl = get_workload("resnet18")
+    tiles = ((2, 2), (4, 7), (14, 28), (28, 28), (56, 56))
+
+    def run():
+        points = sweep(engine, wl, tiles, MODES)
+        act_opt = best_point(points, "activation_energy")
+        full_opt = best_point(points, "energy")
+        return act_opt, full_opt
+
+    act_opt, full_opt = benchmark.pedantic(run, rounds=1, iterations=1)
+    penalty = act_opt.result.energy_pj / full_opt.result.energy_pj
+
+    lines = []
+    for label, point in (("activation-only", act_opt), ("full (ours)", full_opt)):
+        split = weight_vs_activation_energy(point.result.total)
+        lines.append(
+            f"{label:16s} {point.strategy.describe():28s} "
+            f"E={point.result.energy_mj:7.3f} mJ  "
+            f"weight-caused={split['weight'] / 1e9:6.3f} mJ "
+            f"activation-caused={split['activation'] / 1e9:6.3f} mJ"
+        )
+    lines.append(f"penalty of ignoring weights: {penalty:.2f}x (paper: 2.34x)")
+    write_output("fig18c_weight_traffic.txt", "\n".join(lines))
+
+    assert full_opt.result.energy_pj <= act_opt.result.energy_pj
+    # Activation-optimized schedules pick smaller tiles.
+    act_area = act_opt.strategy.tile_x * act_opt.strategy.tile_y
+    full_area = full_opt.strategy.tile_x * full_opt.strategy.tile_y
+    assert act_area <= full_area
+
+
+def test_fig18d_optimizing_target(benchmark):
+    """Latency- vs energy-optimized DF schedules trade off (ResNet18)."""
+    engine = DepthFirstEngine(get_accelerator("meta_proto_like_df"), CONFIG)
+    wl = get_workload("resnet18")
+    tiles = ((2, 2), (4, 7), (14, 28), (28, 28), (56, 56))
+
+    def run():
+        points = sweep(engine, wl, tiles, MODES)
+        return best_point(points, "energy"), best_point(points, "latency")
+
+    energy_opt, latency_opt = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_output(
+        "fig18d_optimizing_target.txt",
+        f"energy-opt  {energy_opt.strategy.describe():28s} "
+        f"E={energy_opt.result.energy_mj:.3f} mJ "
+        f"L={energy_opt.result.latency_cycles / 1e6:.2f} Mcy\n"
+        f"latency-opt {latency_opt.strategy.describe():28s} "
+        f"E={latency_opt.result.energy_mj:.3f} mJ "
+        f"L={latency_opt.result.latency_cycles / 1e6:.2f} Mcy",
+    )
+    assert energy_opt.result.energy_pj <= latency_opt.result.energy_pj
+    assert latency_opt.result.latency_cycles <= energy_opt.result.latency_cycles

@@ -1,0 +1,53 @@
+"""Model runtime: the paper quotes 23 / 34 / 84 seconds per (60,72)
+design point (fully-recompute / H-cached / fully-cached) on one Xeon
+thread at lpf_limit=8, and 18 hours for the 108-point artifact.
+
+This reimplementation evaluates a cold-cache (60,72) point in well under
+a minute per mode at lpf_limit=6, and warm-cache points in milliseconds
+thanks to tile-type and mapping memoization.
+"""
+
+import time
+
+from repro import DepthFirstEngine, DFStrategy, get_accelerator, get_workload
+from repro.core.strategy import OverlapMode
+from repro.mapping import SearchConfig
+
+from .conftest import write_output
+
+
+def test_runtime_per_design_point(benchmark):
+    wl = get_workload("fsrcnn")
+
+    def run():
+        timings = {}
+        for mode in OverlapMode:
+            engine = DepthFirstEngine(
+                get_accelerator("meta_proto_like_df"),
+                SearchConfig(lpf_limit=6, budget=200),
+            )
+            t0 = time.perf_counter()
+            engine.evaluate(wl, DFStrategy(tile_x=60, tile_y=72, mode=mode))
+            cold = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            engine.evaluate(wl, DFStrategy(tile_x=60, tile_y=72, mode=mode))
+            warm = time.perf_counter() - t0
+            timings[mode] = (cold, warm)
+        return timings
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper = {
+        OverlapMode.FULLY_RECOMPUTE: 23.0,
+        OverlapMode.H_CACHED_V_RECOMPUTE: 34.0,
+        OverlapMode.FULLY_CACHED: 84.0,
+    }
+    lines = ["(60,72) design point runtime, cold/warm cache (s):"]
+    for mode, (cold, warm) in timings.items():
+        lines.append(
+            f"  {mode.value:22s} cold={cold:6.2f}s warm={warm:6.3f}s "
+            f"(paper, lpf=8: {paper[mode]:.0f}s)"
+        )
+    write_output("runtime.txt", "\n".join(lines))
+
+    for mode, (cold, _warm) in timings.items():
+        assert cold < 60.0, f"{mode}: too slow"

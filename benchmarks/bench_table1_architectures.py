@@ -1,0 +1,37 @@
+"""Table I(a): the ten accelerator architectures (5 baselines + 5
+DF-friendly variants), normalized to 1024 MACs and <= 2 MB global buffer.
+"""
+
+from repro.analysis import table1_architectures
+from repro.hardware.zoo import ACCELERATOR_FACTORIES
+
+from .conftest import write_output
+
+MB = 1024 * 1024
+
+
+def test_table1_architecture_inventory(benchmark):
+    accels = benchmark.pedantic(
+        lambda: {name: f() for name, f in ACCELERATOR_FACTORIES.items()},
+        rounds=1,
+        iterations=1,
+    )
+    write_output(
+        "table1_architectures.txt", table1_architectures(accels.values())
+    )
+
+    assert len(accels) == 10
+    for name, accel in accels.items():
+        assert accel.pe_count == 1024, name
+        gb_bytes = sum(
+            i.size_bytes for i in accel.instances() if i.tier == "GB"
+        )
+        assert gb_bytes <= 2 * MB, name
+    # DF guideline 2: total on-chip capacity within 13% of the baseline
+    # (Table I itself moves a few KB between levels).
+    for base in ("meta_proto_like", "edge_tpu_like", "ascend_like"):
+        ratio = (
+            accels[base + "_df"].on_chip_capacity_bytes()
+            / accels[base].on_chip_capacity_bytes()
+        )
+        assert 0.87 < ratio < 1.31, base

@@ -1,0 +1,52 @@
+"""Table I(b): workload statistics (avg/max feature map, total weights).
+
+Paper values (8-bit data):
+  FSRCNN      15.6 KB weights, 10.9 / 28.5 MB feature maps
+  DMCNN-VD   651.3 KB,         24.1 / 26.7 MB
+  MCCNN      108.6 KB,         21.8 / 29.1 MB
+  MobileNetV1  4 MB,           0.76 / 3.8 MB
+  ResNet18    11 MB,           0.9 / 5.9 MB
+"""
+
+from repro.analysis import table1_workloads
+from repro.workloads.stats import workload_stats
+from repro.workloads.zoo import WORKLOAD_FACTORIES
+
+from .conftest import write_output
+
+PAPER_WEIGHTS_KB = {
+    "fsrcnn": 15.6,
+    "dmcnn_vd": 651.3,
+    "mccnn": 108.6,
+    "mobilenet_v1": 4096.0,
+    "resnet18": 11264.0,
+}
+
+
+def test_table1_workload_stats(benchmark):
+    def run():
+        return {
+            name: workload_stats(f())
+            for name, f in WORKLOAD_FACTORIES.items()
+            if name != "reference"
+        }
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = table1_workloads(stats.values())
+    lines = [text, "", "paper-vs-measured weights (KB):"]
+    for name, paper_kb in PAPER_WEIGHTS_KB.items():
+        ours = stats[name].total_weight_bytes / 1024
+        lines.append(f"  {name:14s} paper={paper_kb:9.1f}  ours={ours:9.1f}")
+    write_output("table1_workloads.txt", "\n".join(lines))
+
+    # Weight totals pin the reconstructed network structures.
+    assert stats["dmcnn_vd"].total_weight_bytes / 1024 == (
+        __import__("pytest").approx(651.3, abs=1.0)
+    )
+    assert stats["mccnn"].total_weight_bytes / 1024 == (
+        __import__("pytest").approx(108.6, abs=0.5)
+    )
+    for name in ("fsrcnn", "dmcnn_vd", "mccnn"):
+        assert stats[name].is_activation_dominant
+    for name in ("mobilenet_v1", "resnet18"):
+        assert not stats[name].is_activation_dominant

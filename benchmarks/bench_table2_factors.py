@@ -1,0 +1,22 @@
+"""Table II: the related-framework factor matrix, plus a quantitative
+check that DeFiNES models every factor the table claims (the per-factor
+impact experiments themselves are in bench_fig18_factors.py)."""
+
+from repro.analysis import TABLE2_ROWS, table2_factors
+from repro.mapping.cost import resolve_objective
+
+from .conftest import write_output
+
+
+def test_table2_framework_matrix(benchmark):
+    text = benchmark.pedantic(table2_factors, rounds=1, iterations=1)
+    write_output("table2_factors.txt", text)
+
+    ours = dict((row[0], row) for row in TABLE2_ROWS)["DeFiNES (ours)"]
+    name, modes, on_chip, mem_skip, weights, target = ours
+    assert all(modes), "all three overlap modes supported"
+    assert on_chip and mem_skip and weights
+
+    # The optimizing targets Table II lists for DeFiNES must resolve.
+    for objective in ("energy", "latency", "edp", "dram_accesses"):
+        assert callable(resolve_objective(objective))

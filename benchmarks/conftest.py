@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table or figure of the paper and writes
+its rows to ``benchmarks/output/``.  Set ``REPRO_FULL=1`` to run the full
+paper-sized grids (the defaults use reduced grids so the whole harness
+finishes in minutes; the original artifact takes 18 hours).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import DepthFirstEngine, get_accelerator, get_workload
+from repro.mapping import SearchConfig
+
+#: Full paper grids vs. quick reduced grids.
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def write_output(name: str, text: str) -> Path:
+    """Persist a benchmark's reproduced rows."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def search_config():
+    # The artifact's loma_lpf_limit=6 fast mode; budget caps orderings.
+    return SearchConfig(lpf_limit=6, budget=200 if FULL else 150)
+
+
+@pytest.fixture(scope="session")
+def fsrcnn():
+    return get_workload("fsrcnn")
+
+
+@pytest.fixture(scope="session")
+def meta_df_engine(search_config):
+    """One shared engine for the FSRCNN case-study benchmarks: the
+    mapping cache carries across figures exactly as DeFiNES' tile-type
+    deduplication intends."""
+    return DepthFirstEngine(get_accelerator("meta_proto_like_df"), search_config)

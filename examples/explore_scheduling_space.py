@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Case study 1 (mini): sweep tile sizes and overlap modes for FSRCNN on
+the Meta-prototype-like DF accelerator and print Fig. 12-style heatmaps.
+
+The full paper grid is 3 modes x 6x6 tile sizes; this example sweeps the
+diagonal plus a few off-diagonal points so it finishes in about a minute.
+Use benchmarks/bench_fig12_heatmaps.py (REPRO_FULL=1) for the full grid.
+
+Run:  python examples/explore_scheduling_space.py
+"""
+
+from repro import DepthFirstEngine, get_accelerator, get_workload
+from repro.analysis import energy_mj, latency_mcycles, render_heatmap, sweep_grid
+from repro.core.optimizer import ALL_MODES, best_point, sweep
+from repro.mapping import SearchConfig
+
+TILES_X = (4, 60, 960)
+TILES_Y = (4, 72, 540)
+
+
+def main() -> None:
+    accel = get_accelerator("meta_proto_like_df")
+    workload = get_workload("fsrcnn")
+    engine = DepthFirstEngine(accel, SearchConfig(lpf_limit=6, budget=150))
+
+    tile_sizes = [(tx, ty) for tx in TILES_X for ty in TILES_Y]
+    points = sweep(engine, workload, tile_sizes, ALL_MODES)
+
+    for mode in ALL_MODES:
+        grid_e = sweep_grid(points, mode, TILES_X, TILES_Y, energy_mj)
+        grid_l = sweep_grid(points, mode, TILES_X, TILES_Y, latency_mcycles)
+        print(render_heatmap(grid_e, TILES_X, TILES_Y, f"{mode.value}: energy (mJ)", "{:8.2f}"))
+        print()
+        print(render_heatmap(grid_l, TILES_X, TILES_Y, f"{mode.value}: latency (Mcycles)", "{:8.1f}"))
+        print()
+
+    for objective in ("energy", "latency", "edp"):
+        best = best_point(points, objective)
+        print(f"best for {objective:8s}: {best.strategy.describe():32s} "
+              f"E={best.result.energy_mj:.3f} mJ "
+              f"L={best.result.latency_cycles / 1e6:.1f} Mcycles")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Case study 2 (mini): how the best inference strategy changes across
+workloads on the same hardware (Fig. 16).
+
+Compares five strategies on an activation-dominant workload (FSRCNN) and
+a weight-dominant one (MobileNetV1):
+
+* single-layer (SL): feature maps through DRAM;
+* layer-by-layer (LBL): feature maps in the lowest level they fit;
+* the fixed fully-cached 4x72 depth-first point (CS1's best);
+* the best single DF strategy (small sweep);
+* the best per-stack combination.
+
+Run:  python examples/multi_workload_strategies.py
+"""
+
+from repro import (
+    DepthFirstEngine,
+    DFStrategy,
+    OverlapMode,
+    best_combination,
+    best_single_strategy,
+    evaluate_layer_by_layer,
+    evaluate_single_layer,
+    get_accelerator,
+    get_workload,
+)
+from repro.analysis import strategy_comparison
+from repro.mapping import SearchConfig
+
+SWEEP_TILES = ((4, 4), (4, 72), (16, 18), (60, 72))
+MODES = (OverlapMode.FULLY_CACHED, OverlapMode.H_CACHED_V_RECOMPUTE)
+
+
+def main() -> None:
+    accel = get_accelerator("meta_proto_like_df")
+    for name in ("fsrcnn", "mobilenet_v1"):
+        workload = get_workload(name)
+        engine = DepthFirstEngine(accel, SearchConfig(lpf_limit=6, budget=120))
+        results = [
+            evaluate_single_layer(engine, workload),
+            evaluate_layer_by_layer(engine, workload),
+            engine.evaluate(
+                workload,
+                DFStrategy(tile_x=4, tile_y=72, mode=OverlapMode.FULLY_CACHED),
+            ),
+            best_single_strategy(
+                engine, workload, tile_sizes=SWEEP_TILES, modes=MODES
+            ).result,
+            best_combination(engine, workload, tile_sizes=SWEEP_TILES, modes=MODES),
+        ]
+        print(f"=== {name} on {accel.name} ===")
+        print(strategy_comparison(results))
+        print()
+
+
+if __name__ == "__main__":
+    main()

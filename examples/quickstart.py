@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: evaluate one depth-first schedule analytically.
+
+Maps FSRCNN onto the Meta-prototype-like DF accelerator (the paper's
+case-study pairing) with a fully-cached 60x72 tile strategy, and prints
+the predicted energy, latency and memory-access breakdown.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DepthFirstEngine,
+    DFStrategy,
+    OverlapMode,
+    get_accelerator,
+    get_workload,
+)
+from repro.analysis import access_breakdown
+from repro.mapping import SearchConfig
+
+
+def main() -> None:
+    accel = get_accelerator("meta_proto_like_df")
+    workload = get_workload("fsrcnn")
+    print(f"Accelerator: {accel.describe()}")
+    print(f"Workload:    {workload.name}, {len(workload)} layers, "
+          f"{workload.total_mac_count / 1e9:.2f} GMACs\n")
+
+    engine = DepthFirstEngine(accel, SearchConfig(lpf_limit=6, budget=200))
+    strategy = DFStrategy(tile_x=60, tile_y=72, mode=OverlapMode.FULLY_CACHED)
+    result = engine.evaluate(workload, strategy)
+
+    print(result.describe())
+    stack = result.stacks[0]
+    print(f"Tile grid: {stack.tiling.grid_cols}x{stack.tiling.grid_rows} "
+          f"tiles, {stack.tile_type_count} tile types\n")
+
+    print("Memory accesses by tier (elements):")
+    breakdown = access_breakdown(accel, result.total)
+    for tier, count in breakdown.by_tier().items():
+        print(f"  {tier:5s} {count / 1e6:12.1f} M")
+    print("\nBy data category:")
+    for cat, count in breakdown.by_category().items():
+        print(f"  {cat:10s} {count / 1e6:12.1f} M")
+
+
+if __name__ == "__main__":
+    main()

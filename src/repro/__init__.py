@@ -1,0 +1,104 @@
+"""DeFiNES reproduction: fast analytical exploration of the depth-first
+(layer-fused) scheduling space for DNN accelerators.
+
+Reimplementation of Mei, Goetschalckx, Symons & Verhelst, "DeFiNES:
+Enabling Fast Exploration of the Depth-first Scheduling Space for DNN
+Accelerators through Analytical Modeling" (HPCA 2023), including its
+ZigZag/LOMA substrates, the Table I workload and accelerator zoos, and
+the evaluation harness.
+
+Quickstart::
+
+    from repro import (
+        DepthFirstEngine, DFStrategy, OverlapMode,
+        get_workload, get_accelerator,
+    )
+
+    engine = DepthFirstEngine(get_accelerator("meta_proto_like_df"))
+    result = engine.evaluate(
+        get_workload("fsrcnn"),
+        DFStrategy(tile_x=60, tile_y=72, mode=OverlapMode.FULLY_CACHED),
+    )
+    print(result.describe())
+"""
+
+from .core import (
+    ALL_MODES,
+    PAPER_DIAGONAL,
+    PAPER_TILE_GRID_X,
+    PAPER_TILE_GRID_Y,
+    DepthFirstEngine,
+    DFStrategy,
+    MemLevelPolicy,
+    OverlapMode,
+    ScheduleResult,
+    Stack,
+    StackBoundary,
+    StackResult,
+    backcalculate,
+    best_combination,
+    best_point,
+    best_single_strategy,
+    evaluate_layer_by_layer,
+    evaluate_single_layer,
+    partition_stacks,
+    sweep,
+)
+from .hardware import Accelerator, MemoryInstance, MemoryLevel, build_accelerator, level
+from .hardware.zoo import ACCELERATOR_FACTORIES, get_accelerator
+from .mapping import CostResult, MappingSearchEngine, SearchConfig
+from .workloads import (
+    LayerSpec,
+    OpType,
+    WorkloadBuilder,
+    WorkloadGraph,
+    workload_stats,
+)
+from .workloads.zoo import WORKLOAD_FACTORIES, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "DepthFirstEngine",
+    "DFStrategy",
+    "OverlapMode",
+    "StackBoundary",
+    "MemLevelPolicy",
+    "ScheduleResult",
+    "StackResult",
+    "Stack",
+    "partition_stacks",
+    "backcalculate",
+    "sweep",
+    "best_point",
+    "best_single_strategy",
+    "best_combination",
+    "evaluate_single_layer",
+    "evaluate_layer_by_layer",
+    "ALL_MODES",
+    "PAPER_DIAGONAL",
+    "PAPER_TILE_GRID_X",
+    "PAPER_TILE_GRID_Y",
+    # hardware
+    "Accelerator",
+    "build_accelerator",
+    "MemoryInstance",
+    "MemoryLevel",
+    "level",
+    "ACCELERATOR_FACTORIES",
+    "get_accelerator",
+    # mapping
+    "MappingSearchEngine",
+    "SearchConfig",
+    "CostResult",
+    # workloads
+    "LayerSpec",
+    "OpType",
+    "WorkloadGraph",
+    "WorkloadBuilder",
+    "workload_stats",
+    "WORKLOAD_FACTORIES",
+    "get_workload",
+]

@@ -1,0 +1,40 @@
+"""Analysis and reporting: breakdowns, heatmaps and paper-style tables."""
+
+from .breakdown import (
+    CATEGORIES,
+    TIERS,
+    AccessBreakdown,
+    access_breakdown,
+    energy_components,
+    tier_of,
+    weight_vs_activation_energy,
+)
+from .heatmap import energy_mj, latency_mcycles, render_heatmap, sweep_grid
+from .report import (
+    TABLE2_ROWS,
+    strategy_comparison,
+    table1_architectures,
+    table1_workloads,
+    table2_factors,
+    top_level_map,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "TIERS",
+    "AccessBreakdown",
+    "access_breakdown",
+    "energy_components",
+    "tier_of",
+    "weight_vs_activation_energy",
+    "sweep_grid",
+    "render_heatmap",
+    "energy_mj",
+    "latency_mcycles",
+    "table1_workloads",
+    "table1_architectures",
+    "table2_factors",
+    "TABLE2_ROWS",
+    "top_level_map",
+    "strategy_comparison",
+]

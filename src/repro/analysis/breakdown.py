@@ -1,0 +1,102 @@
+"""Memory-access and energy breakdowns (the paper's Fig. 14 views).
+
+Aggregates a schedule result's traffic into the paper's reporting axes:
+memory tier (Reg / LB / GB / DRAM) x data category (layer activations,
+weights, data copy actions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..hardware.accelerator import Accelerator
+from ..mapping.cost import CostResult
+
+#: Fig. 14's data categories.
+CATEGORIES = ("activation", "weight", "copy")
+
+#: Reporting tiers in hierarchy order.
+TIERS = ("Reg", "LB", "GB", "DRAM")
+
+
+def _category(operand: str) -> str:
+    if operand in ("I", "O"):
+        return "activation"
+    if operand == "W":
+        return "weight"
+    return "copy"
+
+
+def tier_of(accel: Accelerator, level_name: str) -> str:
+    """Reporting tier of a memory level name."""
+    for inst in accel.instances():
+        if inst.name == level_name:
+            return inst.tier
+    return "DRAM" if level_name == "DRAM" else "SRAM"
+
+
+@dataclass(frozen=True)
+class AccessBreakdown:
+    """Element access counts per (category, tier) — Fig. 14(a)-(d)."""
+
+    accesses: Mapping[tuple[str, str], float]
+    energy_pj: Mapping[tuple[str, str], float]
+
+    def by_tier(self, category: str | None = None) -> dict[str, float]:
+        """Accesses per tier, optionally for one category."""
+        out = {tier: 0.0 for tier in TIERS}
+        for (cat, tier), count in self.accesses.items():
+            if category is not None and cat != category:
+                continue
+            out[tier] = out.get(tier, 0.0) + count
+        return out
+
+    def by_category(self) -> dict[str, float]:
+        """Accesses per category (all tiers)."""
+        out = {cat: 0.0 for cat in CATEGORIES}
+        for (cat, _tier), count in self.accesses.items():
+            out[cat] = out.get(cat, 0.0) + count
+        return out
+
+    def total(self) -> float:
+        return sum(self.accesses.values())
+
+    def energy_by_category(self) -> dict[str, float]:
+        out = {cat: 0.0 for cat in CATEGORIES}
+        for (cat, _tier), e in self.energy_pj.items():
+            out[cat] = out.get(cat, 0.0) + e
+        return out
+
+
+def access_breakdown(accel: Accelerator, cost: CostResult) -> AccessBreakdown:
+    """Aggregate a cost result into the Fig. 14 reporting axes."""
+    accesses: dict[tuple[str, str], float] = {}
+    energy: dict[tuple[str, str], float] = {}
+    for (operand, level_name), t in cost.traffic.items():
+        key = (_category(operand), tier_of(accel, level_name))
+        accesses[key] = accesses.get(key, 0.0) + t.accesses_elems
+        energy[key] = energy.get(key, 0.0) + t.energy_pj
+    return AccessBreakdown(accesses=accesses, energy_pj=energy)
+
+
+def energy_components(accel: Accelerator, cost: CostResult) -> dict[str, float]:
+    """The Fig. 18 energy split: MAC / on-chip memory / DRAM (pJ)."""
+    on_chip = 0.0
+    dram = 0.0
+    for (_cat, level_name), t in cost.traffic.items():
+        if tier_of(accel, level_name) == "DRAM":
+            dram += t.energy_pj
+        else:
+            on_chip += t.energy_pj
+    return {"mac": cost.mac_energy_pj, "on_chip": on_chip, "dram": dram}
+
+
+def weight_vs_activation_energy(cost: CostResult) -> dict[str, float]:
+    """The Fig. 18(c) split: memory energy caused by weight traffic vs
+    activation traffic (data copies count as activation movement)."""
+    out = {"weight": 0.0, "activation": 0.0}
+    for (operand, _level), t in cost.traffic.items():
+        key = "weight" if operand == "W" else "activation"
+        out[key] += t.energy_pj
+    return out

@@ -1,0 +1,57 @@
+"""Text heatmaps for tile-size/mode sweeps (the paper's Fig. 12 view)."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..core.optimizer import SweepPoint
+from ..core.strategy import OverlapMode
+
+
+def sweep_grid(
+    points: Sequence[SweepPoint],
+    mode: OverlapMode,
+    xs: Sequence[int],
+    ys: Sequence[int],
+    value: Callable[[SweepPoint], float],
+) -> list[list[float]]:
+    """Arrange sweep points into a ys-by-xs grid of values for ``mode``."""
+    lookup = {
+        (p.strategy.mode, p.strategy.tile_x, p.strategy.tile_y): p
+        for p in points
+    }
+    grid: list[list[float]] = []
+    for ty in ys:
+        row = []
+        for tx in xs:
+            point = lookup.get((mode, tx, ty))
+            row.append(value(point) if point is not None else float("nan"))
+        grid.append(row)
+    return grid
+
+
+def render_heatmap(
+    grid: Sequence[Sequence[float]],
+    xs: Sequence[int],
+    ys: Sequence[int],
+    title: str,
+    fmt: str = "{:8.1f}",
+) -> str:
+    """Render a grid as a fixed-width text table (Fig. 12 style)."""
+    lines = [title]
+    header = "Ty\\Tx".rjust(8) + "".join(str(x).rjust(9) for x in xs)
+    lines.append(header)
+    for ty, row in zip(ys, grid):
+        cells = "".join(fmt.format(v).rjust(9) for v in row)
+        lines.append(str(ty).rjust(8) + cells)
+    return "\n".join(lines)
+
+
+def energy_mj(point: SweepPoint) -> float:
+    """Energy in mJ of a sweep point."""
+    return point.result.energy_pj / 1e9
+
+
+def latency_mcycles(point: SweepPoint) -> float:
+    """Latency in millions of cycles of a sweep point."""
+    return point.result.latency_cycles / 1e6

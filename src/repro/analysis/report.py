@@ -1,0 +1,107 @@
+"""Paper-style text reports: Table I, Table II, Fig. 9 top-level maps."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.results import ScheduleResult, StackResult
+from ..hardware.accelerator import Accelerator
+from ..workloads.stats import WorkloadStats
+
+
+def table1_workloads(stats: Iterable[WorkloadStats]) -> str:
+    """Render Table I(b): workload statistics."""
+    lines = [
+        f"{'Workload':16s} {'Layers':>6s} {'MACs':>9s} "
+        f"{'Weights':>10s} {'Avg FM':>9s} {'Max FM':>9s} {'Dominance':>11s}"
+    ]
+    for s in stats:
+        kind = "activation" if s.is_activation_dominant else "weight"
+        lines.append(
+            f"{s.name:16s} {s.layer_count:6d} "
+            f"{s.total_mac_count / 1e9:8.2f}G "
+            f"{s.total_weight_bytes / 1024:9.1f}K "
+            f"{s.avg_feature_map_bytes / 2**20:8.2f}M "
+            f"{s.max_feature_map_bytes / 2**20:8.2f}M "
+            f"{kind:>11s}"
+        )
+    return "\n".join(lines)
+
+
+def table1_architectures(accels: Iterable[Accelerator]) -> str:
+    """Render Table I(a): architecture inventory."""
+    lines = []
+    for a in accels:
+        lines.append(a.describe())
+    return "\n".join(lines)
+
+
+def top_level_map(accel: Accelerator, stack_result: StackResult) -> str:
+    """Render Fig. 9: the top memory level of W/I/O per layer and tile
+    type, using the global level ranks (Reg < LB < GB < DRAM)."""
+    names = {i: lvl.name for i, lvl in enumerate(accel.levels)}
+    lines = []
+    for tr in stack_result.tile_results:
+        tile = tr.tile
+        lines.append(
+            f"tile type {tile.index} (x{tile.count}"
+            + (", first tile" if tile.is_first_tile else "")
+            + ")"
+        )
+        for geom, tops in zip(tile.geometry, tr.plan.layer_tops):
+            ranks = tops.ranks
+            lines.append(
+                f"  {geom.layer.name:24s} "
+                f"W={names[ranks['W']]:8s} "
+                f"I={names[ranks['I']]:8s} "
+                f"O={names[ranks['O']]:8s}"
+            )
+    return "\n".join(lines)
+
+
+def strategy_comparison(results: Sequence[ScheduleResult]) -> str:
+    """Render a CS2-style strategy comparison for one workload."""
+    base = results[0].total.energy_pj if results else 1.0
+    lines = [
+        f"{'Strategy':44s} {'Energy':>10s} {'Latency':>12s} {'vs first':>9s}"
+    ]
+    for r in results:
+        gain = base / r.total.energy_pj if r.total.energy_pj else float("inf")
+        lines.append(
+            f"{r.strategy_label[:44]:44s} "
+            f"{r.energy_mj:8.3f}mJ "
+            f"{r.latency_cycles / 1e6:9.2f}Mcy "
+            f"{gain:8.2f}x"
+        )
+    return "\n".join(lines)
+
+
+#: Table II: the qualitative framework-factor matrix (rows reproduced
+#: verbatim from the paper; DeFiNES is this repository).
+TABLE2_ROWS = (
+    ("DNNVM", (False, True, False), True, False, True, "La"),
+    ("Efficient-S", (True, False, False), True, False, False, "La"),
+    ("LBDF", (True, False, True), False, False, False, "DRAM"),
+    ("ConvFusion", (True, False, True), False, False, True, "DRAM"),
+    ("Optimus", (True, False, True), False, False, True, "DRAM"),
+    ("DNNFuser", (True, False, False), True, False, True, "DRAM, Mem"),
+    ("DeFiNES (ours)", (True, True, True), True, True, True, "En, La"),
+)
+
+
+def table2_factors() -> str:
+    """Render Table II: related DF modeling framework comparison."""
+    def mark(v: bool) -> str:
+        return "yes" if v else "no"
+
+    lines = [
+        f"{'Framework':16s} {'modes(FR/HC/FC)':>16s} {'on-chip':>8s} "
+        f"{'mem-skip':>9s} {'weights':>8s} {'target':>10s}"
+    ]
+    for name, modes, onchip, memskip, weights, target in TABLE2_ROWS:
+        mode_str = "/".join(mark(m) for m in modes)
+        lines.append(
+            f"{name:16s} {mode_str:>16s} {mark(onchip):>8s} "
+            f"{mark(memskip):>9s} {mark(weights):>8s} {target:>10s}"
+        )
+    return "\n".join(lines)

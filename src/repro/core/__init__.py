@@ -1,0 +1,74 @@
+"""DeFiNES core: the depth-first scheduling space and its cost model."""
+
+from .backcalc import (
+    AxisGeometry,
+    LayerTileGeometry,
+    StackTiling,
+    TileType,
+    backcalculate,
+)
+from .datacopy import DataCopyAction, copy_cost
+from .geometry import Interval, input_interval, tile_edges
+from .memlevels import (
+    LayerTops,
+    MemLevelPolicy,
+    TileMemoryPlan,
+    plan_tile_memory,
+    weight_resident_index,
+)
+from .optimizer import (
+    ALL_MODES,
+    PAPER_DIAGONAL,
+    PAPER_TILE_GRID_X,
+    PAPER_TILE_GRID_Y,
+    SweepPoint,
+    best_combination,
+    best_point,
+    best_single_strategy,
+    evaluate_layer_by_layer,
+    evaluate_single_layer,
+    sweep,
+)
+from .results import ScheduleResult, StackResult, TileTypeResult
+from .scheduler import DepthFirstEngine
+from .stacks import Stack, branch_free_segments, partition_stacks
+from .strategy import DFStrategy, OverlapMode, StackBoundary
+
+__all__ = [
+    "AxisGeometry",
+    "LayerTileGeometry",
+    "StackTiling",
+    "TileType",
+    "backcalculate",
+    "DataCopyAction",
+    "copy_cost",
+    "Interval",
+    "input_interval",
+    "tile_edges",
+    "LayerTops",
+    "MemLevelPolicy",
+    "TileMemoryPlan",
+    "plan_tile_memory",
+    "weight_resident_index",
+    "DepthFirstEngine",
+    "ScheduleResult",
+    "StackResult",
+    "TileTypeResult",
+    "Stack",
+    "branch_free_segments",
+    "partition_stacks",
+    "DFStrategy",
+    "OverlapMode",
+    "StackBoundary",
+    "ALL_MODES",
+    "PAPER_DIAGONAL",
+    "PAPER_TILE_GRID_X",
+    "PAPER_TILE_GRID_Y",
+    "SweepPoint",
+    "sweep",
+    "best_point",
+    "best_single_strategy",
+    "best_combination",
+    "evaluate_single_layer",
+    "evaluate_layer_by_layer",
+]

@@ -1,0 +1,152 @@
+"""Schedule-space exploration on top of the depth-first engine.
+
+Implements the experiments' search procedures: tile-size/mode sweeps
+(case study 1), the five inference strategies of case study 2 (SL, LBL,
+a fixed DF point, best single strategy, best per-stack combination), and
+the LBL-vs-best-DF comparison of case study 3.  The optimizing target is
+user-selectable (energy by default, as in the paper's case studies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..mapping.cost import Objective, resolve_objective
+from ..workloads.graph import WorkloadGraph
+from .results import ScheduleResult, StackResult
+from .scheduler import DepthFirstEngine
+from .stacks import partition_stacks
+from .strategy import DFStrategy, OverlapMode
+
+#: The tile-size grid of the paper's Fig. 12 heatmaps.
+PAPER_TILE_GRID_X = (1, 4, 16, 60, 240, 960)
+PAPER_TILE_GRID_Y = (1, 4, 18, 72, 270, 540)
+
+#: The diagonal points of Figs. 13-15.
+PAPER_DIAGONAL = tuple(zip(PAPER_TILE_GRID_X, PAPER_TILE_GRID_Y))
+
+ALL_MODES = (
+    OverlapMode.FULLY_RECOMPUTE,
+    OverlapMode.H_CACHED_V_RECOMPUTE,
+    OverlapMode.FULLY_CACHED,
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated DF strategy with its result."""
+
+    strategy: DFStrategy
+    result: ScheduleResult
+
+    def score(self, objective: Objective) -> float:
+        return objective(self.result.total)
+
+
+def sweep(
+    engine: DepthFirstEngine,
+    workload: WorkloadGraph,
+    tile_sizes: Iterable[tuple[int, int]],
+    modes: Sequence[OverlapMode] = ALL_MODES,
+) -> list[SweepPoint]:
+    """Evaluate a grid of (mode, tile size) DF strategies (case study 1)."""
+    points: list[SweepPoint] = []
+    for mode in modes:
+        for tx, ty in tile_sizes:
+            strategy = DFStrategy(tile_x=tx, tile_y=ty, mode=mode)
+            points.append(
+                SweepPoint(strategy, engine.evaluate(workload, strategy))
+            )
+    return points
+
+
+def best_point(
+    points: Sequence[SweepPoint], objective: str | Objective = "energy"
+) -> SweepPoint:
+    """The sweep point minimizing the objective."""
+    if not points:
+        raise ValueError("no sweep points to choose from")
+    score = resolve_objective(objective)
+    return min(points, key=lambda p: p.score(score))
+
+
+def best_single_strategy(
+    engine: DepthFirstEngine,
+    workload: WorkloadGraph,
+    tile_sizes: Iterable[tuple[int, int]] | None = None,
+    modes: Sequence[OverlapMode] = ALL_MODES,
+    objective: str | Objective = "energy",
+) -> SweepPoint:
+    """Best DF strategy when one strategy serves all stacks (CS2 purple)."""
+    tiles = tuple(tile_sizes) if tile_sizes is not None else PAPER_DIAGONAL
+    return best_point(sweep(engine, workload, tiles, modes), objective)
+
+
+def best_combination(
+    engine: DepthFirstEngine,
+    workload: WorkloadGraph,
+    tile_sizes: Iterable[tuple[int, int]] | None = None,
+    modes: Sequence[OverlapMode] = ALL_MODES,
+    objective: str | Objective = "energy",
+) -> ScheduleResult:
+    """Best per-stack combination (CS2 red): each stack may use its own DF
+    strategy.  Stacks are independent given the boundary feature-map
+    locations, which do not depend on the intra-stack strategy, so the
+    per-stack minima compose into the global optimum."""
+    tiles = tuple(tile_sizes) if tile_sizes is not None else PAPER_DIAGONAL
+    score = resolve_objective(objective)
+    stacks = partition_stacks(workload, engine.accel)
+
+    # Boundary feature-map locations depend only on feature-map sizes, not
+    # on the intra-stack strategy, so one shared assignment keeps the
+    # per-stack evaluations composable.
+    probe = DFStrategy(tile_x=1 << 30, tile_y=1 << 30)
+    locations = engine._boundary_locations(workload, probe, stacks)
+
+    best_per_stack: list[StackResult] = []
+    labels: list[str] = []
+    for stack in stacks:
+        best: StackResult | None = None
+        best_label = ""
+        for mode in ALL_MODES if modes is None else modes:
+            for tx, ty in tiles:
+                strategy = DFStrategy(tile_x=tx, tile_y=ty, mode=mode,
+                                      stack_boundary=probe.stack_boundary)
+                candidate = engine.evaluate_stack(
+                    workload, strategy, stack, input_locations=locations
+                )
+                if best is None or score(candidate.total) < score(best.total):
+                    best = candidate
+                    best_label = strategy.describe()
+        assert best is not None
+        best_per_stack.append(best)
+        labels.append(best_label)
+
+    from ..mapping.cost import CostResult
+
+    total = CostResult()
+    for sr in best_per_stack:
+        total.add(sr.total)
+    return ScheduleResult(
+        workload_name=workload.name,
+        accelerator_name=engine.accel.name,
+        strategy_label="best combination [" + "; ".join(labels) + "]",
+        stacks=best_per_stack,
+        total=total,
+    )
+
+
+def evaluate_single_layer(
+    engine: DepthFirstEngine, workload: WorkloadGraph
+) -> ScheduleResult:
+    """SL baseline: every layer alone, feature maps through DRAM."""
+    return engine.evaluate(workload, DFStrategy.single_layer())
+
+
+def evaluate_layer_by_layer(
+    engine: DepthFirstEngine, workload: WorkloadGraph
+) -> ScheduleResult:
+    """LBL baseline: every layer alone, feature maps in the lowest level
+    they fit."""
+    return engine.evaluate(workload, DFStrategy.layer_by_layer())

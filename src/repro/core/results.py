@@ -1,0 +1,106 @@
+"""Result containers for depth-first schedule evaluations.
+
+The hierarchy mirrors DeFiNES' accumulation (step 6): per-tile-type
+results roll up into per-stack results, which roll up into the schedule
+result.  Traffic categories keep layer activations ("I"/"O"), weights
+("W") and data copies ("copy") separate so the paper's Fig. 14 breakdown
+can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..mapping.cost import CostResult
+from .backcalc import StackTiling, TileType
+from .memlevels import TileMemoryPlan
+
+
+@dataclass
+class TileTypeResult:
+    """Steps 2-5 output for one tile type (before multiplying by count)."""
+
+    tile: TileType
+    plan: TileMemoryPlan
+    layer_costs: list[CostResult] = field(default_factory=list)
+    copy_cost: CostResult = field(default_factory=CostResult)
+
+    @property
+    def cost(self) -> CostResult:
+        """Combined cost of one tile of this type."""
+        total = CostResult()
+        for layer_cost in self.layer_costs:
+            total.add(layer_cost)
+        total.add(self.copy_cost)
+        return total
+
+
+@dataclass
+class StackResult:
+    """Accumulated result of one fused-layer stack."""
+
+    tiling: StackTiling
+    tile_results: list[TileTypeResult]
+    total: CostResult
+
+    @property
+    def tile_type_count(self) -> int:
+        """Number of distinct tile types (code/control complexity proxy,
+        Fig. 6)."""
+        return len(self.tile_results)
+
+    @property
+    def layer_names(self) -> tuple[str, ...]:
+        return self.tiling.stack.layer_names
+
+
+@dataclass
+class ScheduleResult:
+    """End-to-end result of a workload under one DF strategy."""
+
+    workload_name: str
+    accelerator_name: str
+    strategy_label: str
+    stacks: list[StackResult]
+    total: CostResult
+
+    @property
+    def energy_pj(self) -> float:
+        return self.total.energy_pj
+
+    @property
+    def energy_mj(self) -> float:
+        return self.total.energy_pj / 1e9
+
+    @property
+    def latency_cycles(self) -> float:
+        return self.total.latency_cycles
+
+    @property
+    def mac_count(self) -> float:
+        return self.total.mac_count
+
+    @property
+    def edp(self) -> float:
+        return self.total.edp
+
+    def dram_accesses(self) -> float:
+        """Total DRAM accesses in elements (all categories)."""
+        return self.total.accesses(level_names=("DRAM",))
+
+    def traffic_by_category(self) -> Mapping[str, float]:
+        """Total element accesses per data category."""
+        out: dict[str, float] = {}
+        for (category, _level), t in self.total.traffic.items():
+            out[category] = out.get(category, 0.0) + t.accesses_elems
+        return out
+
+    def describe(self) -> str:
+        return (
+            f"{self.workload_name} on {self.accelerator_name} "
+            f"[{self.strategy_label}]: "
+            f"E={self.energy_mj:.3f} mJ, "
+            f"L={self.latency_cycles / 1e6:.2f} Mcycles, "
+            f"MACs={self.mac_count / 1e9:.2f} G"
+        )

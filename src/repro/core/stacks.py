@@ -1,0 +1,153 @@
+"""Stack partitioning: DeFiNES' third design-space axis (fuse depth).
+
+The automatic rule (Section III, "Inputs"): walk the network in schedule
+order, adding layers to the current stack while the stack's total weights
+fit the highest on-chip memory level holding weights.  Branch regions
+(between two branch-free cut points) are atomic — either fused entirely or
+not at all; if such a region alone does not fit, each of its layers
+becomes a single-layer stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.accelerator import Accelerator
+from ..workloads.graph import WorkloadGraph
+from ..workloads.layer import LayerSpec
+
+
+@dataclass(frozen=True)
+class Stack:
+    """A stack of fused layers (contiguous subgraph with a single sink)."""
+
+    index: int
+    workload: WorkloadGraph
+    layers: tuple[LayerSpec, ...]
+
+    @property
+    def weight_bytes(self) -> int:
+        """Total resident weights of the stack."""
+        return sum(l.weight_bytes for l in self.layers)
+
+    @property
+    def sink(self) -> LayerSpec:
+        """The stack's output layer (tiling is defined on its output)."""
+        sinks = self.workload.sinks()
+        if len(sinks) != 1:
+            raise ValueError(
+                f"stack {self.index} has {len(sinks)} sinks; expected 1"
+            )
+        return sinks[0]
+
+    @property
+    def layer_names(self) -> tuple[str, ...]:
+        return tuple(l.name for l in self.layers)
+
+
+def branch_free_segments(workload: WorkloadGraph) -> list[list[LayerSpec]]:
+    """Split the network at branch-free cut points.
+
+    A cut point after layer ``L`` (in schedule order) is a position where
+    ``L``'s output is the only feature map still needed by later layers —
+    i.e. nothing branches across it.  Residual blocks therefore stay
+    whole, ending at their join layer.
+    """
+    layers = workload.topological_layers()
+    position = {l.name: i for i, l in enumerate(layers)}
+
+    # For each layer, the schedule position of its last consumer.
+    last_use: dict[str, int] = {}
+    for layer in layers:
+        consumers = workload.successors(layer.name)
+        last_use[layer.name] = max(
+            (position[c.name] for c in consumers), default=position[layer.name]
+        )
+
+    segments: list[list[LayerSpec]] = []
+    current: list[LayerSpec] = []
+    for i, layer in enumerate(layers):
+        current.append(layer)
+        crossing = any(
+            position[l.name] <= i < last_use[l.name]
+            for l in layers[: i + 1]
+            if l.name != layer.name
+        )
+        if not crossing:
+            segments.append(current)
+            current = []
+    if current:
+        segments.append(current)
+    return segments
+
+
+def _make_stack(workload: WorkloadGraph, index: int, layers: list[LayerSpec]) -> Stack:
+    sub = workload.subgraph(l.name for l in layers)
+    return Stack(index=index, workload=sub, layers=tuple(layers))
+
+
+def partition_stacks(
+    workload: WorkloadGraph,
+    accel: Accelerator,
+    explicit: tuple[tuple[str, ...], ...] | None = None,
+    per_layer: bool = False,
+    fuse_depth: int | None = None,
+) -> list[Stack]:
+    """Partition ``workload`` into fused-layer stacks.
+
+    ``explicit`` pins the partition (each inner tuple is a stack's layer
+    names, in schedule order, covering the network exactly once);
+    ``per_layer`` forces single-layer stacks (SL / LBL scheduling);
+    otherwise the automatic weights-fit rule applies, optionally capped
+    at ``fuse_depth`` layers per stack (the paper's manual knob).
+    """
+    layers = workload.topological_layers()
+    if per_layer:
+        return [
+            _make_stack(workload, i, [layer]) for i, layer in enumerate(layers)
+        ]
+    if explicit is not None:
+        covered = [name for stack in explicit for name in stack]
+        expected = [l.name for l in layers]
+        if sorted(covered) != sorted(expected):
+            raise ValueError(
+                "explicit stacks must cover every layer exactly once; "
+                f"got {covered} vs {expected}"
+            )
+        return [
+            _make_stack(workload, i, [workload.layer(n) for n in names])
+            for i, names in enumerate(explicit)
+        ]
+
+    top_w = accel.top_weight_buffer()
+    capacity = top_w.instance.size_bytes if top_w is not None else 0
+
+    stacks: list[Stack] = []
+    current: list[LayerSpec] = []
+    current_bytes = 0
+
+    def flush() -> None:
+        nonlocal current, current_bytes
+        if current:
+            stacks.append(_make_stack(workload, len(stacks), current))
+            current = []
+            current_bytes = 0
+
+    max_layers = fuse_depth if fuse_depth is not None else 1 << 30
+    for segment in branch_free_segments(workload):
+        seg_bytes = sum(l.weight_bytes for l in segment)
+        if seg_bytes > capacity or len(segment) > max_layers:
+            # The atomic region alone does not fit: single-layer stacks.
+            flush()
+            for layer in segment:
+                stacks.append(_make_stack(workload, len(stacks), [layer]))
+            continue
+        if current and (
+            current_bytes + seg_bytes > capacity
+            or len(current) + len(segment) > max_layers
+        ):
+            flush()
+        current.extend(segment)
+        current_bytes += seg_bytes
+    flush()
+    return stacks

@@ -1,0 +1,129 @@
+"""Depth-first strategy: the three axes of the design space (Section II).
+
+* axis 1 — tile size ``(tile_x, tile_y)`` on the stack's final output;
+* axis 2 — overlap storing mode (:class:`OverlapMode`);
+* axis 3 — fuse depth, either automatic (weights-fit rule) or an explicit
+  stack partition.
+
+Single-layer (SL) and layer-by-layer (LBL) scheduling are the design
+space's extreme points and get convenience constructors.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OverlapMode(enum.Enum):
+    """Axis 2: what to do with inter-tile overlaps (Fig. 3).
+
+    The fourth combination (V-cached H-recompute) is a transposed
+    duplicate of H-cached V-recompute and is not modeled, as in the paper.
+    """
+
+    FULLY_RECOMPUTE = "fully_recompute"
+    H_CACHED_V_RECOMPUTE = "h_cached_v_recompute"
+    FULLY_CACHED = "fully_cached"
+
+    @property
+    def caches_x(self) -> bool:
+        """Whether horizontal overlaps are cached across tiles."""
+        return self in (OverlapMode.H_CACHED_V_RECOMPUTE, OverlapMode.FULLY_CACHED)
+
+    @property
+    def caches_y(self) -> bool:
+        """Whether vertical overlaps are cached across tile rows."""
+        return self is OverlapMode.FULLY_CACHED
+
+
+class StackBoundary(enum.Enum):
+    """How feature maps are passed between stacks."""
+
+    #: Always through DRAM (single-layer scheduling).
+    DRAM = "dram"
+    #: Through the lowest memory level the whole map fits in (LBL / DF).
+    LOWEST_FIT = "lowest_fit"
+
+
+@dataclass(frozen=True)
+class DFStrategy:
+    """A point in the depth-first scheduling space.
+
+    Parameters
+    ----------
+    tile_x, tile_y:
+        Tile size on each stack's final output feature map; larger values
+        are clamped per stack.
+    mode:
+        Overlap storing mode.
+    stacks:
+        Explicit fuse-depth choice: a tuple of tuples of layer names.
+        ``None`` selects the automatic rule (fuse while stack weights fit
+        in the top on-chip weight memory; branch regions are atomic).
+    fuse_depth:
+        Manual cap on the number of layers per stack (the paper's
+        "can be given manually" option); combined with the automatic
+        weights-fit rule.  ``None`` = no cap.
+    stack_boundary:
+        How feature maps cross stack boundaries.
+    """
+
+    tile_x: int
+    tile_y: int
+    mode: OverlapMode = OverlapMode.FULLY_CACHED
+    stacks: tuple[tuple[str, ...], ...] | None = None
+    fuse_depth: int | None = None
+    stack_boundary: StackBoundary = StackBoundary.LOWEST_FIT
+
+    def __post_init__(self) -> None:
+        if self.tile_x < 1 or self.tile_y < 1:
+            raise ValueError(
+                f"tile size must be >= 1, got ({self.tile_x}, {self.tile_y})"
+            )
+        if self.fuse_depth is not None and self.fuse_depth < 1:
+            raise ValueError(f"fuse_depth must be >= 1, got {self.fuse_depth}")
+        if self.fuse_depth is not None and self.stacks is not None:
+            raise ValueError("give either explicit stacks or fuse_depth, not both")
+
+    # ------------------------------------------------------------------
+    # The design space's extreme points (Section II).
+    # ------------------------------------------------------------------
+    @classmethod
+    def single_layer(cls) -> "DFStrategy":
+        """SL: one layer per stack, feature maps via DRAM (Fig. 1(a))."""
+        return cls(
+            tile_x=1 << 30,
+            tile_y=1 << 30,
+            mode=OverlapMode.FULLY_RECOMPUTE,
+            stacks=_PER_LAYER_SENTINEL,
+            stack_boundary=StackBoundary.DRAM,
+        )
+
+    @classmethod
+    def layer_by_layer(cls) -> "DFStrategy":
+        """LBL: one layer per stack, feature maps passed in the lowest
+        memory level they fit (Fig. 1(b))."""
+        return cls(
+            tile_x=1 << 30,
+            tile_y=1 << 30,
+            mode=OverlapMode.FULLY_RECOMPUTE,
+            stacks=_PER_LAYER_SENTINEL,
+            stack_boundary=StackBoundary.LOWEST_FIT,
+        )
+
+    @property
+    def one_layer_per_stack(self) -> bool:
+        """Whether this strategy forces single-layer stacks."""
+        return self.stacks is _PER_LAYER_SENTINEL
+
+    def describe(self) -> str:
+        """Short label for reports."""
+        if self.one_layer_per_stack:
+            kind = "SL" if self.stack_boundary is StackBoundary.DRAM else "LBL"
+            return kind
+        return f"{self.mode.value} {self.tile_x}x{self.tile_y}"
+
+
+#: Sentinel meaning "every layer is its own stack".
+_PER_LAYER_SENTINEL: tuple[tuple[str, ...], ...] = (("__per_layer__",),)

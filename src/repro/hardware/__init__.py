@@ -1,0 +1,27 @@
+"""Hardware substrate: memories, energy model, accelerators and the zoo."""
+
+from .accelerator import Accelerator, build_accelerator
+from .energy import (
+    DRAM_BANDWIDTH_BYTES,
+    DRAM_ENERGY_PJ_PER_BYTE,
+    MAC_ENERGY_PJ,
+    REGISTER_ENERGY_PJ_PER_BYTE,
+    sram_bandwidth_bytes,
+    sram_energy_pj_per_byte,
+)
+from .memory import OPERANDS, MemoryInstance, MemoryLevel, level
+
+__all__ = [
+    "Accelerator",
+    "build_accelerator",
+    "MemoryInstance",
+    "MemoryLevel",
+    "level",
+    "OPERANDS",
+    "MAC_ENERGY_PJ",
+    "REGISTER_ENERGY_PJ_PER_BYTE",
+    "DRAM_ENERGY_PJ_PER_BYTE",
+    "DRAM_BANDWIDTH_BYTES",
+    "sram_energy_pj_per_byte",
+    "sram_bandwidth_bytes",
+]

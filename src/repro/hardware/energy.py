@@ -1,0 +1,63 @@
+"""Energy and bandwidth model for memories and MACs.
+
+The paper extracts SRAM access costs with CACTI-7 and scales register,
+MAC and DRAM costs from them following Interstellar's scaling factors.
+CACTI is a C++ tool we cannot ship here, so this module substitutes an
+analytical model with the properties the case studies rely on:
+
+* access energy per byte grows ~ sqrt(capacity) (wire/bitline dominated),
+* register file accesses are far cheaper than any SRAM,
+* DRAM accesses are an order of magnitude above the largest on-chip SRAM,
+* DRAM bandwidth is fixed at 64 bit/cycle (the paper's on/off-chip
+  bottleneck), while on-chip memories are sized to feed the PE array.
+
+Absolute pJ values therefore differ from the paper's; relative orderings
+and capacity scaling — which drive every scheduling conclusion — are
+preserved.  See DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Energy of one 8-bit MAC operation (pJ), control overhead included.
+MAC_ENERGY_PJ = 0.1
+
+#: Register-file access energy (pJ per byte), read or write.
+REGISTER_ENERGY_PJ_PER_BYTE = 0.02
+
+#: DRAM access energy (pJ per byte), read or write.
+DRAM_ENERGY_PJ_PER_BYTE = 64.0
+
+#: DRAM bandwidth in bytes per cycle (the paper fixes 64 bit/cycle).
+DRAM_BANDWIDTH_BYTES = 8.0
+
+#: Default on-chip bandwidths (bytes/cycle); generous, as the paper sizes
+#: on-chip banking so the PE array never starves on ideal workloads.
+LOCAL_BUFFER_BANDWIDTH_BYTES = 64.0
+GLOBAL_BUFFER_BANDWIDTH_BYTES = 32.0
+
+
+def sram_energy_pj_per_byte(size_bytes: int) -> float:
+    """Access energy (pJ/byte) of an on-chip SRAM of ``size_bytes``.
+
+    Calibrated to CACTI-like magnitudes: a 64 KB local buffer costs
+    ~0.4 pJ/B and a 2 MB global buffer ~1.9 pJ/B, with sqrt-capacity
+    scaling in between.  The ordering reg << LB << GB << DRAM of the
+    paper's Fig. 14 holds for every memory size in Table I(a).
+    """
+    if size_bytes <= 0:
+        raise ValueError(f"SRAM size must be positive, got {size_bytes}")
+    kib = size_bytes / 1024.0
+    return 0.04 * math.sqrt(kib) + 0.1
+
+
+def sram_bandwidth_bytes(size_bytes: int) -> float:
+    """Default bandwidth (bytes/cycle) for an SRAM of ``size_bytes``.
+
+    Smaller, closer memories are banked wider; this only matters for the
+    data-copy latency model (on-chip memories never stall the PE array).
+    """
+    if size_bytes <= 64 * 1024:
+        return LOCAL_BUFFER_BANDWIDTH_BYTES
+    return GLOBAL_BUFFER_BANDWIDTH_BYTES

@@ -1,0 +1,140 @@
+"""Memory hierarchy building blocks.
+
+A :class:`MemoryInstance` is one physical memory (a register file, a local
+buffer SRAM, a global buffer SRAM, or DRAM).  A :class:`MemoryLevel` places
+an instance at one level of one or more operands' hierarchies; operands
+sharing an instance (e.g. the I&O global buffer of Table I(a)) contend for
+its capacity, which is exactly what drives the paper's Fig. 10 behaviour
+(O pushed to GB when I+O no longer fits the LB).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from . import energy as energy_model
+
+#: Operand identifiers used across the project.
+OPERANDS = ("W", "I", "O")
+
+_instance_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class MemoryInstance:
+    """One physical memory.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name ("W_reg", "LB_IO", "GB_W", "DRAM", ...).
+    size_bytes:
+        Capacity. DRAM uses a practically-unbounded capacity.
+    r_energy_pj_per_byte / w_energy_pj_per_byte:
+        Access energies.
+    bandwidth_bytes:
+        Bytes per cycle through the memory's port (read or write);
+        ``math.inf`` for registers.
+    ports:
+        Number of independent ports; concurrent data-copy actions beyond
+        this serialize (Section III step 4).
+    """
+
+    name: str
+    size_bytes: int
+    r_energy_pj_per_byte: float
+    w_energy_pj_per_byte: float
+    bandwidth_bytes: float
+    ports: int = 1
+    per_pe: bool = False
+    tier: str = "SRAM"
+    uid: int = field(default_factory=lambda: next(_instance_counter), compare=False)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"{self.name}: size must be positive")
+        if self.bandwidth_bytes <= 0:
+            raise ValueError(f"{self.name}: bandwidth must be positive")
+        if self.ports < 1:
+            raise ValueError(f"{self.name}: needs at least one port")
+
+    @classmethod
+    def register(cls, name: str, size_bytes: int) -> "MemoryInstance":
+        """A per-PE (or per-MAC-group) register file."""
+        return cls(
+            name=name,
+            size_bytes=size_bytes,
+            r_energy_pj_per_byte=energy_model.REGISTER_ENERGY_PJ_PER_BYTE,
+            w_energy_pj_per_byte=energy_model.REGISTER_ENERGY_PJ_PER_BYTE,
+            bandwidth_bytes=math.inf,
+            ports=2,
+            per_pe=True,
+            tier="Reg",
+        )
+
+    @classmethod
+    def sram(cls, name: str, size_bytes: int, ports: int = 2) -> "MemoryInstance":
+        """An on-chip SRAM with analytically-derived access energy.
+
+        The reporting tier ("LB" / "GB") is inferred from the leading
+        letters of the name ("LB2_IO" -> "LB").
+        """
+        cost = energy_model.sram_energy_pj_per_byte(size_bytes)
+        prefix = name.split("_")[0].rstrip("0123456789")
+        tier = prefix if prefix in ("LB", "GB") else "SRAM"
+        return cls(
+            name=name,
+            size_bytes=size_bytes,
+            r_energy_pj_per_byte=cost,
+            w_energy_pj_per_byte=cost,
+            bandwidth_bytes=energy_model.sram_bandwidth_bytes(size_bytes),
+            ports=ports,
+            tier=tier,
+        )
+
+    @classmethod
+    def dram(cls, name: str = "DRAM") -> "MemoryInstance":
+        """Off-chip DRAM: 64 bit/cycle, unbounded capacity."""
+        return cls(
+            name=name,
+            size_bytes=1 << 40,
+            r_energy_pj_per_byte=energy_model.DRAM_ENERGY_PJ_PER_BYTE,
+            w_energy_pj_per_byte=energy_model.DRAM_ENERGY_PJ_PER_BYTE,
+            bandwidth_bytes=energy_model.DRAM_BANDWIDTH_BYTES,
+            ports=1,
+            tier="DRAM",
+        )
+
+    @property
+    def is_dram(self) -> bool:
+        """Whether this instance models off-chip DRAM."""
+        return self.size_bytes >= 1 << 40
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """An instance placed at one hierarchy level for a set of operands."""
+
+    instance: MemoryInstance
+    operands: frozenset[str]
+
+    def __post_init__(self) -> None:
+        unknown = self.operands - set(OPERANDS)
+        if unknown:
+            raise ValueError(f"unknown operands {sorted(unknown)}")
+        if not self.operands:
+            raise ValueError("memory level must serve at least one operand")
+
+    @property
+    def name(self) -> str:
+        return self.instance.name
+
+    def serves(self, operand: str) -> bool:
+        return operand in self.operands
+
+
+def level(instance: MemoryInstance, operands: str) -> MemoryLevel:
+    """Shorthand: ``level(lb, "IO")`` serves inputs and outputs."""
+    return MemoryLevel(instance=instance, operands=frozenset(operands))

@@ -1,0 +1,62 @@
+"""Accelerator zoo: the ten Table I(a) architectures plus a DepFiN-like
+validation model (Section IV).
+
+All baselines are normalized to 1024 MACs and at most 2 MB of global
+buffer, as in the paper; the "DF" variants keep the spatial unrolling and
+total on-chip capacity but re-share memory between I and O at lower levels
+and give weights an on-chip global buffer (Section V-A guidelines).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..accelerator import Accelerator
+from .ascend import ascend_like, ascend_like_df
+from .depfin import depfin_like
+from .edge_tpu import edge_tpu_like, edge_tpu_like_df
+from .meta_proto import meta_proto_like, meta_proto_like_df
+from .tesla_npu import tesla_npu_like, tesla_npu_like_df
+from .tpu import tpu_like, tpu_like_df
+
+#: Table I(a) architectures in paper index order (1-10).
+ACCELERATOR_FACTORIES: dict[str, Callable[[], Accelerator]] = {
+    "meta_proto_like": meta_proto_like,
+    "meta_proto_like_df": meta_proto_like_df,
+    "tpu_like": tpu_like,
+    "tpu_like_df": tpu_like_df,
+    "edge_tpu_like": edge_tpu_like,
+    "edge_tpu_like_df": edge_tpu_like_df,
+    "ascend_like": ascend_like,
+    "ascend_like_df": ascend_like_df,
+    "tesla_npu_like": tesla_npu_like,
+    "tesla_npu_like_df": tesla_npu_like_df,
+}
+
+
+def get_accelerator(name: str) -> Accelerator:
+    """Build a zoo accelerator by name (``depfin_like`` included)."""
+    if name == "depfin_like":
+        return depfin_like()
+    try:
+        return ACCELERATOR_FACTORIES[name]()
+    except KeyError as exc:
+        known = ", ".join(sorted(ACCELERATOR_FACTORIES) + ["depfin_like"])
+        raise KeyError(f"unknown accelerator {name!r}; known: {known}") from exc
+
+
+__all__ = [
+    "ACCELERATOR_FACTORIES",
+    "get_accelerator",
+    "meta_proto_like",
+    "meta_proto_like_df",
+    "tpu_like",
+    "tpu_like_df",
+    "edge_tpu_like",
+    "edge_tpu_like_df",
+    "ascend_like",
+    "ascend_like_df",
+    "tesla_npu_like",
+    "tesla_npu_like_df",
+    "depfin_like",
+]

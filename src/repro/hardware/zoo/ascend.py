@@ -1,0 +1,68 @@
+"""Ascend-like architecture [19] — Table I(a) Idx 7 & 8.
+
+Idx 7 (baseline): spatial K 16 | C 16 | OX 2 | OY 2; per-MAC registers
+W 1B and O 2B; local buffers W 64KB, I 64KB and O 256KB (separate);
+global buffer W 1MB + shared I&O 1MB.
+
+Idx 8 (DF variant): local buffers W 64KB + shared I&O 64KB, plus a
+second-level shared I&O 256KB buffer; same global buffer split.
+"""
+
+from __future__ import annotations
+
+from ..accelerator import Accelerator, build_accelerator
+from ..memory import MemoryInstance, level
+
+_SPATIAL = {"K": 16, "C": 16, "OX": 2, "OY": 2}
+
+
+def ascend_like() -> Accelerator:
+    """Table I(a) Idx 7."""
+    w_reg = MemoryInstance.register("W_reg", 1)
+    o_reg = MemoryInstance.register("O_reg", 2)
+    lb_w = MemoryInstance.sram("LB_W", 64 * 1024)
+    lb_i = MemoryInstance.sram("LB_I", 64 * 1024)
+    lb_o = MemoryInstance.sram("LB_O", 256 * 1024)
+    gb_w = MemoryInstance.sram("GB_W", 1024 * 1024)
+    gb_io = MemoryInstance.sram("GB_IO", 1024 * 1024)
+    dram = MemoryInstance.dram()
+    return build_accelerator(
+        "ascend_like",
+        _SPATIAL,
+        [
+            level(w_reg, "W"),
+            level(o_reg, "O"),
+            level(lb_w, "W"),
+            level(lb_i, "I"),
+            level(lb_o, "O"),
+            level(gb_w, "W"),
+            level(gb_io, "IO"),
+            level(dram, "WIO"),
+        ],
+    )
+
+
+def ascend_like_df() -> Accelerator:
+    """Table I(a) Idx 8 — the DF-friendly variant."""
+    w_reg = MemoryInstance.register("W_reg", 1)
+    o_reg = MemoryInstance.register("O_reg", 2)
+    lb_w = MemoryInstance.sram("LB_W", 64 * 1024)
+    lb_io = MemoryInstance.sram("LB_IO", 64 * 1024)
+    lb2_io = MemoryInstance.sram("LB2_IO", 256 * 1024)
+    gb_w = MemoryInstance.sram("GB_W", 1024 * 1024)
+    gb_io = MemoryInstance.sram("GB_IO", 1024 * 1024)
+    dram = MemoryInstance.dram()
+    return build_accelerator(
+        "ascend_like_df",
+        _SPATIAL,
+        [
+            level(w_reg, "W"),
+            level(o_reg, "O"),
+            level(lb_w, "W"),
+            level(lb_io, "IO"),
+            level(lb2_io, "IO"),
+            level(gb_w, "W"),
+            level(gb_io, "IO"),
+            level(dram, "WIO"),
+        ],
+    )

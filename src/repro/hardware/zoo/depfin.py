@@ -1,0 +1,43 @@
+"""DepFiN-like architecture [7] — the taped-out depth-first CNN processor
+DeFiNES is validated against (Section IV, Fig. 11).
+
+The published DepFiN description is a 12nm, 3.8 TOPs depth-first processor
+for high-resolution image processing with line-buffer style activation
+storage.  We model it in DeFiNES terms as a 1024-MAC array with strong
+spatial output reuse (suited to large feature maps), shared I&O buffers at
+two on-chip levels and an on-chip weight buffer — the configuration the
+validation experiment fixes mappings for.  Absolute energy is expected to
+differ from silicon (sparsity, place-and-route, PVT — see the paper);
+Fig. 11's comparison is on latency and *relative* energy.
+"""
+
+from __future__ import annotations
+
+from ..accelerator import Accelerator, build_accelerator
+from ..memory import MemoryInstance, level
+
+_SPATIAL = {"K": 16, "C": 4, "OX": 16}
+
+
+def depfin_like() -> Accelerator:
+    """DepFiN-like validation model (not part of Table I)."""
+    w_reg = MemoryInstance.register("W_reg", 1)
+    o_reg = MemoryInstance.register("O_reg", 4)
+    lb_w = MemoryInstance.sram("LB_W", 64 * 1024)
+    lb_io = MemoryInstance.sram("LB_IO", 128 * 1024)
+    gb_w = MemoryInstance.sram("GB_W", 512 * 1024)
+    gb_io = MemoryInstance.sram("GB_IO", 1024 * 1024)
+    dram = MemoryInstance.dram()
+    return build_accelerator(
+        "depfin_like",
+        _SPATIAL,
+        [
+            level(w_reg, "W"),
+            level(o_reg, "O"),
+            level(lb_w, "W"),
+            level(lb_io, "IO"),
+            level(gb_w, "W"),
+            level(gb_io, "IO"),
+            level(dram, "WIO"),
+        ],
+    )

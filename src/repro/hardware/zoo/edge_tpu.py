@@ -1,0 +1,59 @@
+"""Edge-TPU-like architecture [38] — Table I(a) Idx 5 & 6.
+
+Idx 5 (baseline): spatial K 8 | C 8 | OX 4 | OY 4; per-MAC registers
+W 1B and O 2B; a 32KB weight local buffer; a shared I&O 2MB global buffer.
+
+Idx 6 (DF variant): local buffers W 16KB + shared I&O 16KB; global buffer
+re-split into W 1MB + I&O 1MB.
+"""
+
+from __future__ import annotations
+
+from ..accelerator import Accelerator, build_accelerator
+from ..memory import MemoryInstance, level
+
+_SPATIAL = {"K": 8, "C": 8, "OX": 4, "OY": 4}
+
+
+def edge_tpu_like() -> Accelerator:
+    """Table I(a) Idx 5."""
+    w_reg = MemoryInstance.register("W_reg", 1)
+    o_reg = MemoryInstance.register("O_reg", 2)
+    lb_w = MemoryInstance.sram("LB_W", 32 * 1024)
+    gb_io = MemoryInstance.sram("GB_IO", 2 * 1024 * 1024)
+    dram = MemoryInstance.dram()
+    return build_accelerator(
+        "edge_tpu_like",
+        _SPATIAL,
+        [
+            level(w_reg, "W"),
+            level(o_reg, "O"),
+            level(lb_w, "W"),
+            level(gb_io, "IO"),
+            level(dram, "WIO"),
+        ],
+    )
+
+
+def edge_tpu_like_df() -> Accelerator:
+    """Table I(a) Idx 6 — the DF-friendly variant."""
+    w_reg = MemoryInstance.register("W_reg", 1)
+    o_reg = MemoryInstance.register("O_reg", 2)
+    lb_w = MemoryInstance.sram("LB_W", 16 * 1024)
+    lb_io = MemoryInstance.sram("LB_IO", 16 * 1024)
+    gb_w = MemoryInstance.sram("GB_W", 1024 * 1024)
+    gb_io = MemoryInstance.sram("GB_IO", 1024 * 1024)
+    dram = MemoryInstance.dram()
+    return build_accelerator(
+        "edge_tpu_like_df",
+        _SPATIAL,
+        [
+            level(w_reg, "W"),
+            level(o_reg, "O"),
+            level(lb_w, "W"),
+            level(lb_io, "IO"),
+            level(gb_w, "W"),
+            level(gb_io, "IO"),
+            level(dram, "WIO"),
+        ],
+    )

@@ -1,0 +1,65 @@
+"""Meta-prototype-like architecture [28] — Table I(a) Idx 1 & 2.
+
+Idx 1 (baseline): spatial K 32 | C 2 | OX 4 | OY 4; per-MAC registers
+W 1B and O 2B; local buffers W 64KB and I 32KB; global buffer with
+W 1MB and a shared I&O 1MB.
+
+Idx 2 (DF variant): local buffers become W 32KB plus a shared I&O 64KB;
+the global buffer split is unchanged.  This is the paper's primary
+case-study architecture.
+"""
+
+from __future__ import annotations
+
+from ..accelerator import Accelerator, build_accelerator
+from ..memory import MemoryInstance, level
+
+_SPATIAL = {"K": 32, "C": 2, "OX": 4, "OY": 4}
+
+
+def meta_proto_like() -> Accelerator:
+    """Table I(a) Idx 1."""
+    w_reg = MemoryInstance.register("W_reg", 1)
+    o_reg = MemoryInstance.register("O_reg", 2)
+    lb_w = MemoryInstance.sram("LB_W", 64 * 1024)
+    lb_i = MemoryInstance.sram("LB_I", 32 * 1024)
+    gb_w = MemoryInstance.sram("GB_W", 1024 * 1024)
+    gb_io = MemoryInstance.sram("GB_IO", 1024 * 1024)
+    dram = MemoryInstance.dram()
+    return build_accelerator(
+        "meta_proto_like",
+        _SPATIAL,
+        [
+            level(w_reg, "W"),
+            level(o_reg, "O"),
+            level(lb_w, "W"),
+            level(lb_i, "I"),
+            level(gb_w, "W"),
+            level(gb_io, "IO"),
+            level(dram, "WIO"),
+        ],
+    )
+
+
+def meta_proto_like_df() -> Accelerator:
+    """Table I(a) Idx 2 — the DF-friendly variant."""
+    w_reg = MemoryInstance.register("W_reg", 1)
+    o_reg = MemoryInstance.register("O_reg", 2)
+    lb_w = MemoryInstance.sram("LB_W", 32 * 1024)
+    lb_io = MemoryInstance.sram("LB_IO", 64 * 1024)
+    gb_w = MemoryInstance.sram("GB_W", 1024 * 1024)
+    gb_io = MemoryInstance.sram("GB_IO", 1024 * 1024)
+    dram = MemoryInstance.dram()
+    return build_accelerator(
+        "meta_proto_like_df",
+        _SPATIAL,
+        [
+            level(w_reg, "W"),
+            level(o_reg, "O"),
+            level(lb_w, "W"),
+            level(lb_io, "IO"),
+            level(gb_w, "W"),
+            level(gb_io, "IO"),
+            level(dram, "WIO"),
+        ],
+    )

@@ -1,0 +1,69 @@
+"""Tesla-NPU-like architecture [31] — Table I(a) Idx 9 & 10.
+
+Idx 9 (baseline): spatial K 32 | OX 8 | OY 4 (no C unrolling); per-MAC
+registers W 1B and O 4B; tiny local buffers W 1KB and I 1KB; global
+buffer W 1MB + shared I&O 1MB.
+
+Idx 10 (DF variant): keeps the tiny first-level buffers, adds a second
+level W 64KB + shared I&O 64KB, and trims the I&O global buffer to 896KB
+to keep total on-chip capacity constant.
+"""
+
+from __future__ import annotations
+
+from ..accelerator import Accelerator, build_accelerator
+from ..memory import MemoryInstance, level
+
+_SPATIAL = {"K": 32, "OX": 8, "OY": 4}
+
+
+def tesla_npu_like() -> Accelerator:
+    """Table I(a) Idx 9."""
+    w_reg = MemoryInstance.register("W_reg", 1)
+    o_reg = MemoryInstance.register("O_reg", 4)
+    lb_w = MemoryInstance.sram("LB_W", 1024)
+    lb_i = MemoryInstance.sram("LB_I", 1024)
+    gb_w = MemoryInstance.sram("GB_W", 1024 * 1024)
+    gb_io = MemoryInstance.sram("GB_IO", 1024 * 1024)
+    dram = MemoryInstance.dram()
+    return build_accelerator(
+        "tesla_npu_like",
+        _SPATIAL,
+        [
+            level(w_reg, "W"),
+            level(o_reg, "O"),
+            level(lb_w, "W"),
+            level(lb_i, "I"),
+            level(gb_w, "W"),
+            level(gb_io, "IO"),
+            level(dram, "WIO"),
+        ],
+    )
+
+
+def tesla_npu_like_df() -> Accelerator:
+    """Table I(a) Idx 10 — the DF-friendly variant."""
+    w_reg = MemoryInstance.register("W_reg", 1)
+    o_reg = MemoryInstance.register("O_reg", 4)
+    lb_w = MemoryInstance.sram("LB_W", 1024)
+    lb_i = MemoryInstance.sram("LB_I", 1024)
+    lb2_w = MemoryInstance.sram("LB2_W", 64 * 1024)
+    lb2_io = MemoryInstance.sram("LB2_IO", 64 * 1024)
+    gb_w = MemoryInstance.sram("GB_W", 1024 * 1024)
+    gb_io = MemoryInstance.sram("GB_IO", 896 * 1024)
+    dram = MemoryInstance.dram()
+    return build_accelerator(
+        "tesla_npu_like_df",
+        _SPATIAL,
+        [
+            level(w_reg, "W"),
+            level(o_reg, "O"),
+            level(lb_w, "W"),
+            level(lb_i, "I"),
+            level(lb2_w, "W"),
+            level(lb2_io, "IO"),
+            level(gb_w, "W"),
+            level(gb_io, "IO"),
+            level(dram, "WIO"),
+        ],
+    )

@@ -1,0 +1,58 @@
+"""TPU-like architecture [14] — Table I(a) Idx 3 & 4.
+
+Idx 3 (baseline): systolic-style spatial K 32 | C 32; per-MAC-group
+registers W 128B and O 1KB; no local buffer; a single shared I&O 2MB
+global buffer.  Weights have *no* on-chip buffer — the paper singles this
+out as the reason the baseline TPU-like cannot profit from depth-first
+scheduling (weights stream from DRAM every tile).
+
+Idx 4 (DF variant): W register halved to 64B, a shared 64KB I&O local
+buffer added, and the global buffer re-split into W 1MB + I&O 1MB.
+"""
+
+from __future__ import annotations
+
+from ..accelerator import Accelerator, build_accelerator
+from ..memory import MemoryInstance, level
+
+_SPATIAL = {"K": 32, "C": 32}
+
+
+def tpu_like() -> Accelerator:
+    """Table I(a) Idx 3."""
+    w_reg = MemoryInstance.register("W_reg", 128)
+    o_reg = MemoryInstance.register("O_reg", 1024)
+    gb_io = MemoryInstance.sram("GB_IO", 2 * 1024 * 1024)
+    dram = MemoryInstance.dram()
+    return build_accelerator(
+        "tpu_like",
+        _SPATIAL,
+        [
+            level(w_reg, "W"),
+            level(o_reg, "O"),
+            level(gb_io, "IO"),
+            level(dram, "WIO"),
+        ],
+    )
+
+
+def tpu_like_df() -> Accelerator:
+    """Table I(a) Idx 4 — the DF-friendly variant."""
+    w_reg = MemoryInstance.register("W_reg", 64)
+    o_reg = MemoryInstance.register("O_reg", 1024)
+    lb_io = MemoryInstance.sram("LB_IO", 64 * 1024)
+    gb_w = MemoryInstance.sram("GB_W", 1024 * 1024)
+    gb_io = MemoryInstance.sram("GB_IO", 1024 * 1024)
+    dram = MemoryInstance.dram()
+    return build_accelerator(
+        "tpu_like_df",
+        _SPATIAL,
+        [
+            level(w_reg, "W"),
+            level(o_reg, "O"),
+            level(lb_io, "IO"),
+            level(gb_w, "W"),
+            level(gb_io, "IO"),
+            level(dram, "WIO"),
+        ],
+    )

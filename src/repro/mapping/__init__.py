@@ -1,0 +1,44 @@
+"""Mapping substrate: single-layer cost model (ZigZag substitute) and
+temporal-mapping search engine (LOMA substitute)."""
+
+from .allocation import AllocationError, allocate
+from .cost import CostResult, Objective, Traffic, resolve_objective
+from .loma import MappingSearchEngine, SearchConfig, SearchResult
+from .loops import (
+    Loop,
+    count_multiset_permutations,
+    lpf_decompose,
+    multiset_permutations,
+    prime_factors,
+)
+from .temporal import (
+    TemporalMapping,
+    cumulative_dim_products,
+    operand_footprint_elems,
+    temporal_sizes,
+    utilized_spatial,
+)
+from .zigzag import evaluate_mapping
+
+__all__ = [
+    "AllocationError",
+    "allocate",
+    "CostResult",
+    "Traffic",
+    "Objective",
+    "resolve_objective",
+    "MappingSearchEngine",
+    "SearchConfig",
+    "SearchResult",
+    "Loop",
+    "prime_factors",
+    "lpf_decompose",
+    "multiset_permutations",
+    "count_multiset_permutations",
+    "TemporalMapping",
+    "temporal_sizes",
+    "utilized_spatial",
+    "cumulative_dim_products",
+    "operand_footprint_elems",
+    "evaluate_mapping",
+]

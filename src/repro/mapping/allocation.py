@@ -1,0 +1,148 @@
+"""Loop-order-based memory allocation (the "MA" in LOMA [29]).
+
+Given a loop ordering, each operand's memory-level boundaries are placed
+greedily: walk the nest from the innermost loop outwards and keep
+extending the current level's resident data set until its capacity is
+exhausted, then move to the next level.
+
+Capacity contention follows DeFiNES' step-3 semantics: every operand's
+*top* level (chosen by the depth-first planner) permanently holds the
+operand's full footprint, so those residencies are reserved first; the
+remaining space is then handed out for transient sub-level tiles in the
+fixed priority order W > I > O (Fig. 5(3)) — the mechanism behind
+Fig. 10's "I keeps the LB, O is pushed to GB" behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..hardware.accelerator import Accelerator
+from ..hardware.memory import MemoryLevel
+from ..workloads.layer import LayerSpec
+from .loops import Loop
+from .temporal import (
+    TemporalMapping,
+    cumulative_dim_products,
+    merge_products,
+    operand_footprint_elems,
+    utilized_spatial,
+)
+
+#: Capacity contention priority (paper Fig. 5 step 3).
+PRIORITY = ("W", "I", "O")
+
+
+class AllocationError(ValueError):
+    """The loop nest cannot be allocated into the truncated hierarchy."""
+
+
+def _resident_bytes(
+    layer: LayerSpec,
+    operand: str,
+    level: MemoryLevel,
+    prefix: int,
+    loops: Sequence[Loop],
+    spatial: Mapping[str, int],
+    is_top: bool,
+) -> float:
+    """Resident bytes of ``operand`` at ``level`` for a loop prefix."""
+    products = cumulative_dim_products(loops, prefix)
+    if not level.instance.per_pe:
+        products = merge_products(products, spatial)
+    elems = operand_footprint_elems(layer, operand, products)
+    if operand == "O":
+        bits = layer.act_bits if is_top else layer.psum_bits
+    else:
+        bits = layer.operand_bits(operand)
+    return elems * bits / 8.0
+
+
+def _active_operands(layer: LayerSpec) -> tuple[str, ...]:
+    return tuple(
+        op for op in PRIORITY if not (op == "W" and layer.weight_count == 0)
+    )
+
+
+def allocate(
+    layer: LayerSpec,
+    accel: Accelerator,
+    tops: Mapping[str, int],
+    loops: Sequence[Loop],
+) -> TemporalMapping:
+    """Allocate ``loops`` (innermost first) to the truncated hierarchies.
+
+    ``tops[op]`` is the index of the operand's top memory level (DeFiNES
+    step 3 output); levels above it are invisible to the mapping, which is
+    how the paper prevents the single-layer tools from "fetching data from
+    or storing data to unnecessarily high memory levels".
+
+    Raises :class:`AllocationError` when the operands' full footprints do
+    not jointly fit their (non-DRAM) top levels.
+    """
+    spatial = utilized_spatial(layer, accel)
+    loops = tuple(loops)
+    n = len(loops)
+    used_bytes: dict[int, float] = {}
+    operands = _active_operands(layer)
+
+    # Phase 1: reserve every operand's full footprint at its top level.
+    for operand in operands:
+        hierarchy = accel.hierarchy(operand)
+        top = tops.get(operand, len(hierarchy) - 1)
+        if not 0 <= top < len(hierarchy):
+            raise AllocationError(
+                f"{layer.name}/{operand}: top level {top} out of range"
+            )
+        level = hierarchy[top]
+        if level.instance.is_dram:
+            continue
+        resident = _resident_bytes(layer, operand, level, n, loops, spatial, True)
+        already = used_bytes.get(level.instance.uid, 0.0)
+        if resident + already > level.instance.size_bytes:
+            raise AllocationError(
+                f"{layer.name}/{operand}: footprint {resident:.0f}B does not "
+                f"fit top level {level.name} "
+                f"({level.instance.size_bytes - already:.0f}B available)"
+            )
+        if not level.instance.per_pe:
+            used_bytes[level.instance.uid] = already + resident
+
+    # Phase 2: greedy innermost-first sub-level boundaries.
+    boundaries: dict[str, tuple[int, ...]] = {}
+    for operand in PRIORITY:
+        if operand not in operands:
+            boundaries[operand] = (n,)
+            continue
+        hierarchy = accel.hierarchy(operand)
+        top = tops.get(operand, len(hierarchy) - 1)
+        levels = hierarchy[: top + 1]
+        bounds: list[int] = []
+        prev = 0
+        for idx, level in enumerate(levels):
+            if idx == len(levels) - 1:
+                bounds.append(n)
+                break
+            available = level.instance.size_bytes - used_bytes.get(
+                level.instance.uid, 0.0
+            )
+            bound = prev
+            while bound < n:
+                need = _resident_bytes(
+                    layer, operand, level, bound + 1, loops, spatial, False
+                )
+                if need > available:
+                    break
+                bound += 1
+            resident = _resident_bytes(
+                layer, operand, level, bound, loops, spatial, False
+            )
+            if not level.instance.per_pe:
+                used_bytes[level.instance.uid] = (
+                    used_bytes.get(level.instance.uid, 0.0) + min(resident, available)
+                )
+            bounds.append(bound)
+            prev = bound
+        boundaries[operand] = tuple(bounds)
+
+    return TemporalMapping(loops=loops, boundaries=boundaries)

@@ -1,0 +1,201 @@
+"""Single-layer analytical cost model (ZigZag [21], [22] substitute).
+
+Given a layer, an accelerator, per-operand top memory levels and a
+temporal mapping, this module computes per-level per-operand memory access
+counts, energy and latency.  See DESIGN.md §2.1 for the derivation; the
+essentials:
+
+* transfers across the boundary below level *i* =
+  ``(product of loop factors above the boundary) / stationarity_credit x
+  resident data elements below the boundary``;
+* the stationarity credit is the contiguous run of operand-irrelevant
+  loops immediately above the boundary (weight/output-stationary reuse);
+* outputs get partial-sum read-modify-write accounting: every non-final
+  crossing is a psum-precision write up plus a read back down;
+* spatial reuse (broadcast / reduction across the PE array) divides
+  datapath traffic by the utilized unrolls of operand-irrelevant array
+  dimensions;
+* latency = max(compute cycles, per-memory-port bytes / bandwidth), with
+  DRAM fixed at 64 bit/cycle — on-chip memories are generously banked, so
+  stalls come from DRAM exactly as in the paper's setup.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..hardware.accelerator import Accelerator
+from ..workloads.layer import LayerSpec
+from .cost import CostResult
+from .temporal import (
+    TemporalMapping,
+    cumulative_dim_products,
+    merge_products,
+    operand_footprint_elems,
+
+    utilized_spatial,
+)
+
+
+def _spatial_relevant(
+    layer: LayerSpec, operand: str, spatial: Mapping[str, int]
+) -> float:
+    """Operand elements fetched per spatial wave (one cycle).
+
+    For W and O this is the distinct element count over the utilized
+    array.  For I, consecutive waves overlap through the sliding window;
+    arrays share those pixels across PEs (the inter-PE data-sharing
+    patterns DeFiNES supports, Fig. 5), so the steady-state fetch rate is
+    the window *advance* — ``ox_spatial * stride`` per axis — rather than
+    the full window span.
+    """
+    products = {
+        dim: factor
+        for dim, factor in spatial.items()
+        if dim in layer.relevant_dims(operand)
+    }
+    elems = operand_footprint_elems(layer, operand, products)
+    if operand != "I":
+        return float(elems)
+
+    def _axis_discount(o_dim: str, f_dim: str, stride: int, full: int) -> float:
+        o_sp = min(spatial.get(o_dim, 1), layer.loop_sizes[o_dim])
+        f_sp = min(spatial.get(f_dim, 1), layer.loop_sizes[f_dim])
+        span = min((o_sp - 1) * stride + f_sp, full)
+        advance = min(o_sp * stride, span)
+        return advance / span if span else 1.0
+
+    discount = _axis_discount("OX", "FX", layer.sx, layer.ix)
+    discount *= _axis_discount("OY", "FY", layer.sy, layer.iy)
+    return elems * discount
+
+
+def evaluate_mapping(
+    layer: LayerSpec,
+    accel: Accelerator,
+    tops: Mapping[str, int],
+    mapping: TemporalMapping,
+) -> CostResult:
+    """Evaluate one temporal mapping of one layer(-tile).
+
+    ``tops[op]`` truncates the operand's hierarchy: no traffic is modeled
+    above that level (DeFiNES step 3 decides where each operand's data
+    lives; step 4's data-copy model accounts for getting it there).
+    """
+    result = CostResult()
+    spatial = utilized_spatial(layer, accel)
+    iterations = mapping.total_iterations
+
+    total_macs = layer.mac_count
+    result.mac_count = total_macs
+    result.mac_energy_pj = total_macs * accel.mac_energy_pj
+    result.compute_cycles = iterations
+
+    bytes_demand: dict[int, float] = {}  # instance uid -> bytes moved
+
+    for operand in ("W", "I", "O"):
+        if operand == "W" and layer.weight_count == 0:
+            continue
+        hierarchy = accel.hierarchy(operand)
+        top = tops.get(operand, len(hierarchy) - 1)
+        levels = hierarchy[: top + 1]
+        act_bytes = layer.operand_bits(operand) / 8.0
+        psum_bytes = layer.psum_bits / 8.0
+
+        # ------------------------------------------------------------
+        # Datapath boundary: array <-> level 0.
+        # ------------------------------------------------------------
+        level0 = levels[0]
+        wave_elems = _spatial_relevant(layer, operand, spatial)
+        datapath_elems = iterations * wave_elems
+        entry = result.traffic_entry(operand, level0.name)
+        inst0 = level0.instance
+        if operand == "O":
+            # Each spatial wave updates the resident psums: read + write.
+            entry.reads_elems += datapath_elems
+            entry.writes_elems += datapath_elems
+            entry.energy_pj += datapath_elems * psum_bytes * (
+                inst0.r_energy_pj_per_byte + inst0.w_energy_pj_per_byte
+            )
+            bytes_demand[inst0.uid] = bytes_demand.get(inst0.uid, 0.0) + (
+                2.0 * datapath_elems * psum_bytes
+            )
+        else:
+            entry.reads_elems += datapath_elems
+            entry.energy_pj += (
+                datapath_elems * act_bytes * inst0.r_energy_pj_per_byte
+            )
+            bytes_demand[inst0.uid] = bytes_demand.get(inst0.uid, 0.0) + (
+                datapath_elems * act_bytes
+            )
+
+        # ------------------------------------------------------------
+        # Inter-level boundaries.
+        # ------------------------------------------------------------
+        total_products = merge_products(
+            cumulative_dim_products(mapping.loops, len(mapping.loops)), spatial
+        )
+        final_elems = operand_footprint_elems(layer, operand, total_products)
+
+        for levelidx in range(1, len(levels)):
+            lower = levels[levelidx - 1]
+            upper = levels[levelidx]
+            prefix = mapping.boundaries[operand][levelidx - 1]
+            above = 1
+            for _, factor in mapping.loops[prefix:]:
+                above *= factor
+            credit = mapping.stationarity_credit(layer, operand, levelidx - 1)
+            products = cumulative_dim_products(mapping.loops, prefix)
+            products = merge_products(products, spatial)
+            resident = operand_footprint_elems(layer, operand, products)
+            crossings = resident * above / credit
+
+            lower_entry = result.traffic_entry(operand, lower.name)
+            upper_entry = result.traffic_entry(operand, upper.name)
+            li, ui = lower.instance, upper.instance
+
+            if operand == "O":
+                up = max(crossings, final_elems)
+                back = up - final_elems
+                psum_up = back  # non-final ascents carry psum precision
+                # Final ascents (each output element exactly once).
+                lower_entry.reads_elems += up
+                upper_entry.writes_elems += up
+                lower_entry.writes_elems += back
+                upper_entry.reads_elems += back
+                up_bytes = psum_up * psum_bytes + final_elems * act_bytes
+                # Attribute boundary energy to the level being accessed, so
+                # each traffic entry sums the cost of touching that memory.
+                lower_entry.energy_pj += up_bytes * li.r_energy_pj_per_byte
+                lower_entry.energy_pj += back * psum_bytes * li.w_energy_pj_per_byte
+                upper_entry.energy_pj += up_bytes * ui.w_energy_pj_per_byte
+                upper_entry.energy_pj += back * psum_bytes * ui.r_energy_pj_per_byte
+                moved = up_bytes + back * psum_bytes
+                bytes_demand[li.uid] = bytes_demand.get(li.uid, 0.0) + moved
+                bytes_demand[ui.uid] = bytes_demand.get(ui.uid, 0.0) + moved
+            else:
+                down = max(crossings, final_elems)
+                upper_entry.reads_elems += down
+                lower_entry.writes_elems += down
+                upper_entry.energy_pj += (
+                    down * act_bytes * ui.r_energy_pj_per_byte
+                )
+                lower_entry.energy_pj += (
+                    down * act_bytes * li.w_energy_pj_per_byte
+                )
+                moved = down * act_bytes
+                bytes_demand[li.uid] = bytes_demand.get(li.uid, 0.0) + moved
+                bytes_demand[ui.uid] = bytes_demand.get(ui.uid, 0.0) + moved
+
+    # ------------------------------------------------------------------
+    # Latency: compute cycles vs. the most demanded memory port.
+    # ------------------------------------------------------------------
+    stall_limited = 0.0
+    by_uid = {inst.uid: inst for inst in accel.instances()}
+    for uid, demand in bytes_demand.items():
+        inst = by_uid[uid]
+        if inst.bandwidth_bytes <= 0 or inst.bandwidth_bytes == float("inf"):
+            continue
+        stall_limited = max(stall_limited, demand / inst.bandwidth_bytes)
+    result.latency_cycles = max(float(iterations), stall_limited)
+    return result

@@ -1,0 +1,18 @@
+"""Workload substrate: layer specs, workload DAGs and the network zoo."""
+
+from .builder import WorkloadBuilder, conv_out_size
+from .graph import WorkloadGraph
+from .layer import LOOP_DIMS, LayerSpec, OpType
+from .stats import WorkloadStats, feature_map_sizes, workload_stats
+
+__all__ = [
+    "LOOP_DIMS",
+    "LayerSpec",
+    "OpType",
+    "WorkloadGraph",
+    "WorkloadBuilder",
+    "conv_out_size",
+    "WorkloadStats",
+    "feature_map_sizes",
+    "workload_stats",
+]

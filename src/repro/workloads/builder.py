@@ -1,0 +1,222 @@
+"""Fluent builder helpers for constructing workload graphs.
+
+The zoo networks (FSRCNN, ResNet18, ...) are built with these helpers; they
+compute output geometry from the input geometry the same way a framework
+would, so network definitions read like model code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import WorkloadGraph
+from .layer import LayerSpec, OpType
+
+
+def conv_out_size(in_size: int, kernel: int, stride: int, pad: int, dilation: int = 1) -> int:
+    """Output spatial size of a convolution along one axis."""
+    effective = (kernel - 1) * dilation + 1
+    out = (in_size + 2 * pad - effective) // stride + 1
+    if out < 1:
+        raise ValueError(
+            f"convolution output collapses: in={in_size} k={kernel} s={stride} p={pad}"
+        )
+    return out
+
+
+@dataclass
+class _Tensor:
+    """The feature map flowing between builder calls."""
+
+    layer_name: str | None  # None for the external input
+    channels: int
+    x: int
+    y: int
+
+
+class WorkloadBuilder:
+    """Builds a :class:`WorkloadGraph` layer by layer.
+
+    Each method returns a :class:`_Tensor` handle that can be fed to later
+    calls, which makes branching (e.g. residual blocks) natural::
+
+        b = WorkloadBuilder("resnet-block", channels=64, x=56, y=56)
+        t = b.input()
+        skip = t
+        t = b.conv("c1", t, k=64, f=3, pad=1)
+        t = b.conv("c2", t, k=64, f=3, pad=1)
+        t = b.add("join", t, skip)
+        wl = b.build()
+    """
+
+    def __init__(
+        self,
+        name: str,
+        channels: int,
+        x: int,
+        y: int,
+        act_bits: int = 8,
+        w_bits: int = 8,
+        psum_bits: int = 16,
+    ) -> None:
+        self.graph = WorkloadGraph(name=name)
+        self._input = _Tensor(None, channels, x, y)
+        self._act_bits = act_bits
+        self._w_bits = w_bits
+        self._psum_bits = psum_bits
+
+    def input(self) -> _Tensor:
+        """Handle for the external network input."""
+        return self._input
+
+    # ------------------------------------------------------------------
+    def _add(self, layer: LayerSpec, parents: list[_Tensor]) -> _Tensor:
+        inputs = [p.layer_name for p in parents if p.layer_name is not None]
+        self.graph.add_layer(layer, inputs)
+        return _Tensor(layer.name, layer.k, layer.ox, layer.oy)
+
+    def conv(
+        self,
+        name: str,
+        src: _Tensor,
+        k: int,
+        f: int,
+        stride: int = 1,
+        pad: int | None = None,
+        dilation: int = 1,
+    ) -> _Tensor:
+        """Standard convolution. ``pad=None`` means 'same' padding when
+        stride is 1, else ``f // 2``."""
+        if pad is None:
+            pad = (f - 1) * dilation // 2
+        ox = conv_out_size(src.x, f, stride, pad, dilation)
+        oy = conv_out_size(src.y, f, stride, pad, dilation)
+        layer = LayerSpec(
+            name=name,
+            op_type=OpType.CONV,
+            k=k,
+            c=src.channels,
+            ox=ox,
+            oy=oy,
+            fx=f,
+            fy=f,
+            sx=stride,
+            sy=stride,
+            px=pad,
+            py=pad,
+            dx=dilation,
+            dy=dilation,
+            act_bits=self._act_bits,
+            w_bits=self._w_bits,
+            psum_bits=self._psum_bits,
+        )
+        return self._add(layer, [src])
+
+    def depthwise(
+        self,
+        name: str,
+        src: _Tensor,
+        f: int,
+        stride: int = 1,
+        pad: int | None = None,
+    ) -> _Tensor:
+        """Depthwise convolution (channel multiplier 1)."""
+        if pad is None:
+            pad = (f - 1) // 2
+        ox = conv_out_size(src.x, f, stride, pad)
+        oy = conv_out_size(src.y, f, stride, pad)
+        layer = LayerSpec(
+            name=name,
+            op_type=OpType.DEPTHWISE,
+            k=src.channels,
+            c=1,
+            ox=ox,
+            oy=oy,
+            fx=f,
+            fy=f,
+            sx=stride,
+            sy=stride,
+            px=pad,
+            py=pad,
+            act_bits=self._act_bits,
+            w_bits=self._w_bits,
+            psum_bits=self._psum_bits,
+        )
+        return self._add(layer, [src])
+
+    def pool(
+        self,
+        name: str,
+        src: _Tensor,
+        f: int,
+        stride: int | None = None,
+        pad: int = 0,
+    ) -> _Tensor:
+        """Max/average pooling (modeled identically for cost purposes)."""
+        if stride is None:
+            stride = f
+        ox = conv_out_size(src.x, f, stride, pad)
+        oy = conv_out_size(src.y, f, stride, pad)
+        layer = LayerSpec(
+            name=name,
+            op_type=OpType.POOL,
+            k=src.channels,
+            c=1,
+            ox=ox,
+            oy=oy,
+            fx=f,
+            fy=f,
+            sx=stride,
+            sy=stride,
+            px=pad,
+            py=pad,
+            act_bits=self._act_bits,
+            w_bits=self._w_bits,
+            psum_bits=self._psum_bits,
+        )
+        return self._add(layer, [src])
+
+    def add(self, name: str, a: _Tensor, b: _Tensor) -> _Tensor:
+        """Elementwise addition join (residual connections)."""
+        if (a.channels, a.x, a.y) != (b.channels, b.x, b.y):
+            raise ValueError(
+                f"{name}: add operands differ: "
+                f"{(a.channels, a.x, a.y)} vs {(b.channels, b.x, b.y)}"
+            )
+        layer = LayerSpec(
+            name=name,
+            op_type=OpType.ADD,
+            k=a.channels,
+            c=1,
+            ox=a.x,
+            oy=a.y,
+            fx=1,
+            fy=1,
+            act_bits=self._act_bits,
+            w_bits=self._w_bits,
+            psum_bits=self._psum_bits,
+        )
+        return self._add(layer, [a, b])
+
+    def fc(self, name: str, src: _Tensor, k: int) -> _Tensor:
+        """Fully connected layer over a (flattened) feature map."""
+        layer = LayerSpec(
+            name=name,
+            op_type=OpType.FC,
+            k=k,
+            c=src.channels * src.x * src.y,
+            ox=1,
+            oy=1,
+            fx=1,
+            fy=1,
+            act_bits=self._act_bits,
+            w_bits=self._w_bits,
+            psum_bits=self._psum_bits,
+        )
+        return self._add(layer, [src])
+
+    def build(self) -> WorkloadGraph:
+        """Finalize and return the workload graph."""
+        if len(self.graph) == 0:
+            raise ValueError("workload has no layers")
+        return self.graph

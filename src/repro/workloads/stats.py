@@ -1,0 +1,54 @@
+"""Workload statistics used by Table I(b) of the paper.
+
+Reports per-network: average / maximum feature-map size and total weight
+size, which is what separates activation-dominant workloads (FSRCNN,
+DMCNN-VD, MC-CNN) from weight-dominant ones (MobileNetV1, ResNet18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import WorkloadGraph
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Summary statistics for a workload (Table I(b) columns)."""
+
+    name: str
+    layer_count: int
+    total_mac_count: int
+    total_weight_bytes: int
+    avg_feature_map_bytes: float
+    max_feature_map_bytes: int
+
+    @property
+    def is_activation_dominant(self) -> bool:
+        """Heuristic from the paper: feature maps dwarf weights."""
+        return self.avg_feature_map_bytes > self.total_weight_bytes
+
+
+def feature_map_sizes(workload: WorkloadGraph) -> list[int]:
+    """Per-feature-map sizes in bytes: the network input plus every layer
+    output, matching how the paper reports 'Aver./Max. Feature Map'."""
+    layers = workload.topological_layers()
+    sizes: list[int] = []
+    for layer in layers:
+        if workload.is_source(layer.name):
+            sizes.append(layer.input_bytes)
+    sizes.extend(layer.output_bytes for layer in layers)
+    return sizes
+
+
+def workload_stats(workload: WorkloadGraph) -> WorkloadStats:
+    """Compute Table I(b)-style statistics for ``workload``."""
+    sizes = feature_map_sizes(workload)
+    return WorkloadStats(
+        name=workload.name,
+        layer_count=len(workload),
+        total_mac_count=workload.total_mac_count,
+        total_weight_bytes=workload.total_weight_bytes,
+        avg_feature_map_bytes=sum(sizes) / len(sizes),
+        max_feature_map_bytes=max(sizes),
+    )

@@ -1,0 +1,45 @@
+"""Workload zoo: the five case-study networks of Table I(b) plus the
+DepFiN-validation reference network (Section IV)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..graph import WorkloadGraph
+from .dmcnn_vd import dmcnn_vd
+from .fsrcnn import fsrcnn
+from .mccnn import mccnn
+from .mobilenet_v1 import mobilenet_v1
+from .reference import reference_net
+from .resnet18 import resnet18
+
+#: Table I(b) workloads in paper order, plus the reference net.
+WORKLOAD_FACTORIES: dict[str, Callable[[], WorkloadGraph]] = {
+    "fsrcnn": fsrcnn,
+    "dmcnn_vd": dmcnn_vd,
+    "mccnn": mccnn,
+    "mobilenet_v1": mobilenet_v1,
+    "resnet18": resnet18,
+    "reference": reference_net,
+}
+
+
+def get_workload(name: str) -> WorkloadGraph:
+    """Build a zoo workload by name."""
+    try:
+        return WORKLOAD_FACTORIES[name]()
+    except KeyError as exc:
+        known = ", ".join(sorted(WORKLOAD_FACTORIES))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from exc
+
+
+__all__ = [
+    "WORKLOAD_FACTORIES",
+    "get_workload",
+    "fsrcnn",
+    "dmcnn_vd",
+    "mccnn",
+    "mobilenet_v1",
+    "resnet18",
+    "reference_net",
+]

@@ -1,0 +1,26 @@
+"""DMCNN-VD [30] — deep demosaicing network (VDSR-style).
+
+20 convolution layers of 3x3 kernels: 3->64, eighteen 64->64 layers and a
+final 64->3 reconstruction layer.  With 8-bit weights this gives 651.4 KB
+of weights, matching Table I(b)'s 651.3 KB; the 768x576 grid puts the
+maximum feature map at 27.0 MB (paper: 26.7 MB) and the average at
+~24.5 MB (paper: 24.1 MB).
+"""
+
+from __future__ import annotations
+
+from ..builder import WorkloadBuilder
+from ..graph import WorkloadGraph
+
+
+def dmcnn_vd(x: int = 768, y: int = 576, depth: int = 20, width: int = 64) -> WorkloadGraph:
+    """Build DMCNN-VD with ``depth`` 3x3 layers of ``width`` channels."""
+    if depth < 2:
+        raise ValueError("DMCNN-VD needs at least input and output layers")
+    b = WorkloadBuilder("dmcnn_vd", channels=3, x=x, y=y)
+    t = b.input()
+    t = b.conv("L1", t, k=width, f=3, pad=1)
+    for i in range(2, depth):
+        t = b.conv(f"L{i}", t, k=width, f=3, pad=1)
+    b.conv(f"L{depth}", t, k=3, f=3, pad=1)
+    return b.build()

@@ -1,0 +1,22 @@
+"""MC-CNN fast [33] — stereo matching feature network.
+
+Four 3x3 convolution layers of 64 channels on a KITTI-sized grayscale
+frame (1242x375).  Weight footprint with 8-bit weights is 108.56 KB,
+matching Table I(b)'s 108.6 KB; the maximum feature map is 28.4 MB
+(paper: 29.1 MB).
+"""
+
+from __future__ import annotations
+
+from ..builder import WorkloadBuilder
+from ..graph import WorkloadGraph
+
+
+def mccnn(x: int = 1242, y: int = 375, width: int = 64, depth: int = 4) -> WorkloadGraph:
+    """Build MC-CNN fast's feature tower: ``depth`` 3x3 layers."""
+    b = WorkloadBuilder("mccnn", channels=1, x=x, y=y)
+    t = b.input()
+    t = b.conv("L1", t, k=width, f=3, pad=1)
+    for i in range(2, depth + 1):
+        t = b.conv(f"L{i}", t, k=width, f=3, pad=1)
+    return b.build()

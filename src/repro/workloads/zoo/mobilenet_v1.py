@@ -1,0 +1,42 @@
+"""MobileNetV1 [10] — the paper's first weight-dominant workload.
+
+Standard width-1.0 structure on 224x224x3 inputs: a 3x3 stride-2 stem and
+thirteen depthwise-separable blocks, followed by global average pooling
+and a 1000-way classifier.  With 8-bit weights the footprint is ~4.0 MB,
+matching Table I(b).
+"""
+
+from __future__ import annotations
+
+from ..builder import WorkloadBuilder
+from ..graph import WorkloadGraph
+
+#: (stride of the depthwise conv, output channels of the pointwise conv)
+_BLOCKS = (
+    (1, 64),
+    (2, 128),
+    (1, 128),
+    (2, 256),
+    (1, 256),
+    (2, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (2, 1024),
+    (1, 1024),
+)
+
+
+def mobilenet_v1(x: int = 224, y: int = 224, classes: int = 1000) -> WorkloadGraph:
+    """Build MobileNetV1 (width multiplier 1.0)."""
+    b = WorkloadBuilder("mobilenet_v1", channels=3, x=x, y=y)
+    t = b.input()
+    t = b.conv("stem", t, k=32, f=3, stride=2, pad=1)
+    for i, (stride, out_ch) in enumerate(_BLOCKS, start=1):
+        t = b.depthwise(f"dw{i}", t, f=3, stride=stride, pad=1)
+        t = b.conv(f"pw{i}", t, k=out_ch, f=1)
+    t = b.pool("avgpool", t, f=t.x)
+    b.fc("classifier", t, k=classes)
+    return b.build()

@@ -1,0 +1,19 @@
+"""The paper's custom reference network used for DepFiN validation
+(Section IV): ten 3x3 layers of K=32 followed by a 1x1 layer of K=16,
+operating on 1280x720x3 inputs.
+"""
+
+from __future__ import annotations
+
+from ..builder import WorkloadBuilder
+from ..graph import WorkloadGraph
+
+
+def reference_net(x: int = 1280, y: int = 720) -> WorkloadGraph:
+    """Build the 11-layer DepFiN validation reference network."""
+    b = WorkloadBuilder("reference", channels=3, x=x, y=y)
+    t = b.input()
+    for i in range(1, 11):
+        t = b.conv(f"L{i}", t, k=32, f=3, pad=1)
+    b.conv("L11", t, k=16, f=1)
+    return b.build()

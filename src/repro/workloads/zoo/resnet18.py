@@ -1,0 +1,38 @@
+"""ResNet18 [8] — the paper's second weight-dominant workload, and the one
+that exercises DeFiNES' branch handling (Fig. 8): every residual block is a
+branch that must be fused atomically or not at all.
+
+Standard structure on 224x224x3 inputs: 7x7 stride-2 stem, 3x3 stride-2
+max pool, four stages of two basic blocks (with 1x1 stride-2 projection
+shortcuts at stage transitions), global average pooling, 1000-way
+classifier.  8-bit weights give ~11.2 MB, matching Table I(b)'s 11 MB.
+"""
+
+from __future__ import annotations
+
+from ..builder import WorkloadBuilder
+from ..graph import WorkloadGraph
+
+#: (output channels, stride of the first block) per stage.
+_STAGES = ((64, 1), (128, 2), (256, 2), (512, 2))
+
+
+def resnet18(x: int = 224, y: int = 224, classes: int = 1000) -> WorkloadGraph:
+    """Build ResNet18 with basic residual blocks."""
+    b = WorkloadBuilder("resnet18", channels=3, x=x, y=y)
+    t = b.input()
+    t = b.conv("stem", t, k=64, f=7, stride=2, pad=3)
+    t = b.pool("maxpool", t, f=3, stride=2, pad=1)
+    for s, (channels, first_stride) in enumerate(_STAGES, start=1):
+        for blk in (1, 2):
+            stride = first_stride if blk == 1 else 1
+            prefix = f"s{s}b{blk}"
+            skip = t
+            out = b.conv(f"{prefix}_conv1", t, k=channels, f=3, stride=stride, pad=1)
+            out = b.conv(f"{prefix}_conv2", out, k=channels, f=3, pad=1)
+            if stride != 1 or skip.channels != channels:
+                skip = b.conv(f"{prefix}_proj", skip, k=channels, f=1, stride=stride, pad=0)
+            t = b.add(f"{prefix}_add", out, skip)
+    t = b.pool("avgpool", t, f=t.x)
+    b.fc("classifier", t, k=classes)
+    return b.build()

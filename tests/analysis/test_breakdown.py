@@ -1,0 +1,60 @@
+"""Unit tests for the Fig. 14-style access breakdowns."""
+
+import pytest
+
+from repro import DFStrategy, OverlapMode
+from repro.analysis.breakdown import (
+    access_breakdown,
+    energy_components,
+    tier_of,
+    weight_vs_activation_energy,
+)
+
+
+@pytest.fixture
+def result(tiny_engine, tiny_workload):
+    return tiny_engine.evaluate(
+        tiny_workload, DFStrategy(tile_x=16, tile_y=8, mode=OverlapMode.FULLY_CACHED)
+    )
+
+
+class TestTierMapping:
+    def test_known_tiers(self, meta_df):
+        assert tier_of(meta_df, "LB_IO") == "LB"
+        assert tier_of(meta_df, "GB_W") == "GB"
+        assert tier_of(meta_df, "W_reg") == "Reg"
+        assert tier_of(meta_df, "DRAM") == "DRAM"
+
+
+class TestAccessBreakdown:
+    def test_totals_match_cost(self, meta_df, result):
+        bd = access_breakdown(meta_df, result.total)
+        assert bd.total() == pytest.approx(result.total.accesses())
+
+    def test_category_split_complete(self, meta_df, result):
+        bd = access_breakdown(meta_df, result.total)
+        by_cat = bd.by_category()
+        assert sum(by_cat.values()) == pytest.approx(bd.total())
+        assert by_cat["activation"] > 0
+        assert by_cat["weight"] > 0
+
+    def test_by_tier_filters(self, meta_df, result):
+        bd = access_breakdown(meta_df, result.total)
+        all_tiers = bd.by_tier()
+        act_tiers = bd.by_tier("activation")
+        for tier, count in act_tiers.items():
+            assert count <= all_tiers[tier] + 1e-9
+
+    def test_energy_by_category_positive(self, meta_df, result):
+        bd = access_breakdown(meta_df, result.total)
+        assert bd.energy_by_category()["activation"] > 0
+
+
+class TestEnergyComponents:
+    def test_components_sum_to_total(self, meta_df, result):
+        parts = energy_components(meta_df, result.total)
+        assert sum(parts.values()) == pytest.approx(result.total.energy_pj)
+
+    def test_weight_vs_activation_sums_to_memory(self, result):
+        split = weight_vs_activation_energy(result.total)
+        assert sum(split.values()) == pytest.approx(result.total.memory_energy_pj)

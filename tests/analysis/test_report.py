@@ -1,0 +1,68 @@
+"""Unit tests for paper-style text reports."""
+
+from repro import DFStrategy, OverlapMode, get_accelerator
+from repro.analysis.heatmap import energy_mj, render_heatmap, sweep_grid
+from repro.analysis.report import (
+    strategy_comparison,
+    table1_architectures,
+    table1_workloads,
+    table2_factors,
+    top_level_map,
+)
+from repro.core.optimizer import sweep
+from repro.workloads.stats import workload_stats
+
+from ..conftest import make_tiny_workload
+
+
+class TestTables:
+    def test_table1_workloads_renders(self):
+        stats = [workload_stats(make_tiny_workload())]
+        text = table1_workloads(stats)
+        assert "tiny" in text and "Weights" in text
+
+    def test_table1_architectures_renders(self):
+        text = table1_architectures([get_accelerator("meta_proto_like_df")])
+        assert "meta_proto_like_df" in text
+        assert "1024 MACs" in text
+
+    def test_table2_has_all_frameworks(self):
+        text = table2_factors()
+        for name in ("DNNVM", "ConvFusion", "Optimus", "DNNFuser", "DeFiNES"):
+            assert name in text
+
+
+class TestTopLevelMap:
+    def test_renders_per_tile_type(self, tiny_engine, tiny_workload):
+        r = tiny_engine.evaluate(
+            tiny_workload, DFStrategy(tile_x=16, tile_y=8, mode=OverlapMode.FULLY_CACHED)
+        )
+        text = top_level_map(tiny_engine.accel, r.stacks[0])
+        assert "tile type 0" in text
+        assert "first tile" in text
+        assert "L1" in text
+
+
+class TestHeatmap:
+    def test_grid_and_render(self, tiny_engine, tiny_workload):
+        tiles = ((8, 8), (16, 16))
+        points = sweep(tiny_engine, tiny_workload, tiles, (OverlapMode.FULLY_CACHED,))
+        grid = sweep_grid(points, OverlapMode.FULLY_CACHED, (8, 16), (8, 16), energy_mj)
+        # Diagonal cells exist, off-diagonal are NaN.
+        assert grid[0][0] == grid[0][0]  # (8,8) present
+        assert grid[1][0] != grid[1][0]  # (8,16)? not swept -> NaN
+        text = render_heatmap(grid, (8, 16), (8, 16), "Energy (mJ)")
+        assert "Energy (mJ)" in text
+
+
+class TestStrategyComparison:
+    def test_gain_column(self, tiny_engine, tiny_workload):
+        a = tiny_engine.evaluate(
+            tiny_workload, DFStrategy(tile_x=48, tile_y=32, mode=OverlapMode.FULLY_CACHED)
+        )
+        b = tiny_engine.evaluate(
+            tiny_workload, DFStrategy(tile_x=16, tile_y=8, mode=OverlapMode.FULLY_CACHED)
+        )
+        text = strategy_comparison([a, b])
+        assert "vs first" in text
+        assert "1.00x" in text

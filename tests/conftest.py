@@ -1,0 +1,79 @@
+"""Shared fixtures: small workloads and fast engines for testing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DepthFirstEngine, WorkloadBuilder, get_accelerator
+from repro.mapping import SearchConfig
+
+
+@pytest.fixture(scope="session")
+def meta_df():
+    """The paper's main case-study architecture (Table I Idx 2)."""
+    return get_accelerator("meta_proto_like_df")
+
+
+@pytest.fixture(scope="session")
+def meta_baseline():
+    return get_accelerator("meta_proto_like")
+
+
+def make_tiny_workload(x: int = 48, y: int = 32):
+    """A 3-layer conv chain small enough for exhaustive-ish testing,
+    mirroring Fig. 2(a)'s example structure."""
+    b = WorkloadBuilder("tiny", channels=1, x=x, y=y)
+    t = b.input()
+    t = b.conv("L1", t, k=8, f=3, pad=1)
+    t = b.conv("L2", t, k=16, f=3, pad=1)
+    b.conv("L3", t, k=8, f=3, pad=1)
+    return b.build()
+
+
+def make_branchy_workload(x: int = 32, y: int = 32):
+    """A residual-style workload exercising the Fig. 8 branch rule."""
+    b = WorkloadBuilder("branchy", channels=8, x=x, y=y)
+    t = b.input()
+    t = b.conv("entry", t, k=8, f=3, pad=1)
+    skip = t
+    t = b.conv("c1", t, k=8, f=3, pad=1)
+    t = b.conv("c2", t, k=8, f=3, pad=1)
+    t = b.add("join", t, skip)
+    b.conv("exit", t, k=8, f=3, pad=1)
+    return b.build()
+
+
+def make_strided_workload(x: int = 32, y: int = 32):
+    """A chain with a stride-2 layer (downsampling geometry)."""
+    b = WorkloadBuilder("strided", channels=4, x=x, y=y)
+    t = b.input()
+    t = b.conv("L1", t, k=8, f=3, pad=1)
+    t = b.conv("L2", t, k=8, f=3, stride=2, pad=1)
+    b.conv("L3", t, k=8, f=3, pad=1)
+    return b.build()
+
+
+@pytest.fixture
+def tiny_workload():
+    return make_tiny_workload()
+
+
+@pytest.fixture
+def branchy_workload():
+    return make_branchy_workload()
+
+
+@pytest.fixture
+def strided_workload():
+    return make_strided_workload()
+
+
+@pytest.fixture(scope="session")
+def fast_config():
+    """A small search budget keeping the suite quick."""
+    return SearchConfig(lpf_limit=5, budget=60)
+
+
+@pytest.fixture
+def tiny_engine(meta_df, fast_config):
+    return DepthFirstEngine(meta_df, fast_config)

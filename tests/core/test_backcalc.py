@@ -1,0 +1,203 @@
+"""Behavioural tests of the depth-first tile back-calculation (step 2).
+
+Key invariants:
+
+* in cached modes the fresh (to-compute) regions of all tiles partition
+  each layer's feature map exactly (no recompute, full coverage);
+* in recompute modes they cover each feature map with overlaps;
+* MAC counts order as fully-recompute >= H-cached >= fully-cached, with
+  fully-cached equal to the workload's nominal MAC count;
+* a single tile (LBL corner) behaves identically in all three modes.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.backcalc import backcalculate
+from repro.core.stacks import partition_stacks
+from repro.core.strategy import OverlapMode
+
+from ..conftest import make_branchy_workload, make_strided_workload, make_tiny_workload
+
+MODES = list(OverlapMode)
+
+
+def make_stack(workload, accel):
+    stacks = partition_stacks(workload, accel)
+    assert len(stacks) == 1
+    return stacks[0]
+
+
+def tile_macs(tiling):
+    return tiling.total_mac_count
+
+
+class TestTileGrid:
+    def test_grid_shape(self, tiny_workload, meta_df):
+        stack = make_stack(tiny_workload, meta_df)
+        tiling = backcalculate(stack, OverlapMode.FULLY_CACHED, 16, 8)
+        assert tiling.grid_cols == 3  # 48/16
+        assert tiling.grid_rows == 4  # 32/8
+        assert tiling.tile_count == 12
+
+    def test_tile_clamped_to_feature_map(self, tiny_workload, meta_df):
+        stack = make_stack(tiny_workload, meta_df)
+        tiling = backcalculate(stack, OverlapMode.FULLY_CACHED, 10_000, 10_000)
+        assert tiling.tile_count == 1
+        assert (tiling.tile_x, tiling.tile_y) == (48, 32)
+
+    def test_counts_sum_to_tile_count(self, tiny_workload, meta_df):
+        stack = make_stack(tiny_workload, meta_df)
+        for mode in MODES:
+            tiling = backcalculate(stack, mode, 7, 5)
+            assert sum(t.count for t in tiling.tile_types) == tiling.tile_count
+
+    def test_first_tile_type_unique(self, tiny_workload, meta_df):
+        stack = make_stack(tiny_workload, meta_df)
+        tiling = backcalculate(stack, OverlapMode.FULLY_CACHED, 16, 8)
+        firsts = [t for t in tiling.tile_types if t.is_first_tile]
+        assert len(firsts) == 1
+        assert firsts[0].count == 1
+
+
+class TestMacInvariants:
+    @pytest.mark.parametrize("tile", [(4, 4), (16, 8), (48, 32), (7, 5)])
+    def test_fully_cached_matches_nominal_macs(self, tiny_workload, meta_df, tile):
+        """Fully-cached never recomputes: total MACs == workload MACs."""
+        stack = make_stack(tiny_workload, meta_df)
+        tiling = backcalculate(stack, OverlapMode.FULLY_CACHED, *tile)
+        assert tile_macs(tiling) == tiny_workload.total_mac_count
+
+    @pytest.mark.parametrize("tile", [(4, 4), (16, 8), (7, 5)])
+    def test_mode_ordering(self, tiny_workload, meta_df, tile):
+        """Fig. 13: recompute >= H-cached >= fully-cached MAC counts."""
+        stack = make_stack(tiny_workload, meta_df)
+        macs = [tile_macs(backcalculate(stack, m, *tile)) for m in MODES]
+        assert macs[0] >= macs[1] >= macs[2]
+
+    def test_single_tile_modes_identical(self, tiny_workload, meta_df):
+        """Section II: with one tile there is no overlap, so the second
+        axis has no impact (the LBL corner of Fig. 12)."""
+        stack = make_stack(tiny_workload, meta_df)
+        macs = {tile_macs(backcalculate(stack, m, 48, 32)) for m in MODES}
+        assert len(macs) == 1
+
+    def test_recompute_overhead_grows_for_small_tiles(self, tiny_workload, meta_df):
+        stack = make_stack(tiny_workload, meta_df)
+        small = tile_macs(backcalculate(stack, OverlapMode.FULLY_RECOMPUTE, 2, 2))
+        large = tile_macs(backcalculate(stack, OverlapMode.FULLY_RECOMPUTE, 24, 16))
+        assert small > large
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("tile", [(5, 3), (16, 8), (48, 32)])
+    def test_fully_cached_partitions_every_layer(self, tiny_workload, meta_df, tile):
+        """Per layer, the fresh columns of consecutive tiles must abut and
+        cover the full output width/height exactly once."""
+        stack = make_stack(tiny_workload, meta_df)
+        tiling = backcalculate(stack, OverlapMode.FULLY_CACHED, *tile)
+        for layer in stack.layers:
+            area = 0
+            for t in tiling.tile_types:
+                g = next(g for g in t.geometry if g.layer.name == layer.name)
+                area += g.compute_w * g.compute_h * t.count
+            assert area == layer.ox * layer.oy
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_coverage_at_least_full(self, tiny_workload, meta_df, mode):
+        stack = make_stack(tiny_workload, meta_df)
+        tiling = backcalculate(stack, mode, 9, 7)
+        for layer in stack.layers:
+            area = sum(
+                g.compute_w * g.compute_h * t.count
+                for t in tiling.tile_types
+                for g in t.geometry
+                if g.layer.name == layer.name
+            )
+            assert area >= layer.ox * layer.oy
+
+    def test_strided_network_geometry(self, meta_df):
+        """Stride-2 layers leave dead border pixels in their input feature
+        map; the back-calculation skips computing them, so the reference
+        is the single-tile (whole-map) evaluation, not the nominal MAC
+        count."""
+        wl = make_strided_workload()
+        stack = make_stack(wl, meta_df)
+        reference = tile_macs(
+            backcalculate(stack, OverlapMode.FULLY_CACHED, 1 << 20, 1 << 20)
+        )
+        tiling = backcalculate(stack, OverlapMode.FULLY_CACHED, 4, 4)
+        assert tile_macs(tiling) == reference
+        assert reference <= wl.total_mac_count
+
+    def test_branchy_network_geometry(self, meta_df):
+        wl = make_branchy_workload()
+        stack = make_stack(wl, meta_df)
+        for mode in MODES:
+            tiling = backcalculate(stack, mode, 8, 8)
+            assert tile_macs(tiling) >= wl.total_mac_count
+        cached = backcalculate(stack, OverlapMode.FULLY_CACHED, 8, 8)
+        assert tile_macs(cached) == wl.total_mac_count
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        tx=st.integers(min_value=1, max_value=48),
+        ty=st.integers(min_value=1, max_value=32),
+    )
+    def test_fully_cached_macs_invariant_any_tile(self, tx, ty):
+        from repro.hardware.zoo import meta_proto_like_df
+
+        wl = make_tiny_workload()
+        accel = meta_proto_like_df()
+        stack = make_stack(wl, accel)
+        tiling = backcalculate(stack, OverlapMode.FULLY_CACHED, tx, ty)
+        assert tile_macs(tiling) == wl.total_mac_count
+
+
+class TestCacheBookkeeping:
+    def test_recompute_mode_has_no_cache(self, tiny_workload, meta_df):
+        stack = make_stack(tiny_workload, meta_df)
+        tiling = backcalculate(stack, OverlapMode.FULLY_RECOMPUTE, 8, 8)
+        for t in tiling.tile_types:
+            assert t.h_cache_bytes == 0
+            assert t.v_cache_line_bytes == 0
+
+    def test_h_cached_mode_has_h_but_not_v(self, tiny_workload, meta_df):
+        stack = make_stack(tiny_workload, meta_df)
+        tiling = backcalculate(stack, OverlapMode.H_CACHED_V_RECOMPUTE, 8, 8)
+        regime = [t for t in tiling.tile_types if t.col_index == 1]
+        assert any(t.h_cache_bytes > 0 for t in regime)
+        assert all(t.v_cache_line_bytes == 0 for t in tiling.tile_types)
+
+    def test_fully_cached_has_v_lines(self, tiny_workload, meta_df):
+        stack = make_stack(tiny_workload, meta_df)
+        tiling = backcalculate(stack, OverlapMode.FULLY_CACHED, 8, 8)
+        assert any(t.v_cache_line_bytes > 0 for t in tiling.tile_types)
+
+    def test_last_column_keeps_nothing_horizontally(self, tiny_workload, meta_df):
+        stack = make_stack(tiny_workload, meta_df)
+        tiling = backcalculate(stack, OverlapMode.FULLY_CACHED, 16, 8)
+        last_col = tiling.grid_cols - 1
+        for t in tiling.tile_types:
+            if t.col_index == last_col:
+                assert all(g.x.cache_keep == 0 for g in t.geometry)
+
+    def test_input_fresh_shrinks_with_caching(self, tiny_workload, meta_df):
+        """Cached modes fetch only the new part of the first layer's
+        input window; recompute re-fetches the halo every tile."""
+        stack = make_stack(tiny_workload, meta_df)
+        rec = backcalculate(stack, OverlapMode.FULLY_RECOMPUTE, 8, 8)
+        cac = backcalculate(stack, OverlapMode.FULLY_CACHED, 8, 8)
+
+        def total_input_fetch(tiling):
+            return sum(
+                g.input_fresh_elems * t.count
+                for t in tiling.tile_types
+                for g in t.geometry
+                if g.is_source
+            )
+
+        # In recompute mode input_fresh == the full window per tile.
+        assert total_input_fetch(rec) > total_input_fetch(cac)
+        src = tiny_workload.sources()[0]
+        assert total_input_fetch(cac) == src.input_count

@@ -1,0 +1,112 @@
+"""Unit and property tests for interval geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.geometry import EMPTY, Interval, input_interval, tile_edges
+from repro.workloads.layer import LayerSpec
+
+intervals = st.builds(
+    Interval,
+    st.integers(min_value=-50, max_value=50),
+    st.integers(min_value=-50, max_value=50),
+)
+
+
+class TestInterval:
+    def test_width_and_empty(self):
+        assert Interval(2, 5).width == 3
+        assert Interval(5, 2).width == 0
+        assert Interval(5, 2).empty
+        assert EMPTY.empty
+
+    def test_clip(self):
+        assert Interval(-3, 10).clip(0, 8) == Interval(0, 8)
+
+    @given(intervals, intervals)
+    def test_hull_contains_both(self, a, b):
+        h = a.hull(b)
+        for iv in (a, b):
+            if not iv.empty:
+                assert h.lo <= iv.lo and h.hi >= iv.hi
+
+    @given(intervals)
+    def test_hull_with_empty_is_identity(self, a):
+        assert a.hull(EMPTY) == a or a.empty
+
+    @given(intervals, intervals)
+    def test_intersect_within_both(self, a, b):
+        i = a.intersect(b)
+        if not i.empty:
+            assert i.lo >= max(a.lo, b.lo)
+            assert i.hi <= min(a.hi, b.hi)
+
+
+class TestInputInterval:
+    def conv(self, **kw):
+        base = dict(k=1, c=1, ox=16, oy=16, fx=3, fy=3, px=1, py=1)
+        base.update(kw)
+        return LayerSpec(name="c", **base)
+
+    def test_same_padding_center(self):
+        # Interior span: needs halo of 1 on each side.
+        iv = input_interval(self.conv(), Interval(4, 8), "x")
+        assert iv == Interval(3, 9)
+
+    def test_left_edge_clipped_by_padding(self):
+        iv = input_interval(self.conv(), Interval(0, 4), "x")
+        assert iv == Interval(0, 5)
+
+    def test_right_edge_clipped(self):
+        iv = input_interval(self.conv(), Interval(12, 16), "x")
+        assert iv.hi == 16
+
+    def test_stride_two(self):
+        l = self.conv(sx=2, sy=2, px=0)
+        iv = input_interval(l, Interval(2, 4), "x")
+        assert iv == Interval(4, 9)
+
+    def test_empty_in_empty_out(self):
+        assert input_interval(self.conv(), EMPTY, "x").empty
+
+    def test_full_output_needs_full_input(self):
+        l = self.conv()
+        iv = input_interval(l, Interval(0, 16), "x")
+        assert iv == Interval(0, l.ix)
+
+    def test_bad_axis_raises(self):
+        with pytest.raises(ValueError):
+            input_interval(self.conv(), Interval(0, 4), "z")
+
+
+class TestTileEdges:
+    def test_exact_division(self):
+        edges = tile_edges(12, 4)
+        assert edges == [Interval(0, 4), Interval(4, 8), Interval(8, 12)]
+
+    def test_remainder(self):
+        # The paper's 540 = 72*7 + 36 case.
+        edges = tile_edges(540, 72)
+        assert len(edges) == 8
+        assert edges[-1].width == 36
+
+    def test_tile_larger_than_total(self):
+        assert tile_edges(10, 100) == [Interval(0, 10)]
+
+    @given(
+        st.integers(min_value=1, max_value=2000),
+        st.integers(min_value=1, max_value=2000),
+    )
+    def test_partition_exact_no_overlap(self, total, tile):
+        edges = tile_edges(total, tile)
+        assert edges[0].lo == 0
+        assert edges[-1].hi == total
+        for a, b in zip(edges, edges[1:]):
+            assert a.hi == b.lo
+        assert sum(e.width for e in edges) == total
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tile_edges(0, 4)
+        with pytest.raises(ValueError):
+            tile_edges(4, 0)

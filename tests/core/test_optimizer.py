@@ -1,0 +1,64 @@
+"""Unit tests for the schedule-space exploration helpers."""
+
+import pytest
+
+from repro.core.optimizer import (
+    best_combination,
+    best_point,
+    best_single_strategy,
+    sweep,
+)
+from repro.core.strategy import OverlapMode
+
+
+TILES = ((4, 4), (16, 16), (48, 32))
+MODES = (OverlapMode.FULLY_CACHED,)
+
+
+class TestSweep:
+    def test_sweep_covers_grid(self, tiny_engine, tiny_workload):
+        points = sweep(tiny_engine, tiny_workload, TILES, MODES)
+        assert len(points) == len(TILES) * len(MODES)
+        combos = {(p.strategy.tile_x, p.strategy.tile_y) for p in points}
+        assert combos == set(TILES)
+
+    def test_best_point_minimizes_energy(self, tiny_engine, tiny_workload):
+        points = sweep(tiny_engine, tiny_workload, TILES, MODES)
+        best = best_point(points, "energy")
+        assert all(best.result.energy_pj <= p.result.energy_pj for p in points)
+
+    def test_best_point_latency_objective(self, tiny_engine, tiny_workload):
+        points = sweep(tiny_engine, tiny_workload, TILES, MODES)
+        best = best_point(points, "latency")
+        assert all(
+            best.result.latency_cycles <= p.result.latency_cycles for p in points
+        )
+
+    def test_best_point_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_point([], "energy")
+
+
+class TestBestStrategy:
+    def test_best_single_strategy(self, tiny_engine, tiny_workload):
+        point = best_single_strategy(
+            tiny_engine, tiny_workload, tile_sizes=TILES, modes=MODES
+        )
+        assert point.result.energy_pj > 0
+
+    def test_best_combination_no_worse_than_best_single(
+        self, tiny_engine, tiny_workload
+    ):
+        single = best_single_strategy(
+            tiny_engine, tiny_workload, tile_sizes=TILES, modes=MODES
+        )
+        combo = best_combination(
+            tiny_engine, tiny_workload, tile_sizes=TILES, modes=MODES
+        )
+        assert combo.energy_pj <= single.result.energy_pj * 1.0001
+
+    def test_combination_label_mentions_stacks(self, tiny_engine, tiny_workload):
+        combo = best_combination(
+            tiny_engine, tiny_workload, tile_sizes=TILES, modes=MODES
+        )
+        assert combo.strategy_label.startswith("best combination")

@@ -1,0 +1,85 @@
+"""Unit tests for schedule result containers and fuse-depth control."""
+
+import pytest
+
+from repro import DFStrategy, OverlapMode
+from repro.core.stacks import partition_stacks
+
+from ..conftest import make_tiny_workload
+
+
+class TestScheduleResult:
+    @pytest.fixture
+    def result(self, tiny_engine, tiny_workload):
+        return tiny_engine.evaluate(
+            tiny_workload,
+            DFStrategy(tile_x=16, tile_y=8, mode=OverlapMode.FULLY_CACHED),
+        )
+
+    def test_unit_conversions(self, result):
+        assert result.energy_mj == pytest.approx(result.energy_pj / 1e9)
+        assert result.edp == pytest.approx(
+            result.energy_pj * result.latency_cycles
+        )
+
+    def test_traffic_by_category(self, result):
+        cats = result.traffic_by_category()
+        assert cats["I"] > 0 and cats["O"] > 0 and cats["W"] > 0
+        assert sum(cats.values()) == pytest.approx(result.total.accesses())
+
+    def test_dram_accesses(self, result):
+        assert result.dram_accesses() == result.total.accesses(
+            level_names=("DRAM",)
+        )
+
+    def test_describe_mentions_strategy(self, result):
+        assert "fully_cached 16x8" in result.describe()
+
+    def test_stack_result_tile_types(self, result):
+        sr = result.stacks[0]
+        assert sr.tile_type_count == len(sr.tile_results)
+        assert sr.layer_names == ("L1", "L2", "L3")
+
+
+class TestFuseDepth:
+    def test_fuse_depth_caps_stack_size(self, meta_df):
+        wl = make_tiny_workload()
+        stacks = partition_stacks(wl, meta_df, fuse_depth=2)
+        assert all(len(s.layers) <= 2 for s in stacks)
+        assert len(stacks) == 2
+
+    def test_fuse_depth_one_equals_per_layer(self, meta_df):
+        wl = make_tiny_workload()
+        capped = partition_stacks(wl, meta_df, fuse_depth=1)
+        per_layer = partition_stacks(wl, meta_df, per_layer=True)
+        assert [s.layer_names for s in capped] == [
+            s.layer_names for s in per_layer
+        ]
+
+    def test_strategy_validation(self):
+        with pytest.raises(ValueError):
+            DFStrategy(tile_x=4, tile_y=4, fuse_depth=0)
+        with pytest.raises(ValueError):
+            DFStrategy(tile_x=4, tile_y=4, fuse_depth=2, stacks=(("L1",),))
+
+    def test_engine_respects_fuse_depth(self, tiny_engine, tiny_workload):
+        r = tiny_engine.evaluate(
+            tiny_workload,
+            DFStrategy(
+                tile_x=16, tile_y=8, mode=OverlapMode.FULLY_CACHED, fuse_depth=2
+            ),
+        )
+        assert len(r.stacks) == 2
+
+    def test_shallower_fusion_changes_cost(self, tiny_engine):
+        wl = make_tiny_workload(x=96, y=64)
+        deep = tiny_engine.evaluate(
+            wl, DFStrategy(tile_x=16, tile_y=16, mode=OverlapMode.FULLY_CACHED)
+        )
+        shallow = tiny_engine.evaluate(
+            wl,
+            DFStrategy(
+                tile_x=16, tile_y=16, mode=OverlapMode.FULLY_CACHED, fuse_depth=1
+            ),
+        )
+        assert shallow.energy_pj != deep.energy_pj

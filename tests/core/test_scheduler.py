@@ -1,0 +1,135 @@
+"""Integration tests for the depth-first engine (steps 1-6 combined)."""
+
+import pytest
+
+from repro import DepthFirstEngine, DFStrategy, OverlapMode, StackBoundary
+from repro.core.optimizer import evaluate_layer_by_layer, evaluate_single_layer
+
+from ..conftest import make_branchy_workload, make_tiny_workload
+
+
+class TestEndToEnd:
+    def test_result_structure(self, tiny_engine, tiny_workload):
+        r = tiny_engine.evaluate(
+            tiny_workload, DFStrategy(tile_x=16, tile_y=8, mode=OverlapMode.FULLY_CACHED)
+        )
+        assert r.energy_pj > 0
+        assert r.latency_cycles > 0
+        assert len(r.stacks) == 1
+        assert r.workload_name == "tiny"
+
+    def test_mac_count_preserved(self, tiny_engine, tiny_workload):
+        r = tiny_engine.evaluate(
+            tiny_workload, DFStrategy(tile_x=16, tile_y=8, mode=OverlapMode.FULLY_CACHED)
+        )
+        assert r.mac_count == pytest.approx(tiny_workload.total_mac_count)
+
+    def test_recompute_mode_costs_more_macs(self, tiny_engine, tiny_workload):
+        rec = tiny_engine.evaluate(
+            tiny_workload, DFStrategy(tile_x=8, tile_y=8, mode=OverlapMode.FULLY_RECOMPUTE)
+        )
+        cac = tiny_engine.evaluate(
+            tiny_workload, DFStrategy(tile_x=8, tile_y=8, mode=OverlapMode.FULLY_CACHED)
+        )
+        assert rec.mac_count > cac.mac_count
+
+    def test_single_tile_modes_agree(self, tiny_engine, tiny_workload):
+        """LBL corner: all three modes collapse to the same schedule."""
+        energies = set()
+        for mode in OverlapMode:
+            r = tiny_engine.evaluate(
+                tiny_workload, DFStrategy(tile_x=48, tile_y=32, mode=mode)
+            )
+            energies.add(round(r.energy_pj, 3))
+        assert len(energies) == 1
+
+    def test_branchy_workload_runs(self, tiny_engine, branchy_workload):
+        r = tiny_engine.evaluate(
+            branchy_workload, DFStrategy(tile_x=8, tile_y=8, mode=OverlapMode.FULLY_CACHED)
+        )
+        assert r.energy_pj > 0
+        assert r.mac_count == pytest.approx(branchy_workload.total_mac_count)
+
+
+class TestBaselines:
+    def test_sl_uses_dram_boundaries(self, tiny_engine, tiny_workload):
+        sl = evaluate_single_layer(tiny_engine, tiny_workload)
+        assert sl.total.accesses(level_names=("DRAM",)) > 0
+        assert len(sl.stacks) == len(tiny_workload)
+
+    def test_lbl_no_worse_than_sl(self, tiny_engine, tiny_workload):
+        sl = evaluate_single_layer(tiny_engine, tiny_workload)
+        lbl = evaluate_layer_by_layer(tiny_engine, tiny_workload)
+        assert lbl.energy_pj <= sl.energy_pj * 1.0001
+
+    def test_lbl_keeps_small_fms_off_dram(self, tiny_engine, tiny_workload):
+        """The tiny net's 6KB feature maps fit on-chip: LBL's DRAM traffic
+        must be only the network input + final output + weights."""
+        lbl = evaluate_layer_by_layer(tiny_engine, tiny_workload)
+        src = tiny_workload.sources()[0]
+        sink = tiny_workload.sinks()[0]
+        ceiling = (
+            src.input_count + sink.output_count + tiny_workload.total_weight_bytes
+        ) * 1.1
+        assert lbl.total.accesses(level_names=("DRAM",)) <= ceiling
+
+    def test_df_beats_lbl_on_activation_dominant(self, tiny_engine):
+        wl = make_tiny_workload(x=128, y=96)  # larger maps: DF should win
+        lbl = evaluate_layer_by_layer(tiny_engine, wl)
+        df = tiny_engine.evaluate(
+            wl, DFStrategy(tile_x=16, tile_y=16, mode=OverlapMode.FULLY_CACHED)
+        )
+        assert df.energy_pj < lbl.energy_pj
+
+
+class TestStackBoundaries:
+    def test_dram_boundary_increases_dram_traffic(self, tiny_engine, tiny_workload):
+        df_dram = tiny_engine.evaluate(
+            tiny_workload,
+            DFStrategy(
+                tile_x=48, tile_y=32, mode=OverlapMode.FULLY_CACHED,
+                stacks=(("L1",), ("L2",), ("L3",)),
+                stack_boundary=StackBoundary.DRAM,
+            ),
+        )
+        df_fit = tiny_engine.evaluate(
+            tiny_workload,
+            DFStrategy(
+                tile_x=48, tile_y=32, mode=OverlapMode.FULLY_CACHED,
+                stacks=(("L1",), ("L2",), ("L3",)),
+                stack_boundary=StackBoundary.LOWEST_FIT,
+            ),
+        )
+        assert df_dram.total.accesses(level_names=("DRAM",)) > (
+            df_fit.total.accesses(level_names=("DRAM",))
+        )
+
+    def test_explicit_stacks_respected(self, tiny_engine, tiny_workload):
+        r = tiny_engine.evaluate(
+            tiny_workload,
+            DFStrategy(
+                tile_x=16, tile_y=16, mode=OverlapMode.FULLY_CACHED,
+                stacks=(("L1", "L2"), ("L3",)),
+            ),
+        )
+        assert [s.layer_names for s in r.stacks] == [("L1", "L2"), ("L3",)]
+
+    def test_evaluate_stack_matches_full_eval(self, tiny_engine, tiny_workload):
+        from repro.core.stacks import partition_stacks
+
+        strategy = DFStrategy(tile_x=16, tile_y=8, mode=OverlapMode.FULLY_CACHED)
+        full = tiny_engine.evaluate(tiny_workload, strategy)
+        stack = partition_stacks(tiny_workload, tiny_engine.accel)[0]
+        alone = tiny_engine.evaluate_stack(tiny_workload, strategy, stack)
+        assert alone.total.energy_pj == pytest.approx(full.total.energy_pj)
+
+
+class TestTileTypeAccounting:
+    def test_tile_counts_multiply(self, tiny_engine, tiny_workload):
+        strategy = DFStrategy(tile_x=16, tile_y=8, mode=OverlapMode.FULLY_CACHED)
+        r = tiny_engine.evaluate(tiny_workload, strategy)
+        sr = r.stacks[0]
+        manual = 0.0
+        for tr in sr.tile_results:
+            manual += tr.cost.energy_pj * tr.tile.count
+        assert manual == pytest.approx(sr.total.energy_pj)

@@ -1,0 +1,88 @@
+"""Unit tests for stack partitioning (fuse depth, axis 3)."""
+
+import pytest
+
+from repro.core.stacks import branch_free_segments, partition_stacks
+from repro.workloads.zoo import resnet18
+
+from ..conftest import make_branchy_workload, make_tiny_workload
+
+
+class TestSegments:
+    def test_linear_chain_segments_per_layer(self, tiny_workload):
+        segments = branch_free_segments(tiny_workload)
+        assert [len(s) for s in segments] == [1, 1, 1]
+
+    def test_residual_block_is_atomic(self, branchy_workload):
+        segments = branch_free_segments(branchy_workload)
+        names = [[l.name for l in s] for s in segments]
+        assert ["entry"] in names or any("entry" in s and len(s) > 1 for s in names)
+        # The c1-c2-join region must sit inside one segment.
+        seg_of = {l: i for i, s in enumerate(names) for l in s}
+        assert seg_of["c1"] == seg_of["c2"] == seg_of["join"]
+
+    def test_segments_cover_all_layers(self, branchy_workload):
+        segments = branch_free_segments(branchy_workload)
+        flat = [l.name for s in segments for l in s]
+        assert sorted(flat) == sorted(l.name for l in branchy_workload)
+
+    def test_resnet_blocks_atomic(self):
+        wl = resnet18()
+        segments = branch_free_segments(wl)
+        seg_of = {l.name: i for i, s in enumerate(segments) for l in s}
+        # Each basic block's two convs and its add share a segment.
+        assert seg_of["s1b1_conv1"] == seg_of["s1b1_conv2"] == seg_of["s1b1_add"]
+        assert seg_of["s1b1_add"] != seg_of["s1b2_add"]
+
+
+class TestAutoPartition:
+    def test_tiny_workload_fuses_fully(self, tiny_workload, meta_df):
+        stacks = partition_stacks(tiny_workload, meta_df)
+        assert len(stacks) == 1
+        assert stacks[0].layer_names == ("L1", "L2", "L3")
+
+    def test_capacity_rule_splits(self, meta_df):
+        # ResNet18's late stages exceed the 1MB weight GB: they fall back
+        # to single-layer stacks (the paper's CS2 observation).
+        wl = resnet18()
+        stacks = partition_stacks(wl, meta_df)
+        assert len(stacks) > 1
+        capacity = meta_df.top_weight_buffer().instance.size_bytes
+        for stack in stacks:
+            if len(stack.layers) > 1:
+                assert stack.weight_bytes <= capacity
+
+    def test_oversized_atomic_region_goes_per_layer(self, meta_df):
+        wl = resnet18()
+        stacks = partition_stacks(wl, meta_df)
+        capacity = meta_df.top_weight_buffer().instance.size_bytes
+        # s4 blocks carry ~4.7MB of weights > 1MB: their layers must be
+        # single-layer stacks.
+        s4_stacks = [s for s in stacks if any("s4b2" in n for n in s.layer_names)]
+        assert all(len(s.layers) == 1 for s in s4_stacks)
+
+
+class TestExplicitPartition:
+    def test_explicit_partition(self, tiny_workload, meta_df):
+        stacks = partition_stacks(
+            tiny_workload, meta_df, explicit=(("L1", "L2"), ("L3",))
+        )
+        assert [s.layer_names for s in stacks] == [("L1", "L2"), ("L3",)]
+
+    def test_explicit_must_cover(self, tiny_workload, meta_df):
+        with pytest.raises(ValueError):
+            partition_stacks(tiny_workload, meta_df, explicit=(("L1",),))
+
+    def test_per_layer(self, tiny_workload, meta_df):
+        stacks = partition_stacks(tiny_workload, meta_df, per_layer=True)
+        assert [s.layer_names for s in stacks] == [("L1",), ("L2",), ("L3",)]
+
+
+class TestStack:
+    def test_weight_bytes(self, tiny_workload, meta_df):
+        stack = partition_stacks(tiny_workload, meta_df)[0]
+        assert stack.weight_bytes == tiny_workload.total_weight_bytes
+
+    def test_sink(self, tiny_workload, meta_df):
+        stack = partition_stacks(tiny_workload, meta_df)[0]
+        assert stack.sink.name == "L3"

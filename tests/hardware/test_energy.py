@@ -1,0 +1,44 @@
+"""The energy model must preserve the orderings the paper relies on."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware import energy
+
+
+class TestSramEnergy:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            energy.sram_energy_pj_per_byte(0)
+
+    @given(st.integers(min_value=1, max_value=1 << 24))
+    def test_positive(self, size):
+        assert energy.sram_energy_pj_per_byte(size) > 0
+
+    @given(
+        st.integers(min_value=1, max_value=1 << 22),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_monotone_in_capacity(self, size, factor):
+        assert energy.sram_energy_pj_per_byte(size * factor) >= (
+            energy.sram_energy_pj_per_byte(size)
+        )
+
+    def test_hierarchy_ordering(self):
+        """Reg << LB << GB << DRAM, the backbone of every case study."""
+        reg = energy.REGISTER_ENERGY_PJ_PER_BYTE
+        lb = energy.sram_energy_pj_per_byte(64 * 1024)
+        gb = energy.sram_energy_pj_per_byte(2 * 1024 * 1024)
+        dram = energy.DRAM_ENERGY_PJ_PER_BYTE
+        assert reg < lb < gb < dram
+        assert dram / gb > 10  # DRAM dominates SL schedules (Fig. 18a)
+
+
+class TestBandwidth:
+    def test_dram_is_64_bit_per_cycle(self):
+        assert energy.DRAM_BANDWIDTH_BYTES == 8.0
+
+    def test_small_srams_are_wider(self):
+        assert energy.sram_bandwidth_bytes(32 * 1024) >= (
+            energy.sram_bandwidth_bytes(2 * 1024 * 1024)
+        )

@@ -1,0 +1,64 @@
+"""Unit tests for memory instances and levels."""
+
+import math
+
+import pytest
+
+from repro.hardware.memory import MemoryInstance, MemoryLevel, level
+
+
+class TestMemoryInstance:
+    def test_register_properties(self):
+        reg = MemoryInstance.register("W_reg", 1)
+        assert reg.per_pe
+        assert reg.tier == "Reg"
+        assert reg.bandwidth_bytes == math.inf
+        assert not reg.is_dram
+
+    def test_sram_tier_inference(self):
+        assert MemoryInstance.sram("LB_W", 1024).tier == "LB"
+        assert MemoryInstance.sram("LB2_IO", 1024).tier == "LB"
+        assert MemoryInstance.sram("GB_IO", 1024).tier == "GB"
+        assert MemoryInstance.sram("scratch", 1024).tier == "SRAM"
+
+    def test_sram_energy_grows_with_size(self):
+        small = MemoryInstance.sram("LB_a", 16 * 1024)
+        big = MemoryInstance.sram("GB_b", 2 * 1024 * 1024)
+        assert small.r_energy_pj_per_byte < big.r_energy_pj_per_byte
+
+    def test_dram_properties(self):
+        d = MemoryInstance.dram()
+        assert d.is_dram
+        assert d.tier == "DRAM"
+        assert d.bandwidth_bytes == 8.0  # 64 bit/cycle
+
+    def test_uid_unique(self):
+        a = MemoryInstance.sram("LB_x", 1024)
+        b = MemoryInstance.sram("LB_x", 1024)
+        assert a.uid != b.uid
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryInstance("bad", 0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            MemoryInstance("bad", 8, 1.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            MemoryInstance("bad", 8, 1.0, 1.0, 1.0, ports=0)
+
+
+class TestMemoryLevel:
+    def test_level_helper(self):
+        inst = MemoryInstance.sram("LB_IO", 1024)
+        lvl = level(inst, "IO")
+        assert lvl.serves("I") and lvl.serves("O") and not lvl.serves("W")
+        assert lvl.name == "LB_IO"
+
+    def test_rejects_unknown_operand(self):
+        inst = MemoryInstance.sram("LB_x", 1024)
+        with pytest.raises(ValueError):
+            MemoryLevel(instance=inst, operands=frozenset({"Z"}))
+
+    def test_rejects_empty_operands(self):
+        inst = MemoryInstance.sram("LB_x", 1024)
+        with pytest.raises(ValueError):
+            MemoryLevel(instance=inst, operands=frozenset())

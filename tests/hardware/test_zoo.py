@@ -1,0 +1,111 @@
+"""The accelerator zoo must match Table I(a)."""
+
+import pytest
+
+from repro.hardware.zoo import ACCELERATOR_FACTORIES, get_accelerator
+
+MB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return {name: f() for name, f in ACCELERATOR_FACTORIES.items()}
+
+
+class TestNormalization:
+    @pytest.mark.parametrize("name", list(ACCELERATOR_FACTORIES))
+    def test_1024_macs(self, zoo, name):
+        assert zoo[name].pe_count == 1024
+
+    @pytest.mark.parametrize("name", list(ACCELERATOR_FACTORIES))
+    def test_global_buffer_at_most_2mb(self, zoo, name):
+        gb = sum(
+            i.size_bytes
+            for i in zoo[name].instances()
+            if i.tier == "GB"
+        )
+        assert gb <= 2 * MB
+
+
+class TestSpatialUnrolling:
+    def test_meta_proto(self, zoo):
+        assert zoo["meta_proto_like"].spatial_unrolling == {
+            "K": 32, "C": 2, "OX": 4, "OY": 4,
+        }
+
+    def test_tpu(self, zoo):
+        assert zoo["tpu_like"].spatial_unrolling == {"K": 32, "C": 32}
+
+    def test_edge_tpu(self, zoo):
+        assert zoo["edge_tpu_like"].spatial_unrolling == {
+            "K": 8, "C": 8, "OX": 4, "OY": 4,
+        }
+
+    def test_ascend(self, zoo):
+        assert zoo["ascend_like"].spatial_unrolling == {
+            "K": 16, "C": 16, "OX": 2, "OY": 2,
+        }
+
+    def test_tesla(self, zoo):
+        assert zoo["tesla_npu_like"].spatial_unrolling == {
+            "K": 32, "OX": 8, "OY": 4,
+        }
+
+    @pytest.mark.parametrize(
+        "base", ["meta_proto_like", "tpu_like", "edge_tpu_like", "ascend_like", "tesla_npu_like"]
+    )
+    def test_df_variant_keeps_unrolling(self, zoo, base):
+        # DF guideline 1: spatial unrolling is unchanged.
+        assert zoo[base].spatial_unrolling == zoo[base + "_df"].spatial_unrolling
+
+
+class TestDFGuidelines:
+    def test_tpu_baseline_has_no_onchip_weights(self, zoo):
+        accel = zoo["tpu_like"]
+        on_chip_w = [
+            l for l in accel.hierarchy("W")
+            if not l.instance.is_dram and not l.instance.per_pe
+        ]
+        assert on_chip_w == []
+
+    def test_tpu_df_gains_weight_buffer(self, zoo):
+        accel = zoo["tpu_like_df"]
+        top = accel.top_weight_buffer()
+        assert top is not None and top.instance.size_bytes >= 1 * MB
+
+    @pytest.mark.parametrize(
+        "name",
+        ["meta_proto_like_df", "tpu_like_df", "edge_tpu_like_df",
+         "ascend_like_df", "tesla_npu_like_df"],
+    )
+    def test_df_variants_share_io_low_level(self, zoo, name):
+        # DF guideline 3: I and O share a lower-level memory.
+        accel = zoo[name]
+        shared = [
+            l for l in accel.levels
+            if l.serves("I") and l.serves("O")
+            and not l.instance.is_dram and l.instance.tier == "LB"
+        ]
+        assert shared, f"{name} has no shared I&O local buffer"
+
+
+class TestCapacities:
+    def test_meta_proto_df_lb_sizes(self, zoo):
+        sizes = {i.name: i.size_bytes for i in zoo["meta_proto_like_df"].instances()}
+        assert sizes["LB_W"] == 32 * 1024
+        assert sizes["LB_IO"] == 64 * 1024
+        assert sizes["GB_W"] == 1 * MB
+        assert sizes["GB_IO"] == 1 * MB
+
+    def test_tesla_df_gb_io_trimmed(self, zoo):
+        sizes = {i.name: i.size_bytes for i in zoo["tesla_npu_like_df"].instances()}
+        assert sizes["GB_IO"] == 896 * 1024
+
+
+class TestLookup:
+    def test_depfin_available(self):
+        assert get_accelerator("depfin_like").pe_count == 1024
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_accelerator("gpu_like")

@@ -1,0 +1,87 @@
+"""Property-based invariants of the end-to-end depth-first engine."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import DepthFirstEngine, DFStrategy, OverlapMode, get_accelerator
+from repro.mapping import SearchConfig
+from repro.workloads.builder import WorkloadBuilder
+
+_ENGINE = DepthFirstEngine(
+    get_accelerator("meta_proto_like_df"), SearchConfig(lpf_limit=4, budget=30)
+)
+
+
+def _workload(depth: int, channels: int, x: int, y: int):
+    b = WorkloadBuilder(f"prop{depth}x{channels}", channels=1, x=x, y=y)
+    t = b.input()
+    for i in range(depth):
+        t = b.conv(f"L{i}", t, k=channels, f=3, pad=1)
+    return b.build()
+
+
+common = dict(
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+    max_examples=12,
+)
+
+
+@settings(**common)
+@given(
+    depth=st.integers(min_value=1, max_value=4),
+    channels=st.sampled_from([2, 8, 24]),
+    tx=st.integers(min_value=1, max_value=40),
+    ty=st.integers(min_value=1, max_value=24),
+    mode=st.sampled_from(list(OverlapMode)),
+)
+def test_costs_are_finite_and_positive(depth, channels, tx, ty, mode):
+    wl = _workload(depth, channels, 40, 24)
+    r = _ENGINE.evaluate(wl, DFStrategy(tile_x=tx, tile_y=ty, mode=mode))
+    assert r.energy_pj > 0
+    assert r.latency_cycles > 0
+    assert r.mac_count >= wl.total_mac_count * 0.99
+    for t in r.total.traffic.values():
+        assert t.reads_elems >= 0
+        assert t.writes_elems >= 0
+        assert t.energy_pj >= 0
+
+
+@settings(**common)
+@given(
+    tx=st.integers(min_value=1, max_value=40),
+    ty=st.integers(min_value=1, max_value=24),
+)
+def test_fully_cached_never_more_macs_than_recompute(tx, ty):
+    wl = _workload(3, 8, 40, 24)
+    rec = _ENGINE.evaluate(
+        wl, DFStrategy(tile_x=tx, tile_y=ty, mode=OverlapMode.FULLY_RECOMPUTE)
+    )
+    cac = _ENGINE.evaluate(
+        wl, DFStrategy(tile_x=tx, tile_y=ty, mode=OverlapMode.FULLY_CACHED)
+    )
+    assert cac.mac_count <= rec.mac_count
+
+
+@settings(**common)
+@given(
+    tx=st.integers(min_value=1, max_value=40),
+    ty=st.integers(min_value=1, max_value=24),
+)
+def test_latency_at_least_ideal_compute(tx, ty):
+    wl = _workload(2, 8, 40, 24)
+    r = _ENGINE.evaluate(
+        wl, DFStrategy(tile_x=tx, tile_y=ty, mode=OverlapMode.FULLY_CACHED)
+    )
+    ideal = wl.total_mac_count / _ENGINE.accel.pe_count
+    assert r.latency_cycles >= ideal
+
+
+@settings(**common)
+@given(mode=st.sampled_from(list(OverlapMode)))
+def test_energy_decomposition_consistent(mode):
+    wl = _workload(3, 8, 40, 24)
+    r = _ENGINE.evaluate(wl, DFStrategy(tile_x=8, tile_y=8, mode=mode))
+    total = r.total
+    assert abs(
+        total.energy_pj - (total.mac_energy_pj + total.memory_energy_pj)
+    ) <= 1e-6 * total.energy_pj

@@ -1,0 +1,97 @@
+"""Unit tests for loop-order-based memory allocation."""
+
+import pytest
+
+from repro.hardware.accelerator import build_accelerator
+from repro.hardware.memory import MemoryInstance, level
+from repro.hardware.zoo import meta_proto_like_df
+from repro.mapping.allocation import AllocationError, allocate
+from repro.mapping.loops import lpf_decompose
+from repro.mapping.temporal import temporal_sizes
+from repro.workloads.layer import LayerSpec
+
+
+def layer(**kw):
+    base = dict(k=8, c=4, ox=16, oy=16, fx=3, fy=3, px=1, py=1)
+    base.update(kw)
+    return LayerSpec(name="t", **base)
+
+
+def dram_tops(accel):
+    return {op: accel.top_level_index(op) for op in ("W", "I", "O")}
+
+
+@pytest.fixture(scope="module")
+def accel():
+    return meta_proto_like_df()
+
+
+class TestBasics:
+    def test_boundaries_monotone_and_complete(self, accel):
+        l = layer()
+        loops = lpf_decompose(temporal_sizes(l, accel))
+        mapping = allocate(l, accel, dram_tops(accel), loops)
+        for op, bounds in mapping.boundaries.items():
+            assert list(bounds) == sorted(bounds)
+            assert bounds[-1] == len(loops)
+            assert len(bounds) == len(accel.hierarchy(op))
+
+    def test_truncated_hierarchy_shortens_boundaries(self, accel):
+        l = layer()
+        loops = lpf_decompose(temporal_sizes(l, accel))
+        tops = {"W": 1, "I": 0, "O": 1}
+        mapping = allocate(l, accel, tops, loops)
+        assert len(mapping.boundaries["W"]) == 2
+        assert len(mapping.boundaries["I"]) == 1
+        assert len(mapping.boundaries["O"]) == 2
+
+    def test_weightless_layer_w_boundary_trivial(self, accel):
+        from repro.workloads.layer import OpType
+
+        pool = LayerSpec(
+            name="p", op_type=OpType.POOL, k=8, c=1, ox=8, oy=8,
+            fx=2, fy=2, sx=2, sy=2,
+        )
+        loops = lpf_decompose(temporal_sizes(pool, accel))
+        mapping = allocate(pool, accel, dram_tops(accel), loops)
+        assert mapping.boundaries["W"] == (len(loops),)
+
+    def test_bad_top_raises(self, accel):
+        l = layer()
+        loops = lpf_decompose(temporal_sizes(l, accel))
+        with pytest.raises(AllocationError):
+            allocate(l, accel, {"W": 99, "I": 0, "O": 0}, loops)
+
+
+class TestCapacity:
+    def test_overflowing_top_raises(self, accel):
+        # A 27 MB output cannot top out in the 64 KB LB.
+        l = layer(k=56, c=56, ox=960, oy=540)
+        loops = lpf_decompose(temporal_sizes(l, accel))
+        tops = dram_tops(accel)
+        tops["O"] = 1  # LB_IO
+        with pytest.raises(AllocationError):
+            allocate(l, accel, tops, loops)
+
+    def test_shared_top_contention_raises(self):
+        # I and O both pinned to a tiny shared LB cannot coexist.
+        w_reg = MemoryInstance.register("W_reg", 64)
+        lb = MemoryInstance.sram("LB_IO", 512)
+        dram = MemoryInstance.dram()
+        accel = build_accelerator(
+            "tiny", {"K": 2},
+            [level(w_reg, "W"), level(lb, "IO"), level(dram, "WIO")],
+        )
+        l = layer(k=4, c=2, ox=16, oy=16)
+        loops = lpf_decompose(temporal_sizes(l, accel))
+        with pytest.raises(AllocationError):
+            allocate(l, accel, {"W": 1, "I": 0, "O": 0}, loops)
+
+    def test_register_capacity_limits_prefix(self, accel):
+        # W_reg holds one byte: the W level-0 prefix must keep the
+        # per-PE weight footprint at a single element.
+        l = layer()
+        loops = [("FX", 3), ("FY", 3), ("C", 2), ("OX", 4)]
+        mapping = allocate(l, accel, dram_tops(accel), loops)
+        w0 = mapping.boundaries["W"][0]
+        assert w0 == 0  # FX is W-relevant: even one loop overflows 1B

@@ -1,0 +1,73 @@
+"""Unit tests for cost containers and objectives."""
+
+import pytest
+
+from repro.mapping.cost import CostResult, Traffic, resolve_objective
+
+
+def make_cost():
+    c = CostResult(mac_count=100, mac_energy_pj=10.0, compute_cycles=50, latency_cycles=60)
+    c.traffic_entry("I", "LB").add(Traffic(reads_elems=10, writes_elems=2, energy_pj=5.0))
+    c.traffic_entry("W", "DRAM").add(Traffic(reads_elems=4, writes_elems=0, energy_pj=20.0))
+    return c
+
+
+class TestTraffic:
+    def test_add_scaled(self):
+        t = Traffic()
+        t.add(Traffic(1, 2, 3), scale=2.0)
+        assert (t.reads_elems, t.writes_elems, t.energy_pj) == (2, 4, 6)
+
+    def test_accesses(self):
+        assert Traffic(3, 4, 0).accesses_elems == 7
+
+
+class TestCostResult:
+    def test_energy_composition(self):
+        c = make_cost()
+        assert c.memory_energy_pj == 25.0
+        assert c.energy_pj == 35.0
+        assert c.edp == 35.0 * 60
+
+    def test_accesses_filters(self):
+        c = make_cost()
+        assert c.accesses() == 16
+        assert c.accesses(categories=("W",)) == 4
+        assert c.accesses(level_names=("DRAM",)) == 4
+        assert c.accesses(categories=("I",), level_names=("DRAM",)) == 0
+
+    def test_energy_filters(self):
+        c = make_cost()
+        assert c.energy_of(categories=("I",)) == 5.0
+        assert c.energy_of(level_names=("DRAM",)) == 20.0
+
+    def test_add_accumulates_and_scales(self):
+        total = CostResult()
+        total.add(make_cost(), scale=3.0)
+        assert total.mac_count == 300
+        assert total.latency_cycles == 180
+        assert total.traffic[("I", "LB")].reads_elems == 30
+
+    def test_copy_is_independent(self):
+        c = make_cost()
+        d = c.copy()
+        d.traffic_entry("I", "LB").reads_elems += 100
+        assert c.traffic[("I", "LB")].reads_elems == 10
+
+
+class TestObjectives:
+    def test_named_objectives(self):
+        c = make_cost()
+        assert resolve_objective("energy")(c) == c.energy_pj
+        assert resolve_objective("latency")(c) == 60
+        assert resolve_objective("edp")(c) == c.edp
+        assert resolve_objective("dram_accesses")(c) == 4
+        assert resolve_objective("activation_energy")(c) == 5.0
+
+    def test_callable_passthrough(self):
+        f = lambda c: 42.0
+        assert resolve_objective(f) is f
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            resolve_objective("carbon")

@@ -1,0 +1,92 @@
+"""Unit tests for the LOMA-style mapping search engine."""
+
+import pytest
+
+from repro.hardware.zoo import meta_proto_like_df
+from repro.mapping.loma import MappingSearchEngine, SearchConfig
+from repro.workloads.layer import LayerSpec
+
+
+def layer(**kw):
+    base = dict(k=16, c=8, ox=24, oy=24, fx=3, fy=3, px=1, py=1)
+    base.update(kw)
+    return LayerSpec(name="t", **base)
+
+
+@pytest.fixture(scope="module")
+def accel():
+    return meta_proto_like_df()
+
+
+class TestSearch:
+    def test_finds_a_mapping(self, accel):
+        engine = MappingSearchEngine(SearchConfig(lpf_limit=5, budget=50))
+        result = engine.search(layer(), accel)
+        assert result.cost.energy_pj > 0
+        assert result.evaluated > 0
+
+    def test_larger_budget_never_worse(self, accel):
+        small = MappingSearchEngine(SearchConfig(lpf_limit=5, budget=10))
+        big = MappingSearchEngine(SearchConfig(lpf_limit=5, budget=400))
+        l = layer()
+        assert big.search(l, accel).cost.energy_pj <= (
+            small.search(l, accel).cost.energy_pj * 1.0001
+        )
+
+    def test_search_beats_worst_canonical(self, accel):
+        """The optimizer must do better than an adversarial ordering."""
+        from repro.mapping.allocation import allocate
+        from repro.mapping.loops import lpf_decompose
+        from repro.mapping.temporal import temporal_sizes
+        from repro.mapping.zigzag import evaluate_mapping
+
+        engine = MappingSearchEngine(SearchConfig(lpf_limit=5, budget=200))
+        l = layer()
+        best = engine.search(l, accel).cost.energy_pj
+        tops = {op: accel.top_level_index(op) for op in ("W", "I", "O")}
+        loops = lpf_decompose(temporal_sizes(l, accel), 5)
+        worst = max(
+            evaluate_mapping(l, accel, tops, allocate(l, accel, tops, ordering)).energy_pj
+            for ordering in [tuple(loops), tuple(reversed(loops))]
+        )
+        assert best <= worst
+
+    def test_latency_objective_changes_preference(self, accel):
+        engine_e = MappingSearchEngine(SearchConfig(lpf_limit=5, budget=100, objective="energy"))
+        engine_l = MappingSearchEngine(SearchConfig(lpf_limit=5, budget=100, objective="latency"))
+        l = layer(k=64, c=32, ox=56, oy=56)
+        r_e = engine_e.search(l, accel)
+        r_l = engine_l.search(l, accel)
+        assert r_l.cost.latency_cycles <= r_e.cost.latency_cycles * 1.0001
+
+
+class TestCaching:
+    def test_cache_hit_returns_same_object(self, accel):
+        engine = MappingSearchEngine(SearchConfig(lpf_limit=5, budget=50))
+        a = engine.search(layer(), accel)
+        before = engine.cache_size
+        b = engine.search(layer(), accel)
+        assert a is b
+        assert engine.cache_size == before
+
+    def test_different_tops_cached_separately(self, accel):
+        engine = MappingSearchEngine(SearchConfig(lpf_limit=5, budget=50))
+        engine.search(layer(), accel)
+        engine.search(layer(), accel, tops={"W": 1, "I": 0, "O": 1})
+        assert engine.cache_size == 2
+
+    def test_clear_cache(self, accel):
+        engine = MappingSearchEngine(SearchConfig(lpf_limit=5, budget=50))
+        engine.search(layer(), accel)
+        engine.clear_cache()
+        assert engine.cache_size == 0
+
+
+class TestFixedMapping:
+    def test_evaluate_fixed_ordering(self, accel):
+        engine = MappingSearchEngine()
+        ordering = [("FX", 3), ("FY", 3), ("C", 4), ("OX", 6), ("OY", 6), ("K", 1)]
+        l = layer(k=1)
+        result = engine.evaluate_fixed(l, accel, ordering)
+        assert result.evaluated == 1
+        assert result.cost.mac_count == l.mac_count

@@ -1,0 +1,107 @@
+"""Unit and property tests for loop prime factor machinery."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mapping.loops import (
+    count_multiset_permutations,
+    lpf_decompose,
+    multiset_permutations,
+    prime_factors,
+    product,
+)
+
+
+class TestPrimeFactors:
+    def test_one(self):
+        assert prime_factors(1) == []
+
+    def test_prime(self):
+        assert prime_factors(97) == [97]
+
+    def test_composite(self):
+        assert prime_factors(360) == [2, 2, 2, 3, 3, 5]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            prime_factors(0)
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_product_reconstructs(self, n):
+        assert product(prime_factors(n)) == n
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    def test_factors_are_prime(self, n):
+        for f in prime_factors(n):
+            assert f >= 2
+            assert all(f % d for d in range(2, int(math.isqrt(f)) + 1))
+
+
+class TestLpfDecompose:
+    def test_drops_unit_dims(self):
+        loops = lpf_decompose({"K": 1, "OX": 4})
+        assert all(dim != "K" for dim, _ in loops)
+
+    def test_respects_limit(self):
+        loops = lpf_decompose({"OX": 960, "OY": 540}, lpf_limit=6)
+        assert len(loops) <= 6
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["K", "C", "OX", "OY"]),
+            st.integers(min_value=1, max_value=4096),
+            min_size=1,
+            max_size=4,
+        ),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_products_preserved(self, sizes, limit):
+        """Merging LPFs must never change any dimension's trip count."""
+        loops = lpf_decompose(sizes, lpf_limit=limit)
+        for dim, size in sizes.items():
+            got = product(f for d, f in loops if d == dim)
+            assert got == size
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ValueError):
+            lpf_decompose({"K": 4}, lpf_limit=0)
+
+
+class TestMultisetPermutations:
+    def test_empty(self):
+        assert list(multiset_permutations([])) == [()]
+
+    def test_distinct_items(self):
+        perms = list(multiset_permutations([("A", 2), ("B", 3)]))
+        assert len(perms) == 2
+
+    def test_duplicates_not_repeated(self):
+        items = [("A", 2), ("A", 2), ("B", 3)]
+        perms = list(multiset_permutations(items))
+        assert len(perms) == 3  # 3!/2!
+        assert len(set(perms)) == 3
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["K", "C", "OX"]), st.sampled_from([2, 3])),
+            min_size=0,
+            max_size=6,
+        )
+    )
+    def test_count_matches_formula(self, items):
+        perms = list(multiset_permutations(items))
+        assert len(perms) == count_multiset_permutations(items)
+        assert len(set(perms)) == len(perms)
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["K", "C"]), st.sampled_from([2, 3, 5])),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_each_is_permutation(self, items):
+        for perm in multiset_permutations(items):
+            assert sorted(perm) == sorted(items)

@@ -1,0 +1,122 @@
+"""Unit tests for temporal mapping footprints and stationarity."""
+
+import pytest
+
+from repro.hardware.zoo import meta_proto_like_df
+from repro.mapping.temporal import (
+    TemporalMapping,
+    cumulative_dim_products,
+    operand_footprint_elems,
+    temporal_sizes,
+    utilized_spatial,
+)
+from repro.workloads.layer import LayerSpec, OpType
+
+
+def layer(**kw):
+    base = dict(k=8, c=4, ox=16, oy=16, fx=3, fy=3, px=1, py=1)
+    base.update(kw)
+    return LayerSpec(name="t", **base)
+
+
+class TestTemporalSizes:
+    def test_divides_by_unroll(self):
+        accel = meta_proto_like_df()  # K32 C2 OX4 OY4
+        sizes = temporal_sizes(layer(k=64, c=4, ox=16, oy=16), accel)
+        assert sizes == {"K": 2, "C": 2, "OX": 4, "OY": 4, "FX": 3, "FY": 3}
+
+    def test_ceil_for_nondividing(self):
+        accel = meta_proto_like_df()
+        sizes = temporal_sizes(layer(k=12), accel)
+        assert sizes["K"] == 1
+
+    def test_utilized_spatial_clamped(self):
+        accel = meta_proto_like_df()
+        sp = utilized_spatial(layer(k=12, ox=2), accel)
+        assert sp["K"] == 12
+        assert sp["OX"] == 2
+
+
+class TestFootprints:
+    def test_weight_footprint(self):
+        fp = operand_footprint_elems(layer(), "W", {"K": 2, "C": 4, "FX": 3, "FY": 3})
+        assert fp == 2 * 4 * 9
+
+    def test_weightless_layer(self):
+        pool = LayerSpec(name="p", op_type=OpType.POOL, k=8, c=1, ox=8, oy=8, fx=2, fy=2, sx=2, sy=2)
+        assert operand_footprint_elems(pool, "W", {"K": 8}) == 0
+
+    def test_output_footprint(self):
+        fp = operand_footprint_elems(layer(), "O", {"K": 2, "OX": 4, "OY": 2})
+        assert fp == 16
+
+    def test_input_sliding_window(self):
+        # ox=4 with fx=3 stride 1 -> ix span 6 (halo reuse inside tile).
+        fp = operand_footprint_elems(layer(), "I", {"C": 2, "OX": 4, "FX": 3})
+        assert fp == 2 * 6 * 1
+
+    def test_input_stride_two(self):
+        fp = operand_footprint_elems(layer(sx=2, px=0), "I", {"OX": 4, "FX": 3})
+        assert fp == (4 - 1) * 2 + 3
+
+    def test_depthwise_input_uses_k(self):
+        dw = LayerSpec(name="dw", op_type=OpType.DEPTHWISE, c=1, k=8, ox=8, oy=8, fx=3, fy=3, px=1, py=1)
+        fp = operand_footprint_elems(
+            dw, "I", {"K": 4, "OX": 2, "OY": 2, "FX": 3, "FY": 3}
+        )
+        assert fp == 4 * 4 * 4
+
+    def test_clamped_to_layer_dims(self):
+        # Products beyond the true dimension cannot inflate footprints.
+        fp = operand_footprint_elems(layer(k=6), "O", {"K": 8, "OX": 4, "OY": 1})
+        assert fp == 6 * 4
+
+    def test_input_clamped_to_clip(self):
+        l = layer(px=0, ix_clip=10)
+        fp = operand_footprint_elems(l, "I", {"C": 1, "OX": 16, "FX": 3})
+        assert fp == 10
+
+
+class TestTemporalMapping:
+    def test_validation_monotone(self):
+        with pytest.raises(ValueError):
+            TemporalMapping(
+                loops=(("K", 2), ("C", 2)),
+                boundaries={"W": (2, 1)},
+            )
+
+    def test_validation_top_covers_all(self):
+        with pytest.raises(ValueError):
+            TemporalMapping(loops=(("K", 2),), boundaries={"W": (0,)})
+
+    def test_total_iterations(self):
+        m = TemporalMapping(loops=(("K", 2), ("C", 3)), boundaries={"W": (2,)})
+        assert m.total_iterations == 6
+
+    def test_stationarity_credit_weight(self):
+        # OX above the W boundary is W-irrelevant: full credit.
+        m = TemporalMapping(
+            loops=(("FX", 3), ("OX", 8), ("K", 2)),
+            boundaries={"W": (1, 3), "I": (3,), "O": (3,)},
+        )
+        assert m.stationarity_credit(layer(), "W", 0) == 8
+
+    def test_stationarity_credit_stops_at_relevant(self):
+        m = TemporalMapping(
+            loops=(("FX", 3), ("K", 2), ("OX", 8)),
+            boundaries={"W": (1, 3), "I": (3,), "O": (3,)},
+        )
+        # K (relevant) sits directly above the boundary: no credit.
+        assert m.stationarity_credit(layer(), "W", 0) == 1
+
+    def test_output_credit_over_reduction_dims(self):
+        m = TemporalMapping(
+            loops=(("OX", 4), ("C", 2), ("FX", 3), ("K", 2)),
+            boundaries={"W": (4,), "I": (4,), "O": (1, 4)},
+        )
+        # C and FX iterate above the psum: accumulation stays put.
+        assert m.stationarity_credit(layer(), "O", 0) == 6
+
+    def test_describe(self):
+        m = TemporalMapping(loops=(("K", 2),), boundaries={"W": (1,)})
+        assert m.describe() == "K2"

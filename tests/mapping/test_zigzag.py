@@ -1,0 +1,174 @@
+"""Behavioural tests of the single-layer cost model.
+
+These check the *physics* of the access-count model: conservation (every
+element crosses at least once), stationarity credits, read-modify-write
+psum accounting, spatial underutilization effects and bandwidth stalls.
+"""
+
+import pytest
+
+from repro.hardware.accelerator import build_accelerator
+from repro.hardware.memory import MemoryInstance, level
+from repro.mapping.allocation import allocate
+from repro.mapping.loops import lpf_decompose
+from repro.mapping.temporal import temporal_sizes
+from repro.mapping.zigzag import evaluate_mapping
+from repro.workloads.layer import LayerSpec
+
+
+def scalar_accel(lb_bytes=1 << 20, name="scalar"):
+    """A 1-PE accelerator: no spatial effects, easy hand-counting."""
+    lb = MemoryInstance.sram("LB_WIO", lb_bytes)
+    dram = MemoryInstance.dram()
+    return build_accelerator(name, {}, [level(lb, "WIO"), level(dram, "WIO")])
+
+
+def layer(**kw):
+    base = dict(k=4, c=2, ox=8, oy=8, fx=3, fy=3, px=0, py=0)
+    base.update(kw)
+    return LayerSpec(name="t", **base)
+
+
+def evaluate(l, accel, loops=None, tops=None):
+    tops = tops or {op: accel.top_level_index(op) for op in ("W", "I", "O")}
+    loops = loops or lpf_decompose(temporal_sizes(l, accel), lpf_limit=8)
+    mapping = allocate(l, accel, tops, loops)
+    return evaluate_mapping(l, accel, tops, mapping)
+
+
+class TestConservation:
+    def test_dram_weight_reads_equal_footprint_when_fits(self):
+        accel = scalar_accel()
+        l = layer()
+        cost = evaluate(l, accel)
+        w_dram = cost.traffic[("W", "DRAM")]
+        assert w_dram.reads_elems == pytest.approx(l.weight_count)
+
+    def test_dram_output_writes_equal_footprint_when_fits(self):
+        accel = scalar_accel()
+        l = layer()
+        cost = evaluate(l, accel)
+        o_dram = cost.traffic[("O", "DRAM")]
+        assert o_dram.writes_elems == pytest.approx(l.output_count)
+        assert o_dram.reads_elems == pytest.approx(0.0)
+
+    def test_dram_input_reads_equal_footprint_when_fits(self):
+        accel = scalar_accel()
+        l = layer()
+        cost = evaluate(l, accel)
+        i_dram = cost.traffic[("I", "DRAM")]
+        assert i_dram.reads_elems == pytest.approx(l.input_count)
+
+    def test_mac_count(self):
+        accel = scalar_accel()
+        l = layer()
+        assert evaluate(l, accel).mac_count == l.mac_count
+
+    def test_truncated_top_removes_dram_traffic(self):
+        accel = scalar_accel()
+        l = layer()
+        cost = evaluate(l, accel, tops={"W": 0, "I": 0, "O": 0})
+        assert not any(lvl == "DRAM" for (_op, lvl) in cost.traffic)
+
+
+class TestRefetch:
+    def test_small_buffer_forces_weight_refetch(self):
+        # LB too small for all weights with a K-outer OX-outer loop order:
+        # weights must be refetched from DRAM across OX iterations.
+        accel = scalar_accel(lb_bytes=16)
+        l = layer(k=8, c=8, ox=64, oy=1, fx=1, fy=1)
+        loops = [("C", 8), ("K", 8), ("OX", 64)]  # OX outermost
+        cost = evaluate(l, accel, loops=loops)
+        w_dram = cost.traffic[("W", "DRAM")]
+        assert w_dram.reads_elems > l.weight_count  # refetched
+
+    def test_weight_stationary_order_avoids_refetch(self):
+        accel = scalar_accel(lb_bytes=16)
+        l = layer(k=8, c=8, ox=64, oy=1, fx=1, fy=1)
+        loops = [("OX", 64), ("C", 8), ("K", 8)]  # OX innermost
+        cost = evaluate(l, accel, loops=loops)
+        w_dram = cost.traffic[("W", "DRAM")]
+        # OX below the LB boundary: each weight crosses DRAM once.
+        assert w_dram.reads_elems == pytest.approx(l.weight_count)
+
+
+class TestOutputRmw:
+    def test_psum_readback_when_reduction_above_boundary(self):
+        # Tiny LB: K*OX psums do not fit, C iterates above -> psums
+        # bounce to DRAM and back.
+        accel = scalar_accel(lb_bytes=8)
+        l = layer(k=4, c=16, ox=16, oy=1, fx=1, fy=1)
+        loops = [("K", 4), ("OX", 16), ("C", 16)]
+        cost = evaluate(l, accel, loops=loops)
+        o_dram = cost.traffic[("O", "DRAM")]
+        assert o_dram.writes_elems > l.output_count
+        assert o_dram.reads_elems == pytest.approx(
+            o_dram.writes_elems - l.output_count
+        )
+
+    def test_no_readback_when_reduction_inside(self):
+        accel = scalar_accel()
+        l = layer(k=4, c=16, ox=16, oy=1, fx=1, fy=1)
+        loops = [("C", 16), ("K", 4), ("OX", 16)]
+        cost = evaluate(l, accel, loops=loops)
+        o_dram = cost.traffic[("O", "DRAM")]
+        assert o_dram.reads_elems == pytest.approx(0.0)
+
+
+class TestSpatialEffects:
+    def make_spatial(self):
+        w_reg = MemoryInstance.register("W_reg", 1)
+        lb = MemoryInstance.sram("LB_WIO", 1 << 20)
+        dram = MemoryInstance.dram()
+        return build_accelerator(
+            "spatial", {"K": 4, "OX": 2, "OY": 2},
+            [level(w_reg, "W"), level(lb, "WIO"), level(dram, "WIO")],
+        )
+
+    def test_weight_lb_reads_scale_with_ox_underutilization(self):
+        """Fig. 14(b): a (1,1) tile cannot broadcast weights over OX/OY,
+        multiplying weight LB reads."""
+        accel = self.make_spatial()
+        big = layer(k=4, c=2, ox=8, oy=8, fx=1, fy=1)
+        tiny = layer(k=4, c=2, ox=1, oy=1, fx=1, fy=1)
+        r_big = evaluate(big, accel).traffic[("W", "LB_WIO")].reads_elems
+        r_tiny = evaluate(tiny, accel).traffic[("W", "LB_WIO")].reads_elems
+        per_mac_big = r_big / big.mac_count
+        per_mac_tiny = r_tiny / tiny.mac_count
+        assert per_mac_tiny == pytest.approx(per_mac_big * 4, rel=0.01)
+
+    def test_compute_cycles_reflect_underutilization(self):
+        accel = self.make_spatial()
+        l = layer(k=1, c=2, ox=8, oy=8, fx=1, fy=1)  # 1 of 4 K lanes
+        cost = evaluate(l, accel)
+        ideal = l.mac_count / accel.pe_count
+        assert cost.compute_cycles >= ideal * 3.9
+
+
+class TestLatency:
+    def test_dram_bandwidth_stall(self):
+        # A wide array turning over lots of data at 8 B/cycle DRAM must be
+        # bandwidth-limited, not compute-limited.
+        w_reg = MemoryInstance.register("W_reg", 4)
+        lb = MemoryInstance.sram("LB_WIO", 256)
+        dram = MemoryInstance.dram()
+        accel = build_accelerator(
+            "wide", {"K": 16}, [level(w_reg, "W"), level(lb, "WIO"), level(dram, "WIO")]
+        )
+        l = layer(k=16, c=1, ox=256, oy=32, fx=1, fy=1)
+        cost = evaluate(l, accel)
+        assert cost.latency_cycles > cost.compute_cycles
+
+    def test_compute_bound_when_data_tiny(self):
+        accel = scalar_accel()
+        l = layer(k=2, c=64, ox=2, oy=2, fx=3, fy=3)
+        cost = evaluate(l, accel)
+        assert cost.latency_cycles == pytest.approx(cost.compute_cycles)
+
+    def test_energy_positive_and_composed(self):
+        accel = scalar_accel()
+        cost = evaluate(layer(), accel)
+        assert cost.energy_pj > 0
+        assert cost.energy_pj == pytest.approx(
+            cost.mac_energy_pj + cost.memory_energy_pj
+        )

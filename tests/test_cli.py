@@ -1,0 +1,69 @@
+"""Tests for the artifact-style command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import DFMODE_ALIASES, _resolve_mode, build_parser, main
+from repro.core.strategy import OverlapMode
+
+
+class TestParser:
+    def test_required_args(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(
+            ["--accelerator", "meta_proto_like_df", "--workload", "fsrcnn"]
+        )
+        assert args.tilex == 16 and args.tiley == 8
+        assert args.lpf_limit == 6
+
+    def test_unknown_accelerator_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["--accelerator", "gpu", "--workload", "fsrcnn"]
+            )
+
+
+class TestModeResolution:
+    def test_names(self):
+        assert _resolve_mode("fully_cached") is OverlapMode.FULLY_CACHED
+
+    def test_artifact_integers(self):
+        assert _resolve_mode("0") is OverlapMode.FULLY_RECOMPUTE
+        assert _resolve_mode("1") is OverlapMode.H_CACHED_V_RECOMPUTE
+        assert _resolve_mode("2") is OverlapMode.FULLY_CACHED
+        assert set(DFMODE_ALIASES) == {"0", "1", "2"}
+
+    def test_unknown_mode_exits(self):
+        with pytest.raises(SystemExit):
+            _resolve_mode("3")
+
+
+class TestMain:
+    def test_end_to_end_with_json_output(self, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        code = main(
+            [
+                "--accelerator", "meta_proto_like_df",
+                "--workload", "mobilenet_v1",
+                "--mode", "2",
+                "--tilex", "14",
+                "--tiley", "14",
+                "--budget", "40",
+                "--lpf-limit", "5",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "mobilenet_v1 on meta_proto_like_df" in captured
+
+        summary = json.loads(out.read_text())
+        assert summary["energy_pj"] > 0
+        assert summary["latency_cycles"] > 0
+        assert summary["stacks"]
+        assert set(summary["accesses_by_tier"]) >= {"LB", "GB", "DRAM"}

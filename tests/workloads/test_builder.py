@@ -1,0 +1,71 @@
+"""Unit tests for the workload builder."""
+
+import pytest
+
+from repro.workloads.builder import WorkloadBuilder, conv_out_size
+from repro.workloads.layer import OpType
+
+
+class TestConvOutSize:
+    def test_same_padding(self):
+        assert conv_out_size(32, 3, 1, 1) == 32
+
+    def test_stride_two(self):
+        assert conv_out_size(32, 3, 2, 1) == 16
+
+    def test_no_padding(self):
+        assert conv_out_size(32, 3, 1, 0) == 30
+
+    def test_collapse_raises(self):
+        with pytest.raises(ValueError):
+            conv_out_size(2, 7, 1, 0)
+
+
+class TestBuilder:
+    def test_conv_shapes(self):
+        b = WorkloadBuilder("t", channels=3, x=32, y=24)
+        t = b.conv("c1", b.input(), k=8, f=3)
+        assert (t.channels, t.x, t.y) == (8, 32, 24)
+        wl = b.build()
+        layer = wl.layer("c1")
+        assert layer.c == 3 and layer.k == 8
+
+    def test_depthwise_keeps_channels(self):
+        b = WorkloadBuilder("t", channels=8, x=16, y=16)
+        t = b.depthwise("dw", b.input(), f=3, stride=2)
+        assert t.channels == 8
+        assert t.x == 8
+        assert b.build().layer("dw").op_type is OpType.DEPTHWISE
+
+    def test_pool_defaults_stride_to_kernel(self):
+        b = WorkloadBuilder("t", channels=4, x=16, y=16)
+        t = b.pool("p", b.input(), f=2)
+        assert (t.x, t.y) == (8, 8)
+
+    def test_add_requires_matching_shapes(self):
+        b = WorkloadBuilder("t", channels=4, x=16, y=16)
+        a = b.conv("a", b.input(), k=4, f=3)
+        c = b.conv("c", b.input(), k=8, f=3)
+        with pytest.raises(ValueError):
+            b.add("bad", a, c)
+
+    def test_add_joins_branches(self):
+        b = WorkloadBuilder("t", channels=4, x=16, y=16)
+        t = b.conv("entry", b.input(), k=4, f=3)
+        s = t
+        t = b.conv("main", t, k=4, f=3)
+        j = b.add("join", t, s)
+        wl = b.build()
+        assert {p.name for p in wl.predecessors("join")} == {"entry", "main"}
+        assert j.channels == 4
+
+    def test_fc_flattens(self):
+        b = WorkloadBuilder("t", channels=8, x=4, y=4)
+        b.fc("fc", b.input(), k=10)
+        layer = b.build().layer("fc")
+        assert layer.c == 8 * 4 * 4
+        assert (layer.ox, layer.oy) == (1, 1)
+
+    def test_empty_build_raises(self):
+        with pytest.raises(ValueError):
+            WorkloadBuilder("t", channels=1, x=8, y=8).build()

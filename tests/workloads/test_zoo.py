@@ -1,0 +1,92 @@
+"""The workload zoo must match Table I(b)'s statistics.
+
+Paper values: FSRCNN 15.6KB / 10.9MB avg / 28.5MB max; DMCNN-VD 651.3KB /
+24.1 / 26.7; MCCNN 108.6KB / 21.8 / 29.1; MobileNetV1 4MB; ResNet18 11MB.
+We assert the weight totals tightly (they pin the network structure) and
+the feature-map statistics loosely (they pin the resolution choice).
+"""
+
+import pytest
+
+from repro.workloads.stats import workload_stats
+from repro.workloads.zoo import WORKLOAD_FACTORIES, get_workload
+
+MB = 2**20
+KB = 1024
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return {name: workload_stats(f()) for name, f in WORKLOAD_FACTORIES.items()}
+
+
+class TestTable1b:
+    def test_dmcnn_weights_match_exactly(self, stats):
+        assert stats["dmcnn_vd"].total_weight_bytes / KB == pytest.approx(651.3, abs=1.0)
+
+    def test_mccnn_weights_match_exactly(self, stats):
+        assert stats["mccnn"].total_weight_bytes / KB == pytest.approx(108.6, abs=0.5)
+
+    def test_fsrcnn_weights_small(self, stats):
+        # Paper: 15.6 KB; our 8-bit d=56/s=12/m=4 build gives ~12 KB.
+        assert 8 * KB < stats["fsrcnn"].total_weight_bytes < 20 * KB
+
+    def test_mobilenet_weights(self, stats):
+        assert stats["mobilenet_v1"].total_weight_bytes / MB == pytest.approx(4.0, rel=0.1)
+
+    def test_resnet18_weights(self, stats):
+        assert stats["resnet18"].total_weight_bytes / MB == pytest.approx(11.0, rel=0.1)
+
+    @pytest.mark.parametrize(
+        "name,max_fm_mb",
+        [("fsrcnn", 28.5), ("dmcnn_vd", 26.7), ("mccnn", 29.1)],
+    )
+    def test_activation_dominant_max_fm(self, stats, name, max_fm_mb):
+        assert stats[name].max_feature_map_bytes / MB == pytest.approx(
+            max_fm_mb, rel=0.1
+        )
+
+    @pytest.mark.parametrize("name", ["fsrcnn", "dmcnn_vd", "mccnn"])
+    def test_activation_dominant_flag(self, stats, name):
+        assert stats[name].is_activation_dominant
+
+    @pytest.mark.parametrize("name", ["mobilenet_v1", "resnet18"])
+    def test_weight_dominant_flag(self, stats, name):
+        assert not stats[name].is_activation_dominant
+
+
+class TestStructure:
+    def test_fsrcnn_has_8_layers(self):
+        assert len(get_workload("fsrcnn")) == 8
+
+    def test_fsrcnn_output_is_960x540(self):
+        sink = get_workload("fsrcnn").sinks()[0]
+        assert (sink.ox, sink.oy) == (960, 540)
+
+    def test_fsrcnn_mac_count_matches_fig13(self):
+        # Fig. 13's large-tile floor is ~6.5e9 MACs.
+        wl = get_workload("fsrcnn")
+        assert wl.total_mac_count == pytest.approx(6.46e9, rel=0.05)
+
+    def test_dmcnn_has_20_layers(self):
+        assert len(get_workload("dmcnn_vd")) == 20
+
+    def test_resnet18_has_branches(self):
+        assert get_workload("resnet18").has_branches()
+
+    def test_resnet18_classifier_depth(self):
+        wl = get_workload("resnet18")
+        # stem + pool + 8 blocks * (2 conv [+proj]) + 3 projections +
+        # 8 adds + avgpool + fc = 31
+        assert len(wl) == 31
+
+    def test_reference_net_shape(self):
+        wl = get_workload("reference")
+        layers = wl.topological_layers()
+        assert len(layers) == 11
+        assert all(l.k == 32 for l in layers[:10])
+        assert layers[-1].k == 16 and layers[-1].fx == 1
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("vgg99")

@@ -1,0 +1,48 @@
+"""Geometry-consistency invariants over every zoo network.
+
+Each edge producer->consumer must agree on the feature map's shape:
+the consumer's implied input geometry equals the producer's output
+geometry.  This pins the zoo definitions against silent builder bugs.
+"""
+
+import pytest
+
+from repro.workloads.zoo import WORKLOAD_FACTORIES
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOAD_FACTORIES))
+def test_edges_shape_consistent(name):
+    wl = WORKLOAD_FACTORIES[name]()
+    for layer in wl.topological_layers():
+        for producer in wl.predecessors(layer.name):
+            assert layer.in_channels == producer.k, (
+                f"{name}: {producer.name}->{layer.name} channel mismatch"
+            )
+            # Strided windows may leave up to stride-1 dead border pixels
+            # in the producer's map; otherwise spans must agree exactly.
+            slack_x = producer.ox - layer.ix
+            slack_y = producer.oy - layer.iy
+            assert 0 <= slack_x < layer.sx, (
+                f"{name}: {producer.name}->{layer.name} width mismatch "
+                f"({layer.ix} vs {producer.ox})"
+            )
+            assert 0 <= slack_y < layer.sy, (
+                f"{name}: {producer.name}->{layer.name} height mismatch "
+                f"({layer.iy} vs {producer.oy})"
+            )
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOAD_FACTORIES))
+def test_positive_volumes(name):
+    wl = WORKLOAD_FACTORIES[name]()
+    for layer in wl.topological_layers():
+        assert layer.mac_count > 0
+        assert layer.output_count > 0
+        assert layer.weight_bytes >= 0
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOAD_FACTORIES))
+def test_single_network_output(name):
+    # All zoo networks end in exactly one sink (tiling target).
+    wl = WORKLOAD_FACTORIES[name]()
+    assert len(wl.sinks()) == 1
