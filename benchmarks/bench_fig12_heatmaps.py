@@ -13,10 +13,11 @@ Shape checks (the paper's four observations):
 """
 
 from repro.analysis import energy_mj, latency_mcycles, render_heatmap, sweep_grid
-from repro.core.optimizer import ALL_MODES, PAPER_TILE_GRID_X, PAPER_TILE_GRID_Y, sweep
+from repro.core.optimizer import ALL_MODES, PAPER_TILE_GRID_X, PAPER_TILE_GRID_Y
 from repro.core.strategy import OverlapMode
+from repro.explore import Executor, SweepSpec
 
-from .conftest import FULL, write_output
+from .conftest import FULL, JOBS, write_output
 
 if FULL:
     TILE_SIZES = [
@@ -30,11 +31,15 @@ else:
 
 
 def test_fig12_heatmaps(benchmark, fsrcnn, meta_df_engine):
-    points = benchmark.pedantic(
-        lambda: sweep(meta_df_engine, fsrcnn, TILE_SIZES, ALL_MODES),
-        rounds=1,
-        iterations=1,
+    # The CS1 grid as a declarative spec on the exploration runtime;
+    # REPRO_JOBS>1 spreads it over worker processes.
+    spec = SweepSpec.tile_grid(meta_df_engine.accel, fsrcnn, TILE_SIZES, ALL_MODES)
+    executor = Executor(
+        jobs=JOBS,
+        search_config=meta_df_engine.mapper.config,
+        cache=meta_df_engine.cache,
     )
+    points = benchmark.pedantic(lambda: executor.run(spec), rounds=1, iterations=1)
 
     xs, ys = PAPER_TILE_GRID_X, PAPER_TILE_GRID_Y
     sections = []

@@ -28,9 +28,10 @@ from repro import (
     get_workload,
 )
 from repro.analysis import strategy_comparison
+from repro.explore import MappingCache
 from repro.mapping import SearchConfig
 
-from .conftest import FULL, write_output
+from .conftest import FULL, JOBS, write_output
 
 WORKLOADS = (
     ("fsrcnn", True),
@@ -51,12 +52,15 @@ SWEEP_MODES = (OverlapMode.FULLY_CACHED, OverlapMode.H_CACHED_V_RECOMPUTE)
 def test_fig16_strategies_across_workloads(benchmark):
     accel = get_accelerator("meta_proto_like_df")
     config = SearchConfig(lpf_limit=6, budget=150)
+    # One cache handle shared by every per-workload engine: identical
+    # layer-tile shapes recur across workloads and strategy searches.
+    cache = MappingCache()
 
     def run():
         out = {}
         for name, _act in WORKLOADS:
             wl = get_workload(name)
-            engine = DepthFirstEngine(accel, config)
+            engine = DepthFirstEngine(accel, config, cache=cache)
             fixed = engine.evaluate(
                 wl, DFStrategy(tile_x=4, tile_y=72, mode=OverlapMode.FULLY_CACHED)
             )
@@ -65,10 +69,12 @@ def test_fig16_strategies_across_workloads(benchmark):
                 "lbl": evaluate_layer_by_layer(engine, wl),
                 "df_4x72": fixed,
                 "best_single": best_single_strategy(
-                    engine, wl, tile_sizes=SWEEP_TILES, modes=SWEEP_MODES
+                    engine, wl, tile_sizes=SWEEP_TILES, modes=SWEEP_MODES,
+                    jobs=JOBS,
                 ).result,
                 "best_combo": best_combination(
-                    engine, wl, tile_sizes=SWEEP_TILES, modes=SWEEP_MODES
+                    engine, wl, tile_sizes=SWEEP_TILES, modes=SWEEP_MODES,
+                    jobs=JOBS,
                 ),
             }
         return out

@@ -15,18 +15,12 @@ workload); REPRO_FULL=1 runs all five Table I(b) workloads.
 
 import math
 
-from repro import (
-    DepthFirstEngine,
-    OverlapMode,
-    best_single_strategy,
-    evaluate_layer_by_layer,
-    get_accelerator,
-    get_workload,
-)
+from repro import DFStrategy, OverlapMode
+from repro.explore import Executor, SweepSpec
 from repro.hardware.zoo import ACCELERATOR_FACTORIES
 from repro.mapping import SearchConfig
 
-from .conftest import FULL, write_output
+from .conftest import FULL, JOBS, write_output
 
 WORKLOADS = (
     ("fsrcnn", "dmcnn_vd", "mccnn", "mobilenet_v1", "resnet18")
@@ -43,20 +37,36 @@ def geomean(values):
 def test_fig17_architectures(benchmark):
     config = SearchConfig(lpf_limit=6, budget=120)
 
+    # The whole case study as one declarative batch: every architecture
+    # evaluates the LBL baseline plus a fully-cached DF grid on every
+    # workload.  Zoo-name references keep the jobs cheap to ship to
+    # worker processes when REPRO_JOBS > 1.
+    df_grid = tuple(
+        DFStrategy(tile_x=tx, tile_y=ty, mode=OverlapMode.FULLY_CACHED)
+        for tx, ty in SWEEP_TILES
+    )
+    spec = SweepSpec.multi_architecture(
+        tuple(ACCELERATOR_FACTORIES),
+        WORKLOADS,
+        (DFStrategy.layer_by_layer(),) + df_grid,
+    )
+    executor = Executor(jobs=JOBS, search_config=config)
+
     def run():
         out = {}
+        by_cell: dict[tuple[str, str], dict[str, float]] = {}
+        for r in executor.run(spec):
+            cell = by_cell.setdefault(
+                (r.job.accelerator_name, r.job.workload_name), {}
+            )
+            energy = r.result.energy_pj
+            if r.job.strategy.one_layer_per_stack:
+                cell["lbl"] = energy
+            else:
+                cell["df"] = min(cell.get("df", energy), energy)
         for arch_name in ACCELERATOR_FACTORIES:
-            engine = DepthFirstEngine(get_accelerator(arch_name), config)
-            lbl_e, df_e = [], []
-            for wl_name in WORKLOADS:
-                wl = get_workload(wl_name)
-                lbl_e.append(evaluate_layer_by_layer(engine, wl).energy_pj)
-                df_e.append(
-                    best_single_strategy(
-                        engine, wl, tile_sizes=SWEEP_TILES,
-                        modes=(OverlapMode.FULLY_CACHED,),
-                    ).result.energy_pj
-                )
+            lbl_e = [by_cell[(arch_name, wl)]["lbl"] for wl in WORKLOADS]
+            df_e = [by_cell[(arch_name, wl)]["df"] for wl in WORKLOADS]
             out[arch_name] = (geomean(lbl_e), geomean(df_e))
         return out
 

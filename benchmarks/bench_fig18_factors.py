@@ -23,20 +23,27 @@ from repro import (
     sweep,
 )
 from repro.analysis import energy_components, weight_vs_activation_energy
+from repro.explore import MappingCache
 from repro.mapping import SearchConfig
 
-from .conftest import write_output
+from .conftest import JOBS, write_output
 
 CONFIG = SearchConfig(lpf_limit=6, budget=120)
 TILES = ((2, 2), (4, 18), (4, 72), (16, 18), (60, 72), (120, 4))
 MODES = (OverlapMode.FULLY_CACHED,)
 
+#: One cache for every engine in this figure: the (a)/(c)/(d) sweeps and
+#: the (b) policy comparison revisit the same layer-tile shapes.
+CACHE = MappingCache()
+
 
 @pytest.fixture(scope="module")
 def fsrcnn_points():
-    engine = DepthFirstEngine(get_accelerator("meta_proto_like_df"), CONFIG)
+    engine = DepthFirstEngine(
+        get_accelerator("meta_proto_like_df"), CONFIG, cache=CACHE
+    )
     wl = get_workload("fsrcnn")
-    return engine, wl, sweep(engine, wl, TILES, MODES)
+    return engine, wl, sweep(engine, wl, TILES, MODES, jobs=JOBS)
 
 
 def test_fig18a_onchip_traffic(benchmark, fsrcnn_points):
@@ -80,11 +87,11 @@ def test_fig18b_memory_skipping(benchmark):
     def run():
         multi = DepthFirstEngine(
             get_accelerator("meta_proto_like_df"), CONFIG,
-            policy=MemLevelPolicy(multi_level_skip=True),
+            policy=MemLevelPolicy(multi_level_skip=True), cache=CACHE,
         ).evaluate(wl, strategy)
         dram_only = DepthFirstEngine(
             get_accelerator("meta_proto_like_df"), CONFIG,
-            policy=MemLevelPolicy(multi_level_skip=False),
+            policy=MemLevelPolicy(multi_level_skip=False), cache=CACHE,
         ).evaluate(wl, strategy)
         return multi, dram_only
 
@@ -103,12 +110,14 @@ def test_fig18b_memory_skipping(benchmark):
 def test_fig18c_weight_traffic(benchmark):
     """Ignoring weights while optimizing activations backfires on
     weight-dominant ResNet18."""
-    engine = DepthFirstEngine(get_accelerator("meta_proto_like_df"), CONFIG)
+    engine = DepthFirstEngine(
+        get_accelerator("meta_proto_like_df"), CONFIG, cache=CACHE
+    )
     wl = get_workload("resnet18")
     tiles = ((2, 2), (4, 7), (14, 28), (28, 28), (56, 56))
 
     def run():
-        points = sweep(engine, wl, tiles, MODES)
+        points = sweep(engine, wl, tiles, MODES, jobs=JOBS)
         act_opt = best_point(points, "activation_energy")
         full_opt = best_point(points, "energy")
         return act_opt, full_opt
@@ -137,12 +146,14 @@ def test_fig18c_weight_traffic(benchmark):
 
 def test_fig18d_optimizing_target(benchmark):
     """Latency- vs energy-optimized DF schedules trade off (ResNet18)."""
-    engine = DepthFirstEngine(get_accelerator("meta_proto_like_df"), CONFIG)
+    engine = DepthFirstEngine(
+        get_accelerator("meta_proto_like_df"), CONFIG, cache=CACHE
+    )
     wl = get_workload("resnet18")
     tiles = ((2, 2), (4, 7), (14, 28), (28, 28), (56, 56))
 
     def run():
-        points = sweep(engine, wl, tiles, MODES)
+        points = sweep(engine, wl, tiles, MODES, jobs=JOBS)
         return best_point(points, "energy"), best_point(points, "latency")
 
     energy_opt, latency_opt = benchmark.pedantic(run, rounds=1, iterations=1)

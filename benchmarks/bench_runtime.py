@@ -7,13 +7,15 @@ a minute per mode at lpf_limit=6, and warm-cache points in milliseconds
 thanks to tile-type and mapping memoization.
 """
 
+import os
 import time
 
 from repro import DepthFirstEngine, DFStrategy, get_accelerator, get_workload
 from repro.core.strategy import OverlapMode
+from repro.explore import Executor, MappingCache, SweepSpec
 from repro.mapping import SearchConfig
 
-from .conftest import write_output
+from .conftest import OUTPUT_DIR, write_output
 
 
 def test_runtime_per_design_point(benchmark):
@@ -51,3 +53,82 @@ def test_runtime_per_design_point(benchmark):
 
     for mode, (cold, _warm) in timings.items():
         assert cold < 60.0, f"{mode}: too slow"
+
+
+def test_parallel_sweep_and_persistent_cache(benchmark):
+    """The exploration runtime on (a slice of) the Fig. 12 grid.
+
+    Three runs of the same sweep spec:
+
+    1. serial, cold cache — the baseline;
+    2. parallel (2 workers), cold cache — must be bit-identical to the
+       serial run, and faster whenever more than one CPU is available
+       (on a single-core machine process parallelism cannot win, so the
+       speedup assert is skipped there — the identity assert is not);
+    3. serial, warm from the *persisted* cache of run 1 — must be
+       faster than run 1, produce identical totals, and run zero new
+       LOMA searches.
+    """
+    tiles = ((1, 1), (4, 4), (4, 72), (16, 18), (60, 72), (240, 270))
+    spec = SweepSpec.tile_grid(
+        "meta_proto_like_df", "fsrcnn", tiles,
+        (OverlapMode.FULLY_CACHED, OverlapMode.H_CACHED_V_RECOMPUTE),
+    )
+    config = SearchConfig(lpf_limit=6, budget=150)
+
+    def run():
+        timings = {}
+
+        serial = Executor(jobs=1, search_config=config, cache=MappingCache())
+        t0 = time.perf_counter()
+        serial_results = serial.run(spec)
+        timings["serial_cold"] = time.perf_counter() - t0
+
+        parallel = Executor(jobs=2, search_config=config, cache=MappingCache())
+        t0 = time.perf_counter()
+        parallel_results = parallel.run(spec)
+        timings["parallel_cold"] = time.perf_counter() - t0
+
+        cache_path = OUTPUT_DIR / "runtime_mapping_cache.json"
+        serial.cache.save(cache_path)
+        warm_cache = MappingCache(cache_path)
+        warm = Executor(jobs=1, search_config=config, cache=warm_cache)
+        t0 = time.perf_counter()
+        warm_results = warm.run(spec)
+        timings["serial_warm"] = time.perf_counter() - t0
+
+        return timings, serial_results, parallel_results, warm_results, warm_cache
+
+    timings, serial_results, parallel_results, warm_results, warm_cache = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+
+    # CPUs actually usable by this process (cgroup/affinity aware), not
+    # the host count: in a 1-CPU container two workers only time-slice.
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        cpus = os.cpu_count() or 1
+    lines = [
+        f"{len(spec)}-point Fig. 12 sweep slice ({cpus} CPU(s)):",
+        f"  serial cold:    {timings['serial_cold']:7.2f}s",
+        f"  parallel cold:  {timings['parallel_cold']:7.2f}s (2 workers)",
+        f"  serial warm:    {timings['serial_warm']:7.2f}s (disk cache, "
+        f"{warm_cache.stats['hits']} hits / {warm_cache.stats['misses']} misses)",
+    ]
+    write_output("runtime_parallel.txt", "\n".join(lines))
+
+    # Parallel output is bit-identical to serial, in the same order.
+    for s, p in zip(serial_results, parallel_results):
+        assert s.job.strategy == p.job.strategy
+        assert s.result.total == p.result.total
+
+    # With real parallel hardware, 2 workers beat the serial sweep.
+    if cpus > 1:
+        assert timings["parallel_cold"] < timings["serial_cold"], timings
+
+    # The warm re-run is faster, identical, and searches nothing anew.
+    assert timings["serial_warm"] < timings["serial_cold"], timings
+    for s, w in zip(serial_results, warm_results):
+        assert s.result.total == w.result.total
+    assert warm_cache.misses == 0, warm_cache.stats

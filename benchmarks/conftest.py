@@ -13,11 +13,14 @@ from pathlib import Path
 
 import pytest
 
-from repro import DepthFirstEngine, get_accelerator, get_workload
+from repro import DepthFirstEngine, MappingCache, get_accelerator, get_workload
 from repro.mapping import SearchConfig
 
 #: Full paper grids vs. quick reduced grids.
 FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+#: Worker processes for the grid-shaped benchmarks (1 = serial).
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
@@ -42,8 +45,21 @@ def fsrcnn():
 
 
 @pytest.fixture(scope="session")
-def meta_df_engine(search_config):
+def mapping_cache():
+    """One mapping cache shared by the case-study benchmarks; point
+    ``REPRO_CACHE`` at a JSON file to persist it across harness runs."""
+    path = os.environ.get("REPRO_CACHE")
+    cache = MappingCache(path) if path else MappingCache()
+    yield cache
+    if path:
+        cache.save()
+
+
+@pytest.fixture(scope="session")
+def meta_df_engine(search_config, mapping_cache):
     """One shared engine for the FSRCNN case-study benchmarks: the
     mapping cache carries across figures exactly as DeFiNES' tile-type
     deduplication intends."""
-    return DepthFirstEngine(get_accelerator("meta_proto_like_df"), search_config)
+    return DepthFirstEngine(
+        get_accelerator("meta_proto_like_df"), search_config, cache=mapping_cache
+    )

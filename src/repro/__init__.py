@@ -44,9 +44,10 @@ from .core import (
     partition_stacks,
     sweep,
 )
+from .explore import EvalJob, EvalResult, Executor, SweepSpec
 from .hardware import Accelerator, MemoryInstance, MemoryLevel, build_accelerator, level
 from .hardware.zoo import ACCELERATOR_FACTORIES, get_accelerator
-from .mapping import CostResult, MappingSearchEngine, SearchConfig
+from .mapping import CostResult, MappingCache, MappingSearchEngine, SearchConfig
 from .workloads import (
     LayerSpec,
     OpType,
@@ -89,8 +90,14 @@ __all__ = [
     "level",
     "ACCELERATOR_FACTORIES",
     "get_accelerator",
+    # explore (runtime)
+    "EvalJob",
+    "EvalResult",
+    "Executor",
+    "SweepSpec",
     # mapping
     "MappingSearchEngine",
+    "MappingCache",
     "SearchConfig",
     "CostResult",
     # workloads

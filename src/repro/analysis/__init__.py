@@ -9,7 +9,13 @@ from .breakdown import (
     tier_of,
     weight_vs_activation_energy,
 )
-from .heatmap import energy_mj, latency_mcycles, render_heatmap, sweep_grid
+from .heatmap import (
+    SweepPointLike,
+    energy_mj,
+    latency_mcycles,
+    render_heatmap,
+    sweep_grid,
+)
 from .report import (
     TABLE2_ROWS,
     strategy_comparison,
@@ -27,6 +33,7 @@ __all__ = [
     "energy_components",
     "tier_of",
     "weight_vs_activation_energy",
+    "SweepPointLike",
     "sweep_grid",
     "render_heatmap",
     "energy_mj",

@@ -2,18 +2,30 @@
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Protocol, Sequence
 
-from ..core.optimizer import SweepPoint
-from ..core.strategy import OverlapMode
+from ..core.results import ScheduleResult
+from ..core.strategy import DFStrategy, OverlapMode
+
+
+class SweepPointLike(Protocol):
+    """Anything pairing a strategy with its schedule result: the
+    optimizer's ``SweepPoint`` or the exploration runtime's
+    ``EvalResult`` both qualify."""
+
+    @property
+    def strategy(self) -> DFStrategy: ...
+
+    @property
+    def result(self) -> ScheduleResult: ...
 
 
 def sweep_grid(
-    points: Sequence[SweepPoint],
+    points: Sequence[SweepPointLike],
     mode: OverlapMode,
     xs: Sequence[int],
     ys: Sequence[int],
-    value: Callable[[SweepPoint], float],
+    value: Callable[[SweepPointLike], float],
 ) -> list[list[float]]:
     """Arrange sweep points into a ys-by-xs grid of values for ``mode``."""
     lookup = {
@@ -47,11 +59,11 @@ def render_heatmap(
     return "\n".join(lines)
 
 
-def energy_mj(point: SweepPoint) -> float:
+def energy_mj(point: SweepPointLike) -> float:
     """Energy in mJ of a sweep point."""
     return point.result.energy_pj / 1e9
 
 
-def latency_mcycles(point: SweepPoint) -> float:
+def latency_mcycles(point: SweepPointLike) -> float:
     """Latency in millions of cycles of a sweep point."""
     return point.result.latency_cycles / 1e6

@@ -11,6 +11,12 @@ This reproduction exposes the same experiment as::
     python -m repro --accelerator edge_tpu_like --workload mccnn \
                     --mode h_cached_v_recompute --tilex 16 --tiley 8
 
+``--tilex``/``--tiley`` accept comma-separated lists; more than one grid
+point turns the run into a tile-size sweep executed by the exploration
+runtime, which ``--jobs N`` spreads over worker processes.  ``--cache``
+names a JSON mapping-cache file that persists LOMA search results
+across runs (the second run of the same experiment skips the search).
+
 Results are printed and optionally written as JSON (the artifact wrote
 pickle files; JSON keeps them human-readable and diffable).
 """
@@ -24,6 +30,7 @@ from typing import Sequence
 
 from .analysis import access_breakdown
 from .core import DepthFirstEngine, DFStrategy, OverlapMode
+from .explore import Executor, MappingCache, SweepSpec
 from .hardware.zoo import ACCELERATOR_FACTORIES, get_accelerator
 from .mapping import SearchConfig
 from .workloads.zoo import WORKLOAD_FACTORIES, get_workload
@@ -60,8 +67,30 @@ def build_parser() -> argparse.ArgumentParser:
         default="fully_cached",
         help="overlap storing mode (name, or the artifact's 0/1/2)",
     )
-    parser.add_argument("--tilex", type=int, default=16, help="tile width")
-    parser.add_argument("--tiley", type=int, default=8, help="tile height")
+    parser.add_argument(
+        "--tilex",
+        type=_int_list,
+        default=(16,),
+        help="tile width(s); a comma-separated list sweeps the grid",
+    )
+    parser.add_argument(
+        "--tiley",
+        type=_int_list,
+        default=(8,),
+        help="tile height(s); a comma-separated list sweeps the grid",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for sweeps (1 = in-process serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        help="persistent mapping-cache JSON file (loaded if present, "
+        "saved after the run)",
+    )
     parser.add_argument(
         "--lpf-limit",
         type=int,
@@ -80,6 +109,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the result summary to this JSON file",
     )
     return parser
+
+
+def _int_list(text: str) -> tuple[int, ...]:
+    """Parse ``"4"`` or ``"4,16,60"`` into a tuple of ints."""
+    try:
+        values = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an int list: {text!r}")
+    if not values:
+        raise argparse.ArgumentTypeError(f"empty int list: {text!r}")
+    return values
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an int: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _resolve_mode(text: str) -> OverlapMode:
@@ -120,18 +170,7 @@ def result_summary(accel, result) -> dict:
     }
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    accel = get_accelerator(args.accelerator)
-    workload = get_workload(args.workload)
-    strategy = DFStrategy(
-        tile_x=args.tilex, tile_y=args.tiley, mode=_resolve_mode(args.mode)
-    )
-    engine = DepthFirstEngine(
-        accel, SearchConfig(lpf_limit=args.lpf_limit, budget=args.budget)
-    )
-    result = engine.evaluate(workload, strategy)
-
+def _print_schedule(result) -> None:
     print(result.describe())
     for sr in result.stacks:
         print(
@@ -141,7 +180,48 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"{sr.tile_type_count} types, "
             f"E={sr.total.energy_pj / 1e9:.3f} mJ"
         )
-    summary = result_summary(accel, result)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    accel = get_accelerator(args.accelerator)
+    workload = get_workload(args.workload)
+    mode = _resolve_mode(args.mode)
+    config = SearchConfig(lpf_limit=args.lpf_limit, budget=args.budget)
+    try:
+        cache = MappingCache(args.cache) if args.cache else MappingCache()
+    except ValueError as exc:
+        raise SystemExit(f"--cache: {exc}")
+
+    tiles = [(tx, ty) for tx in args.tilex for ty in args.tiley]
+    if len(tiles) == 1:
+        engine = DepthFirstEngine(accel, config, cache=cache)
+        result = engine.evaluate(
+            workload, DFStrategy(tile_x=tiles[0][0], tile_y=tiles[0][1], mode=mode)
+        )
+        _print_schedule(result)
+        summary = result_summary(accel, result)
+    else:
+        spec = SweepSpec.tile_grid(accel, workload, tiles, (mode,))
+        executor = Executor(jobs=args.jobs, search_config=config, cache=cache)
+        results = executor.run(spec)
+        for r in results:
+            print(
+                f"{r.strategy.describe():28s} "
+                f"E={r.result.energy_mj:8.3f} mJ "
+                f"L={r.result.latency_cycles / 1e6:9.2f} Mcycles"
+            )
+        best = min(results, key=lambda r: r.score("energy"))
+        print(f"best (energy): {best.strategy.describe()}")
+        _print_schedule(best.result)
+        summary = {
+            "points": [result_summary(accel, r.result) for r in results],
+            "best_strategy": best.strategy.describe(),
+        }
+
+    if args.cache:
+        cache.save()
+        print(f"mapping cache: {cache.stats} -> {args.cache}")
     if args.output:
         with open(args.output, "w") as f:
             json.dump(summary, f, indent=2)

@@ -5,6 +5,14 @@ Implements the experiments' search procedures: tile-size/mode sweeps
 a fixed DF point, best single strategy, best per-stack combination), and
 the LBL-vs-best-DF comparison of case study 3.  The optimizing target is
 user-selectable (energy by default, as in the paper's case studies).
+
+The searches are built on the exploration runtime
+(:mod:`repro.explore`): each one enumerates a declarative
+:class:`~repro.explore.spec.SweepSpec` and hands it to an
+:class:`~repro.explore.executor.Executor` bound to the engine's mapping
+cache, so every search can run its independent evaluations across
+worker processes (``jobs=N``) with results identical to the serial
+path.
 """
 
 from __future__ import annotations
@@ -44,21 +52,39 @@ class SweepPoint:
         return objective(self.result.total)
 
 
+def _executor_for(engine: DepthFirstEngine, jobs: int):
+    """An exploration-runtime executor sharing the engine's search
+    config, memory policy and mapping cache (lazy import: the explore
+    package builds on this module's siblings)."""
+    from ..explore.executor import Executor
+
+    return Executor(
+        jobs=jobs,
+        search_config=engine.mapper.config,
+        policy=engine.policy,
+        cache=engine.cache,
+    )
+
+
 def sweep(
     engine: DepthFirstEngine,
     workload: WorkloadGraph,
     tile_sizes: Iterable[tuple[int, int]],
     modes: Sequence[OverlapMode] = ALL_MODES,
+    jobs: int = 1,
 ) -> list[SweepPoint]:
-    """Evaluate a grid of (mode, tile size) DF strategies (case study 1)."""
-    points: list[SweepPoint] = []
-    for mode in modes:
-        for tx, ty in tile_sizes:
-            strategy = DFStrategy(tile_x=tx, tile_y=ty, mode=mode)
-            points.append(
-                SweepPoint(strategy, engine.evaluate(workload, strategy))
-            )
-    return points
+    """Evaluate a grid of (mode, tile size) DF strategies (case study 1).
+
+    ``jobs`` > 1 evaluates the grid across that many worker processes;
+    the returned points are in grid order and identical to a serial run.
+    """
+    from ..explore.spec import SweepSpec
+
+    spec = SweepSpec.tile_grid(
+        engine.accel, workload, tuple(tile_sizes), tuple(modes)
+    )
+    results = _executor_for(engine, jobs).run(spec)
+    return [SweepPoint(r.job.strategy, r.result) for r in results]
 
 
 def best_point(
@@ -77,10 +103,11 @@ def best_single_strategy(
     tile_sizes: Iterable[tuple[int, int]] | None = None,
     modes: Sequence[OverlapMode] = ALL_MODES,
     objective: str | Objective = "energy",
+    jobs: int = 1,
 ) -> SweepPoint:
     """Best DF strategy when one strategy serves all stacks (CS2 purple)."""
     tiles = tuple(tile_sizes) if tile_sizes is not None else PAPER_DIAGONAL
-    return best_point(sweep(engine, workload, tiles, modes), objective)
+    return best_point(sweep(engine, workload, tiles, modes, jobs=jobs), objective)
 
 
 def best_combination(
@@ -89,11 +116,14 @@ def best_combination(
     tile_sizes: Iterable[tuple[int, int]] | None = None,
     modes: Sequence[OverlapMode] = ALL_MODES,
     objective: str | Objective = "energy",
+    jobs: int = 1,
 ) -> ScheduleResult:
     """Best per-stack combination (CS2 red): each stack may use its own DF
     strategy.  Stacks are independent given the boundary feature-map
     locations, which do not depend on the intra-stack strategy, so the
     per-stack minima compose into the global optimum."""
+    from ..explore.spec import SweepSpec
+
     tiles = tuple(tile_sizes) if tile_sizes is not None else PAPER_DIAGONAL
     score = resolve_objective(objective)
     stacks = partition_stacks(workload, engine.accel)
@@ -104,21 +134,29 @@ def best_combination(
     probe = DFStrategy(tile_x=1 << 30, tile_y=1 << 30)
     locations = engine._boundary_locations(workload, probe, stacks)
 
+    spec = SweepSpec.per_stack(
+        engine.accel,
+        workload,
+        tuple(stack.layer_names for stack in stacks),
+        tiles,
+        tuple(modes),
+        input_locations=tuple(sorted(locations.items())),
+        stack_boundary=probe.stack_boundary,
+    )
+    results = _executor_for(engine, jobs).run(spec)
+
     best_per_stack: list[StackResult] = []
     labels: list[str] = []
     for stack in stacks:
         best: StackResult | None = None
         best_label = ""
-        for mode in ALL_MODES if modes is None else modes:
-            for tx, ty in tiles:
-                strategy = DFStrategy(tile_x=tx, tile_y=ty, mode=mode,
-                                      stack_boundary=probe.stack_boundary)
-                candidate = engine.evaluate_stack(
-                    workload, strategy, stack, input_locations=locations
-                )
-                if best is None or score(candidate.total) < score(best.total):
-                    best = candidate
-                    best_label = strategy.describe()
+        for r in results:
+            if r.job.stack_index != stack.index:
+                continue
+            candidate = r.result
+            if best is None or score(candidate.total) < score(best.total):
+                best = candidate
+                best_label = r.job.strategy.describe()
         assert best is not None
         best_per_stack.append(best)
         labels.append(best_label)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from ..hardware.accelerator import Accelerator
 from ..hardware.memory import MemoryLevel
+from ..mapping.cache import MappingCache
 from ..mapping.cost import CostResult
 from ..mapping.loma import MappingSearchEngine, SearchConfig
 from ..workloads.graph import WorkloadGraph
@@ -43,10 +44,16 @@ class DepthFirstEngine:
         accel: Accelerator,
         search_config: SearchConfig | None = None,
         policy: MemLevelPolicy | None = None,
+        cache: MappingCache | None = None,
     ) -> None:
         self.accel = accel
-        self.mapper = MappingSearchEngine(search_config)
+        self.mapper = MappingSearchEngine(search_config, cache=cache)
         self.policy = policy or MemLevelPolicy()
+
+    @property
+    def cache(self) -> MappingCache:
+        """The mapping cache this engine reads and fills (shareable)."""
+        return self.mapper.cache
 
     # ------------------------------------------------------------------
     # Public API
@@ -436,3 +443,25 @@ class DepthFirstEngine:
                     )
                 )
         return actions
+
+
+def evaluate_strategy(
+    accel: Accelerator,
+    workload: WorkloadGraph,
+    strategy: DFStrategy,
+    search_config: SearchConfig | None = None,
+    policy: MemLevelPolicy | None = None,
+    cache: MappingCache | None = None,
+) -> ScheduleResult:
+    """Evaluate one (workload, strategy) point as a plain function.
+
+    A picklable, module-level entry point for ad-hoc
+    ``multiprocessing`` use: everything it takes and returns survives a
+    pickle round trip.  The exploration runtime's process pool ships
+    the same ingredients but runs its own per-worker engine reuse (see
+    ``repro.explore.executor``); this function is the one-shot
+    equivalent.  Builds a throwaway engine around ``cache`` (or a
+    private one) and delegates to :meth:`DepthFirstEngine.evaluate`.
+    """
+    engine = DepthFirstEngine(accel, search_config, policy, cache=cache)
+    return engine.evaluate(workload, strategy)

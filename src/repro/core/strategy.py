@@ -114,8 +114,13 @@ class DFStrategy:
 
     @property
     def one_layer_per_stack(self) -> bool:
-        """Whether this strategy forces single-layer stacks."""
-        return self.stacks is _PER_LAYER_SENTINEL
+        """Whether this strategy forces single-layer stacks.
+
+        Compared by value, not identity: strategies cross process
+        boundaries (pickled to the exploration runtime's workers), and
+        an unpickled sentinel is equal but no longer the same object.
+        """
+        return self.stacks == _PER_LAYER_SENTINEL
 
     def describe(self) -> str:
         """Short label for reports."""

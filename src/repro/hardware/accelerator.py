@@ -9,6 +9,7 @@ operands and topped by DRAM.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 from typing import Mapping, Sequence
@@ -142,6 +143,39 @@ class Accelerator:
             lvl for lvl in self.hierarchy("W") if not lvl.instance.is_dram
         ]
         return candidates[-1] if candidates else None
+
+    def fingerprint(self) -> str:
+        """Structural identity digest, stable across processes and runs.
+
+        Covers everything the cost model reads: name, spatial unrolling,
+        MAC energy, and each level's operands plus the physical instance
+        parameters (sharing is captured positionally: levels backed by
+        the same instance repeat the same local index).  Used to key
+        persistent mapping caches, where ``id()``-based identity would
+        not survive a round trip through disk or a worker process.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
+        local_idx: dict[int, int] = {}
+        parts = [
+            self.name,
+            repr(sorted(self.spatial_unrolling.items())),
+            repr(self.mac_energy_pj),
+        ]
+        for lvl in self.levels:
+            inst = lvl.instance
+            idx = local_idx.setdefault(inst.uid, len(local_idx))
+            parts.append(
+                f"{''.join(sorted(lvl.operands))}@{idx}:{inst.name},"
+                f"{inst.size_bytes},{inst.r_energy_pj_per_byte!r},"
+                f"{inst.w_energy_pj_per_byte!r},{inst.bandwidth_bytes!r},"
+                f"{inst.ports},{inst.per_pe},{inst.tier}"
+            )
+        digest = hashlib.sha1("|".join(parts).encode()).hexdigest()[:16]
+        fp = f"{self.name}:{digest}"
+        object.__setattr__(self, "_fingerprint", fp)
+        return fp
 
     def describe(self) -> str:
         """One-line summary used by reports and examples."""

@@ -2,6 +2,7 @@
 temporal-mapping search engine (LOMA substitute)."""
 
 from .allocation import AllocationError, allocate
+from .cache import MappingCache
 from .cost import CostResult, Objective, Traffic, resolve_objective
 from .loma import MappingSearchEngine, SearchConfig, SearchResult
 from .loops import (
@@ -23,6 +24,7 @@ from .zigzag import evaluate_mapping
 __all__ = [
     "AllocationError",
     "allocate",
+    "MappingCache",
     "CostResult",
     "Traffic",
     "Objective",

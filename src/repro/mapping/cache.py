@@ -1,0 +1,207 @@
+"""Shareable, optionally persistent store of mapping-search results.
+
+:class:`MappingCache` extracts the memo dict that used to live inside
+:class:`~repro.mapping.loma.MappingSearchEngine` into a first-class
+object that can be
+
+* shared between engines (all engines built from one cache handle see
+  each other's results, e.g. across the accelerators of a sweep);
+* snapshotted and merged (the parallel executor pre-warms worker
+  processes from the parent cache and harvests their new entries back);
+* persisted to disk as JSON and re-loaded in a later run, so repeated
+  sweeps and benchmark re-runs skip the LOMA search entirely.
+
+Keys are produced by the search engine (layer shape, accelerator
+fingerprint, truncated tops, search config) and contain only primitives
+and nested tuples; they are canonicalized to JSON strings so the same
+logical key is stable across processes and runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Hashable, Iterable, Mapping
+
+from .cost import CostResult, Traffic
+from .loma import SearchResult
+from .temporal import TemporalMapping
+
+#: On-disk format version; bump when the entry encoding changes.
+FORMAT_VERSION = 1
+
+
+def normalize_key(key: Hashable) -> str:
+    """Canonical string form of a structured cache key.
+
+    Keys are built from primitives and nested tuples only; JSON encoding
+    (tuples become arrays) gives a stable, process-independent identity.
+    """
+    if isinstance(key, str):
+        return key
+    return json.dumps(key, separators=(",", ":"))
+
+
+def encode_search_result(result: SearchResult) -> dict:
+    """JSON-serializable form of a :class:`SearchResult`."""
+    cost = result.cost
+    return {
+        "loops": [[dim, factor] for dim, factor in result.mapping.loops],
+        "bounds": {
+            op: list(bounds) for op, bounds in result.mapping.boundaries.items()
+        },
+        "cost": {
+            "mac_count": cost.mac_count,
+            "mac_energy_pj": cost.mac_energy_pj,
+            "compute_cycles": cost.compute_cycles,
+            "latency_cycles": cost.latency_cycles,
+            "traffic": [
+                [category, level, t.reads_elems, t.writes_elems, t.energy_pj]
+                for (category, level), t in cost.traffic.items()
+            ],
+        },
+        "evaluated": result.evaluated,
+    }
+
+
+def decode_search_result(data: Mapping) -> SearchResult:
+    """Inverse of :func:`encode_search_result`."""
+    mapping = TemporalMapping(
+        loops=tuple((dim, int(factor)) for dim, factor in data["loops"]),
+        boundaries={
+            op: tuple(int(b) for b in bounds)
+            for op, bounds in data["bounds"].items()
+        },
+    )
+    raw = data["cost"]
+    cost = CostResult(
+        mac_count=raw["mac_count"],
+        mac_energy_pj=raw["mac_energy_pj"],
+        compute_cycles=raw["compute_cycles"],
+        latency_cycles=raw["latency_cycles"],
+    )
+    for category, level, reads, writes, energy in raw["traffic"]:
+        cost.traffic[(category, level)] = Traffic(reads, writes, energy)
+    return SearchResult(
+        mapping=mapping, cost=cost, evaluated=int(data.get("evaluated", 0))
+    )
+
+
+class MappingCache:
+    """Keyed store of LOMA search results with optional JSON persistence.
+
+    Parameters
+    ----------
+    path:
+        Optional backing file.  When given and the file exists, its
+        entries are loaded immediately; :meth:`save` without arguments
+        writes back to the same file.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self._entries: dict[str, SearchResult] = {}
+        self.hits = 0
+        self.misses = 0
+        self.path = Path(path) if path is not None else None
+        if self.path is not None and self.path.exists():
+            self.load(self.path)
+
+    # ------------------------------------------------------------------
+    # Dict-like core
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> SearchResult | None:
+        """Look up a search result, counting hit/miss statistics."""
+        entry = self._entries.get(normalize_key(key))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, result: SearchResult) -> None:
+        self._entries[normalize_key(key)] = result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return normalize_key(key) in self._entries
+
+    def keys(self) -> set[str]:
+        """The set of (normalized) keys currently stored."""
+        return set(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/size counters (misses == LOMA searches actually run)."""
+        return {"hits": self.hits, "misses": self.misses, "size": len(self)}
+
+    # ------------------------------------------------------------------
+    # Sharing between caches / processes
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, SearchResult]:
+        """Shallow copy of the entries (for pre-warming worker caches)."""
+        return dict(self._entries)
+
+    def merge(self, entries: Mapping[str, SearchResult]) -> int:
+        """Adopt entries from another cache; returns how many were new."""
+        new = 0
+        for key, result in entries.items():
+            if key not in self._entries:
+                new += 1
+            self._entries[key] = result
+        return new
+
+    def delta(self, baseline: Iterable[str]) -> dict[str, SearchResult]:
+        """Entries whose keys are not in ``baseline`` (worker harvest)."""
+        base = set(baseline)
+        return {k: v for k, v in self._entries.items() if k not in base}
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path | None = None) -> Path:
+        """Write all entries as JSON; returns the path written."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("MappingCache has no backing path; pass one")
+        payload = {
+            "format": FORMAT_VERSION,
+            "entries": {
+                key: encode_search_result(result)
+                for key, result in self._entries.items()
+            },
+        }
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(payload))
+        return target
+
+    def load(self, path: str | Path | None = None) -> int:
+        """Merge entries from a JSON file; returns how many were loaded."""
+        source = Path(path) if path is not None else self.path
+        if source is None:
+            raise ValueError("MappingCache has no backing path; pass one")
+        try:
+            payload = json.loads(source.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{source}: not a mapping-cache file: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("format") != FORMAT_VERSION:
+            raise ValueError(
+                f"{source}: unsupported mapping-cache format "
+                f"{payload.get('format')!r} (expected {FORMAT_VERSION})"
+            )
+        try:
+            entries = {
+                key: decode_search_result(data)
+                for key, data in payload["entries"].items()
+            }
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise ValueError(
+                f"{source}: malformed mapping-cache entry: {exc!r}"
+            ) from exc
+        return self.merge(entries)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Hashable, Mapping
+from typing import TYPE_CHECKING, Hashable, Mapping
 
 from ..hardware.accelerator import Accelerator
 from ..workloads.layer import LayerSpec
@@ -29,6 +29,9 @@ from .cost import CostResult, Objective, resolve_objective
 from .loops import Loop, lpf_decompose, multiset_permutations
 from .temporal import TemporalMapping, temporal_sizes
 from .zigzag import evaluate_mapping
+
+if TYPE_CHECKING:  # imported lazily at runtime (cache.py imports this module)
+    from .cache import MappingCache
 
 
 @dataclass(frozen=True)
@@ -87,16 +90,30 @@ def _canonical_orderings(loops: list[Loop]) -> list[tuple[Loop, ...]]:
 
 
 class MappingSearchEngine:
-    """Memoized LOMA-style mapping search."""
+    """Memoized LOMA-style mapping search.
 
-    def __init__(self, config: SearchConfig | None = None) -> None:
+    The memo store is a :class:`~repro.mapping.cache.MappingCache`; pass
+    one to share results between engines (or across runs, when the cache
+    is disk-backed).  By default each engine gets a private in-memory
+    cache, matching the original behaviour.
+    """
+
+    def __init__(
+        self,
+        config: SearchConfig | None = None,
+        cache: "MappingCache | None" = None,
+    ) -> None:
         self.config = config or SearchConfig()
-        self._cache: dict[Hashable, SearchResult] = {}
+        if cache is None:
+            from .cache import MappingCache
+
+            cache = MappingCache()
+        self.cache = cache
 
     # ------------------------------------------------------------------
     def _layer_key(self, layer: LayerSpec) -> Hashable:
         return (
-            layer.op_type,
+            layer.op_type.value,
             layer.k,
             layer.c,
             layer.ox,
@@ -117,20 +134,26 @@ class MappingSearchEngine:
     def cache_key(
         self, layer: LayerSpec, accel: Accelerator, tops: Mapping[str, int]
     ) -> Hashable:
+        """Process- and run-stable identity of one search problem.
+
+        The accelerator contributes a structural fingerprint (not its
+        object id), so caches can be shared between worker processes and
+        persisted across runs while still distinguishing same-named
+        architectures that differ structurally.
+        """
         return (
             self._layer_key(layer),
-            accel.name,
-            id(accel),
+            accel.fingerprint(),
             tuple(sorted(tops.items())),
             self.config.cache_token(),
         )
 
     @property
     def cache_size(self) -> int:
-        return len(self._cache)
+        return len(self.cache)
 
     def clear_cache(self) -> None:
-        self._cache.clear()
+        self.cache.clear()
 
     # ------------------------------------------------------------------
     def search(
@@ -150,8 +173,10 @@ class MappingSearchEngine:
             tops = {op: accel.top_level_index(op) for op in ("W", "I", "O")}
         cacheable = objective is None
         key = self.cache_key(layer, accel, tops) if cacheable else None
-        if key is not None and key in self._cache:
-            return self._cache[key]
+        if key is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                return hit
 
         score = resolve_objective(objective or self.config.objective)
         loops = lpf_decompose(temporal_sizes(layer, accel), self.config.lpf_limit)
@@ -182,7 +207,7 @@ class MappingSearchEngine:
             )
         best.evaluated = evaluated
         if key is not None:
-            self._cache[key] = best
+            self.cache.put(key, best)
         return best
 
     def evaluate_fixed(

@@ -1,0 +1,134 @@
+"""Unit tests for the shareable, persistent mapping cache."""
+
+import json
+
+import pytest
+
+from repro import DepthFirstEngine, DFStrategy
+from repro.mapping import MappingCache, SearchConfig
+from repro.mapping.cache import (
+    decode_search_result,
+    encode_search_result,
+    normalize_key,
+)
+
+from ..conftest import make_tiny_workload
+
+
+@pytest.fixture
+def searched_cache(meta_df, fast_config):
+    """A cache filled by one real evaluation, plus the schedule result."""
+    cache = MappingCache()
+    engine = DepthFirstEngine(meta_df, fast_config, cache=cache)
+    result = engine.evaluate(
+        make_tiny_workload(), DFStrategy(tile_x=8, tile_y=8)
+    )
+    return cache, result
+
+
+class TestNormalizeKey:
+    def test_tuples_canonicalize(self):
+        key = (("conv", 8, 3), "meta:abc", (("I", 2), ("O", 1)), (5, 60, "energy"))
+        text = normalize_key(key)
+        assert isinstance(text, str)
+        assert normalize_key(key) == text
+        assert normalize_key(text) == text
+
+    def test_distinct_keys_stay_distinct(self):
+        assert normalize_key((1, 2)) != normalize_key((1, 3))
+
+
+class TestRoundTrip:
+    def test_encode_decode_identity(self, searched_cache):
+        cache, _ = searched_cache
+        assert len(cache) > 0
+        for entry in cache.snapshot().values():
+            clone = decode_search_result(
+                json.loads(json.dumps(encode_search_result(entry)))
+            )
+            assert clone == entry
+
+    def test_save_load_file(self, searched_cache, tmp_path):
+        cache, _ = searched_cache
+        path = tmp_path / "loma.json"
+        cache.save(path)
+        loaded = MappingCache(path)
+        assert len(loaded) == len(cache)
+        assert loaded.snapshot() == cache.snapshot()
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": 999, "entries": {}}))
+        with pytest.raises(ValueError):
+            MappingCache(path)
+
+    def test_non_json_rejected_as_value_error(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("not json{")
+        with pytest.raises(ValueError, match="not a mapping-cache file"):
+            MappingCache(path)
+
+    def test_malformed_entry_rejected_as_value_error(self, tmp_path):
+        path = tmp_path / "torn.json"
+        path.write_text(json.dumps({"format": 1, "entries": {"k": {}}}))
+        with pytest.raises(ValueError, match="malformed mapping-cache entry"):
+            MappingCache(path)
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(ValueError):
+            MappingCache().save()
+
+
+class TestSharing:
+    def test_merge_and_delta(self, searched_cache):
+        cache, _ = searched_cache
+        other = MappingCache()
+        assert other.merge(cache.snapshot()) == len(cache)
+        assert other.merge(cache.snapshot()) == 0  # idempotent
+        assert other.delta(cache.keys()) == {}
+        assert set(other.delta(())) == other.keys()
+
+    def test_stats_count_hits_and_misses(self, searched_cache):
+        cache, _ = searched_cache
+        stats = cache.stats
+        assert stats["size"] == len(cache)
+        assert stats["misses"] == len(cache)  # every entry was searched once
+        assert stats["hits"] > 0  # tile types repeat layer shapes
+
+    def test_clear_resets(self, searched_cache):
+        cache, _ = searched_cache
+        cache.clear()
+        assert len(cache) == 0 and cache.stats == {
+            "hits": 0,
+            "misses": 0,
+            "size": 0,
+        }
+
+
+class TestWarmEngine:
+    def test_disk_warm_engine_is_identical_with_zero_searches(
+        self, meta_df, fast_config, searched_cache, tmp_path
+    ):
+        cache, cold_result = searched_cache
+        path = tmp_path / "loma.json"
+        cache.save(path)
+
+        warm_cache = MappingCache(path)
+        engine = DepthFirstEngine(meta_df, fast_config, cache=warm_cache)
+        warm_result = engine.evaluate(
+            make_tiny_workload(), DFStrategy(tile_x=8, tile_y=8)
+        )
+        assert warm_result.total == cold_result.total
+        assert warm_result.strategy_label == cold_result.strategy_label
+        assert warm_cache.misses == 0  # no new LOMA searches ran
+
+    def test_engines_share_a_cache_handle(self, meta_df, fast_config):
+        shared = MappingCache()
+        first = DepthFirstEngine(meta_df, fast_config, cache=shared)
+        first.evaluate(make_tiny_workload(), DFStrategy(tile_x=8, tile_y=8))
+        searched = shared.misses
+
+        second = DepthFirstEngine(meta_df, fast_config, cache=shared)
+        assert second.cache is shared
+        second.evaluate(make_tiny_workload(), DFStrategy(tile_x=8, tile_y=8))
+        assert shared.misses == searched  # second engine searched nothing

@@ -1,0 +1,140 @@
+"""Executor tests: serial/parallel equivalence and cache flow.
+
+The headline guarantee: the process-pool backend returns results in the
+same order and with bit-identical totals as the serial backend.
+"""
+
+import pytest
+
+from repro import DepthFirstEngine, DFStrategy
+from repro.core.optimizer import best_combination, sweep
+from repro.core.scheduler import evaluate_strategy
+from repro.core.strategy import OverlapMode
+from repro.explore import Executor, MappingCache, SweepSpec
+
+from ..conftest import make_tiny_workload
+
+TILES = ((4, 4), (16, 16), (48, 32))
+MODES = (OverlapMode.FULLY_CACHED,)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return make_tiny_workload()
+
+
+@pytest.fixture(scope="module")
+def grid_spec(tiny):
+    # Accelerator by zoo name, workload by object: both ref styles in one
+    # spec so the parallel path exercises name resolution and pickling.
+    return SweepSpec.tile_grid("meta_proto_like_df", tiny, TILES, MODES)
+
+
+class TestSerialExecutor:
+    def test_results_in_job_order(self, grid_spec, fast_config):
+        results = Executor(jobs=1, search_config=fast_config).run(grid_spec)
+        assert [r.index for r in results] == list(range(len(grid_spec)))
+        assert [r.job for r in results] == list(grid_spec.jobs)
+
+    def test_matches_direct_engine(self, grid_spec, fast_config, meta_df, tiny):
+        results = Executor(jobs=1, search_config=fast_config).run(grid_spec)
+        engine = DepthFirstEngine(meta_df, fast_config)
+        for r in results:
+            direct = engine.evaluate(tiny, r.job.strategy)
+            assert r.result.total == direct.total
+
+    def test_empty_spec(self, fast_config):
+        assert Executor(jobs=1, search_config=fast_config).run(SweepSpec()) == []
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            Executor(jobs=-2)
+
+
+class TestParallelExecutor:
+    def test_parallel_identical_to_serial(self, grid_spec, fast_config):
+        serial = Executor(jobs=1, search_config=fast_config).run(grid_spec)
+        parallel = Executor(jobs=2, search_config=fast_config).run(grid_spec)
+        assert len(serial) == len(parallel)
+        for s, p in zip(serial, parallel):
+            assert s.job == p.job
+            assert s.result.total == p.result.total
+            assert s.result.strategy_label == p.result.strategy_label
+
+    def test_parallel_harvests_worker_cache_entries(self, grid_spec, fast_config):
+        executor = Executor(jobs=2, search_config=fast_config)
+        assert len(executor.cache) == 0
+        executor.run(grid_spec)
+        assert len(executor.cache) > 0
+        # Worker hit/miss counters are aggregated into the parent cache:
+        # every stored entry was missed at least once, in some worker
+        # (workers may independently miss the same key).
+        assert executor.cache.misses >= len(executor.cache)
+        assert executor.cache.hits > 0
+
+    def test_lbl_and_sl_strategies_survive_pickling(self, tiny, fast_config):
+        # Regression: one_layer_per_stack used a sentinel *identity*
+        # check, which broke once strategies were pickled to workers.
+        import pickle
+
+        for strategy in (DFStrategy.layer_by_layer(), DFStrategy.single_layer()):
+            clone = pickle.loads(pickle.dumps(strategy))
+            assert clone.one_layer_per_stack
+
+        spec = SweepSpec.strategies(
+            "meta_proto_like_df", tiny,
+            (DFStrategy.layer_by_layer(), DFStrategy.single_layer()),
+        )
+        serial = Executor(jobs=1, search_config=fast_config).run(spec)
+        parallel = Executor(jobs=2, search_config=fast_config).run(spec)
+        for s, p in zip(serial, parallel):
+            assert s.result.total == p.result.total
+            assert p.result.strategy_label in ("LBL", "SL")
+
+    def test_prewarmed_workers_redo_nothing(self, grid_spec, fast_config):
+        executor = Executor(jobs=2, search_config=fast_config)
+        executor.run(grid_spec)
+        warm = executor.cache
+        before = len(warm)
+        # Re-running with the now-warm cache must add no new entries.
+        executor.run(grid_spec)
+        assert len(warm) == before
+
+
+class TestStackJobs:
+    def test_best_combination_parallel_matches_serial(self, meta_df, fast_config, tiny):
+        serial_engine = DepthFirstEngine(meta_df, fast_config)
+        serial = best_combination(serial_engine, tiny, tile_sizes=TILES, modes=MODES)
+        parallel_engine = DepthFirstEngine(meta_df, fast_config)
+        parallel = best_combination(
+            parallel_engine, tiny, tile_sizes=TILES, modes=MODES, jobs=2
+        )
+        assert parallel.total == serial.total
+        assert parallel.strategy_label == serial.strategy_label
+
+    def test_sweep_jobs_param_matches_serial(self, meta_df, fast_config, tiny):
+        serial = sweep(DepthFirstEngine(meta_df, fast_config), tiny, TILES, MODES)
+        parallel = sweep(
+            DepthFirstEngine(meta_df, fast_config), tiny, TILES, MODES, jobs=2
+        )
+        for s, p in zip(serial, parallel):
+            assert s.strategy == p.strategy
+            assert s.result.total == p.result.total
+
+
+class TestPicklableEntryPoint:
+    def test_evaluate_strategy_matches_engine(self, meta_df, fast_config, tiny):
+        strategy = DFStrategy(tile_x=8, tile_y=8)
+        via_function = evaluate_strategy(
+            meta_df, tiny, strategy, search_config=fast_config
+        )
+        via_engine = DepthFirstEngine(meta_df, fast_config).evaluate(tiny, strategy)
+        assert via_function.total == via_engine.total
+
+    def test_fills_a_shared_cache(self, meta_df, fast_config, tiny):
+        cache = MappingCache()
+        evaluate_strategy(
+            meta_df, tiny, DFStrategy(tile_x=8, tile_y=8),
+            search_config=fast_config, cache=cache,
+        )
+        assert len(cache) > 0

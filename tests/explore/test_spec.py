@@ -1,0 +1,85 @@
+"""Unit tests for the declarative sweep specifications."""
+
+import pytest
+
+from repro.core.strategy import DFStrategy, OverlapMode
+from repro.explore import DEFAULT_MODES, EvalJob, SweepSpec
+
+TILES = ((4, 4), (16, 18))
+MODES = (OverlapMode.FULLY_CACHED, OverlapMode.H_CACHED_V_RECOMPUTE)
+
+
+class TestEvalJob:
+    def test_names_from_refs(self):
+        job = EvalJob(
+            accelerator="meta_proto_like_df",
+            workload="fsrcnn",
+            strategy=DFStrategy(tile_x=4, tile_y=4),
+        )
+        assert job.accelerator_name == "meta_proto_like_df"
+        assert job.workload_name == "fsrcnn"
+        assert "fsrcnn on meta_proto_like_df" in job.describe()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EvalJob(
+                accelerator="a",
+                workload="w",
+                strategy=DFStrategy(tile_x=1, tile_y=1),
+                kind="mystery",
+            )
+
+    def test_stack_jobs_need_layers(self):
+        with pytest.raises(ValueError):
+            EvalJob(
+                accelerator="a",
+                workload="w",
+                strategy=DFStrategy(tile_x=1, tile_y=1),
+                kind="stack",
+            )
+
+
+class TestSweepSpec:
+    def test_tile_grid_order_is_mode_major(self):
+        spec = SweepSpec.tile_grid("acc", "wl", TILES, MODES)
+        assert len(spec) == len(TILES) * len(MODES)
+        keys = [(j.strategy.mode, j.strategy.tile_x, j.strategy.tile_y) for j in spec]
+        expected = [(m, tx, ty) for m in MODES for tx, ty in TILES]
+        assert keys == expected
+
+    def test_default_modes_cover_all(self):
+        spec = SweepSpec.tile_grid("acc", "wl", TILES)
+        assert {j.strategy.mode for j in spec} == set(DEFAULT_MODES)
+        assert set(DEFAULT_MODES) == set(OverlapMode)
+
+    def test_multi_workload_is_workload_major(self):
+        strategies = (DFStrategy.single_layer(), DFStrategy.layer_by_layer())
+        spec = SweepSpec.multi_workload("acc", ("w1", "w2"), strategies)
+        assert [j.workload for j in spec] == ["w1", "w1", "w2", "w2"]
+
+    def test_multi_architecture_is_architecture_major(self):
+        spec = SweepSpec.multi_architecture(
+            ("a1", "a2"), ("w1",), (DFStrategy(tile_x=4, tile_y=4),)
+        )
+        assert [j.accelerator for j in spec] == ["a1", "a2"]
+
+    def test_per_stack_enumerates_stack_major(self):
+        stacks = (("L1", "L2"), ("L3",))
+        spec = SweepSpec.per_stack(
+            "acc", "wl", stacks, TILES, MODES, input_locations=(("", 3),)
+        )
+        assert len(spec) == len(stacks) * len(TILES) * len(MODES)
+        assert all(j.kind == "stack" for j in spec)
+        assert [j.stack_index for j in spec][: len(TILES) * len(MODES)] == [0] * (
+            len(TILES) * len(MODES)
+        )
+        assert spec.jobs[-1].stack_layers == ("L3",)
+        assert dict(spec.jobs[0].input_locations) == {"": 3}
+
+    def test_concatenation_preserves_order(self):
+        a = SweepSpec.tile_grid("acc", "w1", TILES, MODES)
+        b = SweepSpec.strategies("acc", "w2", (DFStrategy.layer_by_layer(),))
+        combined = a + b
+        assert len(combined) == len(a) + len(b)
+        assert combined.jobs[: len(a)] == a.jobs
+        assert combined.jobs[-1].workload == "w2"

@@ -18,8 +18,30 @@ class TestParser:
         args = build_parser().parse_args(
             ["--accelerator", "meta_proto_like_df", "--workload", "fsrcnn"]
         )
-        assert args.tilex == 16 and args.tiley == 8
+        assert args.tilex == (16,) and args.tiley == (8,)
         assert args.lpf_limit == 6
+        assert args.jobs == 1 and args.cache is None
+
+    def test_tile_lists(self):
+        args = build_parser().parse_args(
+            [
+                "--accelerator", "meta_proto_like_df",
+                "--workload", "fsrcnn",
+                "--tilex", "4,16,60",
+                "--tiley", "72",
+            ]
+        )
+        assert args.tilex == (4, 16, 60) and args.tiley == (72,)
+
+    def test_bad_tile_list_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "--accelerator", "meta_proto_like_df",
+                    "--workload", "fsrcnn",
+                    "--tilex", "4,banana",
+                ]
+            )
 
     def test_unknown_accelerator_rejected(self):
         with pytest.raises(SystemExit):
@@ -67,3 +89,30 @@ class TestMain:
         assert summary["latency_cycles"] > 0
         assert summary["stacks"]
         assert set(summary["accesses_by_tier"]) >= {"LB", "GB", "DRAM"}
+
+    def test_sweep_with_persistent_cache(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        cache = tmp_path / "loma_cache.json"
+        argv = [
+            "--accelerator", "meta_proto_like_df",
+            "--workload", "mobilenet_v1",
+            "--mode", "fully_cached",
+            "--tilex", "14,28",
+            "--tiley", "14",
+            "--budget", "40",
+            "--lpf-limit", "5",
+            "--cache", str(cache),
+            "--output", str(out),
+        ]
+        assert main(argv) == 0
+        assert cache.exists()
+        first = json.loads(out.read_text())
+        assert len(first["points"]) == 2
+        assert first["best_strategy"]
+        captured = capsys.readouterr().out
+        assert "best (energy):" in captured
+
+        # A second, cache-warm run reproduces the sweep exactly.
+        assert main(argv) == 0
+        second = json.loads(out.read_text())
+        assert second == first
