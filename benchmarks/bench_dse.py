@@ -1,0 +1,197 @@
+"""Multi-objective DSE benchmarks.
+
+Three checks tie the new subsystem back to the paper:
+
+* a degenerate single-objective **exhaustive** DSE reproduces case study
+  2's ``best_single_strategy`` point for ResNet-18 on the DepFiN-like
+  architecture — the frontier of a one-objective search *is* the classic
+  argmin;
+* the same degenerate run over several architectures reproduces case
+  study 3's best-architecture choice;
+* a **genetic** frontier search over ResNet-18 across the hardware zoo
+  demonstrates the new capability (energy/latency trade-off curve) and
+  must be bit-identical between serial and parallel execution — the
+  determinism contract CI checks on every push.
+
+Set ``REPRO_FULL=1`` for paper-sized grids; the defaults are a smoke
+configuration sized for CI.
+"""
+
+from repro import DepthFirstEngine, get_accelerator, get_workload
+from repro.analysis import frontier_csv, frontier_table
+from repro.core.optimizer import best_point, best_single_strategy, sweep
+from repro.core.strategy import OverlapMode
+from repro.dse import DesignSpace, DSERunner, ExhaustiveSearch, GeneticSearch
+from repro.explore import Executor, MappingCache
+from repro.mapping import SearchConfig
+
+from .conftest import FULL, JOBS, write_output
+
+#: Candidate tiles: the paper grid, or a reduced smoke slice.
+TILE_X = (1, 4, 16, 60, 240, 960) if FULL else (4, 16, 60)
+TILE_Y = (1, 4, 18, 72, 270, 540) if FULL else (4, 18, 72)
+MODES = (
+    tuple(OverlapMode)
+    if FULL
+    else (OverlapMode.FULLY_CACHED, OverlapMode.H_CACHED_V_RECOMPUTE)
+)
+
+#: The CS3-style architecture menu for the frontier demonstration.
+ZOO = (
+    (
+        "meta_proto_like_df",
+        "tpu_like_df",
+        "edge_tpu_like_df",
+        "ascend_like_df",
+        "tesla_npu_like_df",
+        "depfin_like",
+    )
+    if FULL
+    else ("meta_proto_like_df", "edge_tpu_like_df", "depfin_like")
+)
+
+
+def _config() -> SearchConfig:
+    return SearchConfig(lpf_limit=6, budget=150) if FULL else SearchConfig(
+        lpf_limit=5, budget=60
+    )
+
+
+def test_dse_exhaustive_reproduces_cs2_best(benchmark):
+    """Single-objective exhaustive DSE == ``best_single_strategy`` for
+    ResNet-18 on DepFiN (the acceptance criterion)."""
+    config = _config()
+    cache = MappingCache()
+    workload = get_workload("resnet18")
+    tiles = tuple((tx, ty) for tx in TILE_X for ty in TILE_Y)
+
+    def run():
+        engine = DepthFirstEngine(
+            get_accelerator("depfin_like"), config, cache=cache
+        )
+        expected = best_single_strategy(
+            engine, workload, tiles, MODES, "energy", jobs=JOBS
+        )
+
+        space = DesignSpace(
+            accelerators=("depfin_like",),
+            tile_x=TILE_X,
+            tile_y=TILE_Y,
+            modes=MODES,
+        )
+        runner = DSERunner(
+            space,
+            "resnet18",
+            objectives=("energy",),
+            executor=Executor(jobs=JOBS, search_config=config, cache=cache),
+            seed=0,
+        )
+        return expected, runner.run(ExhaustiveSearch())
+
+    expected, result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    best = result.frontier.best("energy")
+    assert best.values[0] == expected.result.total.energy_pj
+    assert best.point.strategy() == expected.strategy
+    write_output(
+        "dse_cs2_degenerate.txt",
+        f"resnet18 on depfin_like, {result.evaluations} designs:\n"
+        f"  classic best_single_strategy: {expected.strategy.describe()} "
+        f"E={expected.result.energy_mj:.3f} mJ\n"
+        f"  exhaustive 1-objective DSE:   {best.point.describe()} "
+        f"E={best.values[0] / 1e9:.3f} mJ",
+    )
+
+
+def test_dse_exhaustive_reproduces_cs3_architecture_choice(benchmark):
+    """Adding the hardware axis and keeping one objective reproduces the
+    CS3-style best (architecture, DF point) choice."""
+    config = _config()
+    cache = MappingCache()
+    workload = get_workload("fsrcnn")
+    accelerators = ZOO[:2]
+    tiles = tuple((tx, ty) for tx in TILE_X for ty in TILE_Y)
+
+    def run():
+        classic = []
+        for name in accelerators:
+            engine = DepthFirstEngine(
+                get_accelerator(name), config, cache=cache
+            )
+            point = best_point(
+                sweep(engine, workload, tiles, MODES, jobs=JOBS), "energy"
+            )
+            classic.append((name, point))
+        expected_name, expected = min(
+            classic, key=lambda np: np[1].result.total.energy_pj
+        )
+
+        space = DesignSpace(
+            accelerators=accelerators,
+            tile_x=TILE_X,
+            tile_y=TILE_Y,
+            modes=MODES,
+        )
+        runner = DSERunner(
+            space,
+            "fsrcnn",
+            objectives=("energy",),
+            executor=Executor(jobs=JOBS, search_config=config, cache=cache),
+            seed=0,
+        )
+        return expected_name, expected, runner.run(ExhaustiveSearch())
+
+    expected_name, expected, result = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    best = result.frontier.best("energy")
+    assert best.point.accelerator == expected_name
+    assert best.values[0] == expected.result.total.energy_pj
+    write_output(
+        "dse_cs3_degenerate.txt",
+        f"fsrcnn across {', '.join(accelerators)}:\n"
+        f"  classic per-arch best: {expected_name} "
+        f"{expected.strategy.describe()}\n"
+        f"  joint-space DSE best:  {best.point.describe()}",
+    )
+
+
+def test_dse_genetic_frontier_across_zoo(benchmark):
+    """The new capability: an energy/latency Pareto frontier for
+    ResNet-18 across the hardware zoo, bit-identical serial vs parallel."""
+    config = _config()
+    cache = MappingCache()
+    space = DesignSpace(
+        accelerators=ZOO,
+        tile_x=TILE_X,
+        tile_y=TILE_Y,
+        modes=MODES,
+        fuse_depths=(None, 2) if FULL else (None,),
+    )
+    population, generations = (16, 6) if FULL else (6, 2)
+
+    def run(jobs):
+        runner = DSERunner(
+            space,
+            "resnet18",
+            objectives=("energy", "latency"),
+            executor=Executor(jobs=jobs, search_config=config, cache=cache),
+            seed=0,
+        )
+        return runner.run(
+            GeneticSearch(population=population, generations=generations)
+        )
+
+    serial = benchmark.pedantic(run, args=(1,), rounds=1, iterations=1)
+    parallel = run(2)
+
+    # The determinism contract: parallel evaluation never changes the
+    # frontier, only the wall-clock.
+    assert [(e.point, e.values) for e in serial.frontier.entries] == [
+        (e.point, e.values) for e in parallel.frontier.entries
+    ]
+    assert serial.evaluations == parallel.evaluations
+    assert len(serial.frontier) >= 1
+
+    write_output("dse_frontier_resnet18.txt", frontier_table(serial.frontier))
+    write_output("dse_frontier_resnet18.csv", frontier_csv(serial.frontier))

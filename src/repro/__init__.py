@@ -44,6 +44,16 @@ from .core import (
     partition_stacks,
     sweep,
 )
+from .dse import (
+    DesignPoint,
+    DesignSpace,
+    DSEResult,
+    DSERunner,
+    ExhaustiveSearch,
+    GeneticSearch,
+    ParetoFrontier,
+    RandomSearch,
+)
 from .explore import EvalJob, EvalResult, Executor, SweepSpec
 from .hardware import Accelerator, MemoryInstance, MemoryLevel, build_accelerator, level
 from .hardware.zoo import ACCELERATOR_FACTORIES, get_accelerator
@@ -90,6 +100,15 @@ __all__ = [
     "level",
     "ACCELERATOR_FACTORIES",
     "get_accelerator",
+    # dse (multi-objective exploration)
+    "DesignPoint",
+    "DesignSpace",
+    "DSEResult",
+    "DSERunner",
+    "ParetoFrontier",
+    "ExhaustiveSearch",
+    "RandomSearch",
+    "GeneticSearch",
     # explore (runtime)
     "EvalJob",
     "EvalResult",

@@ -9,6 +9,7 @@ from .breakdown import (
     tier_of,
     weight_vs_activation_energy,
 )
+from .frontier import frontier_csv, frontier_table
 from .heatmap import (
     SweepPointLike,
     energy_mj,
@@ -33,6 +34,8 @@ __all__ = [
     "energy_components",
     "tier_of",
     "weight_vs_activation_energy",
+    "frontier_table",
+    "frontier_csv",
     "SweepPointLike",
     "sweep_grid",
     "render_heatmap",

@@ -1,0 +1,86 @@
+"""Pareto-frontier reports: fixed-width text tables and CSV.
+
+The frontier of a DSE run is a set of non-dominated designs, one row
+per surviving :class:`~repro.dse.pareto.FrontierEntry`.  Reading it:
+every row is *optimal* for some trade-off between the frontier's
+objectives — moving from one row to the next buys an improvement in one
+column at the cost of another.  A single-objective frontier degenerates
+to the classic argmin (usually one row; several on exact ties).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..dse.pareto import ParetoFrontier
+
+#: Human-scale units per named objective (value divisor, display unit).
+_UNITS = {
+    "energy": (1e9, "mJ"),
+    "latency": (1e6, "Mcycles"),
+    "edp": (1e15, "mJ*Mcy"),
+    "dram_accesses": (1e6, "Melems"),
+    "offchip_traffic": (1e6, "Melems"),
+    "onchip_traffic": (1e6, "Melems"),
+    "activation_energy": (1e9, "mJ"),
+}
+
+
+def _column_label(objective: str) -> str:
+    scale = _UNITS.get(objective)
+    return f"{objective} [{scale[1]}]" if scale else objective
+
+
+def _display_value(objective: str, value: float) -> float:
+    scale = _UNITS.get(objective)
+    return value / scale[0] if scale else value
+
+
+def frontier_table(frontier: "ParetoFrontier") -> str:
+    """Fixed-width text rendering of a Pareto frontier, one design per
+    row, sorted by the first objective."""
+    labels = [_column_label(obj) for obj in frontier.objectives]
+    width = max(
+        [36]
+        + [len(e.point.describe()) for e in frontier.entries]
+    )
+    header = f"{'Design':{width}s} " + " ".join(
+        f"{label:>18s}" for label in labels
+    )
+    lines = [header]
+    for entry in frontier.entries:
+        cells = " ".join(
+            f"{_display_value(obj, value):18.6g}"
+            for obj, value in zip(frontier.objectives, entry.values)
+        )
+        lines.append(f"{entry.point.describe():{width}s} {cells}")
+    if len(lines) == 1:
+        lines.append("(empty frontier)")
+    return "\n".join(lines)
+
+
+def frontier_csv(frontier: "ParetoFrontier") -> str:
+    """CSV rendering of a Pareto frontier (raw objective values, not
+    display-scaled): design axes first, then one column per objective."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(
+        ["accelerator", "tile_x", "tile_y", "mode", "fuse_depth"]
+        + list(frontier.objectives)
+    )
+    for entry in frontier.entries:
+        p = entry.point
+        writer.writerow(
+            [
+                p.accelerator,
+                p.tile_x,
+                p.tile_y,
+                p.mode.value,
+                "" if p.fuse_depth is None else p.fuse_depth,
+            ]
+            + [repr(v) for v in entry.values]
+        )
+    return buffer.getvalue()

@@ -1,4 +1,5 @@
-"""Command-line interface mirroring the original artifact's ``main.py``.
+"""Command-line interface mirroring the original artifact's ``main.py``,
+plus subcommands for the subsystems grown on top of it.
 
 The DeFiNES artifact is driven as::
 
@@ -17,6 +18,18 @@ runtime, which ``--jobs N`` spreads over worker processes.  ``--cache``
 names a JSON mapping-cache file that persists LOMA search results
 across runs (the second run of the same experiment skips the search).
 
+Subcommands (the first CLI token selects one; no token = the classic
+evaluation above):
+
+``repro dse``
+    Multi-objective design-space exploration: Pareto-frontier search
+    over tile sizes, overlap modes, fuse depths and accelerators with
+    exhaustive, random or genetic strategies (deterministic per
+    ``--seed``, parallel via ``--jobs``).
+``repro cache-info``
+    Inspect a persistent mapping-cache file (format version, entries,
+    size, last session's hit/miss stats).
+
 Results are printed and optionally written as JSON (the artifact wrote
 pickle files; JSON keeps them human-readable and diffable).
 """
@@ -28,11 +41,14 @@ import json
 import sys
 from typing import Sequence
 
-from .analysis import access_breakdown
+from .analysis import access_breakdown, frontier_csv, frontier_table
 from .core import DepthFirstEngine, DFStrategy, OverlapMode
+from .core.optimizer import PAPER_TILE_GRID_X, PAPER_TILE_GRID_Y
+from .dse import DesignSpace, DSERunner, create_strategy
 from .explore import Executor, MappingCache, SweepSpec
 from .hardware.zoo import ACCELERATOR_FACTORIES, get_accelerator
-from .mapping import SearchConfig
+from .mapping import OBJECTIVE_NAMES, SearchConfig
+from .mapping.cache import cache_file_info
 from .workloads.zoo import WORKLOAD_FACTORIES, get_workload
 
 #: The artifact's --dfmode integers, kept as aliases.
@@ -42,7 +58,135 @@ DFMODE_ALIASES = {
     "2": OverlapMode.FULLY_CACHED,
 }
 
+#: Every zoo accelerator name accepted by the CLI.
+ACCELERATOR_NAMES = sorted(ACCELERATOR_FACTORIES) + ["depfin_like"]
 
+
+# ----------------------------------------------------------------------
+# Shared argument validators and option groups
+# ----------------------------------------------------------------------
+def _int_list(text: str) -> tuple[int, ...]:
+    """Parse ``"4"`` or ``"4,16,60"`` into a tuple of ints."""
+    try:
+        values = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an int list: {text!r}")
+    if not values:
+        raise argparse.ArgumentTypeError(f"empty int list: {text!r}")
+    return values
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an int: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _seed(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an int: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"seed must be >= 0, got {value}")
+    return value
+
+
+def _name_list(text: str) -> tuple[str, ...]:
+    """Parse a comma-separated list of names (``"a,b"``)."""
+    names = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not names:
+        raise argparse.ArgumentTypeError(f"empty name list: {text!r}")
+    return names
+
+
+def _mode_list(text: str) -> tuple[OverlapMode, ...]:
+    """Parse a comma-separated list of overlap modes (names or 0/1/2)."""
+    modes = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            modes.append(_resolve_mode(part))
+        except SystemExit as exc:
+            # _resolve_mode serves non-argparse paths too; inside a
+            # type= callable the failure must be an ArgumentTypeError
+            # so argparse prints usage like every other bad argument.
+            raise argparse.ArgumentTypeError(str(exc))
+    if not modes:
+        raise argparse.ArgumentTypeError(f"empty mode list: {text!r}")
+    return tuple(modes)
+
+
+def _fuse_list(text: str) -> tuple[int | None, ...]:
+    """Parse fuse depths: ints plus ``auto`` for the weights-fit rule."""
+    values: list[int | None] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part == "auto":
+            values.append(None)
+            continue
+        try:
+            depth = int(part)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"fuse depth must be an int or 'auto': {part!r}"
+            )
+        if depth < 1:
+            raise argparse.ArgumentTypeError(f"fuse depth must be >= 1: {depth}")
+        values.append(depth)
+    if not values:
+        raise argparse.ArgumentTypeError(f"empty fuse-depth list: {text!r}")
+    return tuple(values)
+
+
+def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by every evaluating subcommand: parallelism,
+    persistent cache, LOMA search knobs, and the seed every randomized
+    path (DSE samplers, future stochastic searches) must draw from."""
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for sweeps (1 = in-process serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        help="persistent mapping-cache JSON file (loaded if present, "
+        "saved after the run)",
+    )
+    parser.add_argument(
+        "--lpf-limit",
+        type=int,
+        default=6,
+        help="LOMA loop-prime-factor limit (speed/quality knob; paper: 8)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=200,
+        help="temporal-mapping orderings evaluated per layer-tile",
+    )
+    parser.add_argument(
+        "--seed",
+        type=_seed,
+        default=0,
+        help="seed for randomized search paths (results are "
+        "deterministic given a seed, whatever --jobs is)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Classic evaluation (the artifact's main.py)
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -51,7 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--accelerator",
         required=True,
-        choices=sorted(ACCELERATOR_FACTORIES) + ["depfin_like"],
+        choices=ACCELERATOR_NAMES,
         help="accelerator from the Table I(a) zoo",
     )
     parser.add_argument(
@@ -80,56 +224,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="tile height(s); a comma-separated list sweeps the grid",
     )
     parser.add_argument(
-        "--jobs",
-        type=_positive_int,
-        default=1,
-        help="worker processes for sweeps (1 = in-process serial)",
-    )
-    parser.add_argument(
-        "--cache",
-        default=None,
-        help="persistent mapping-cache JSON file (loaded if present, "
-        "saved after the run)",
-    )
-    parser.add_argument(
-        "--lpf-limit",
-        type=int,
-        default=6,
-        help="LOMA loop-prime-factor limit (speed/quality knob; paper: 8)",
-    )
-    parser.add_argument(
-        "--budget",
-        type=int,
-        default=200,
-        help="temporal-mapping orderings evaluated per layer-tile",
-    )
-    parser.add_argument(
         "--output",
         default=None,
         help="write the result summary to this JSON file",
     )
+    _add_runtime_options(parser)
     return parser
-
-
-def _int_list(text: str) -> tuple[int, ...]:
-    """Parse ``"4"`` or ``"4,16,60"`` into a tuple of ints."""
-    try:
-        values = tuple(int(part) for part in text.split(",") if part.strip())
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"not an int list: {text!r}")
-    if not values:
-        raise argparse.ArgumentTypeError(f"empty int list: {text!r}")
-    return values
-
-
-def _positive_int(text: str) -> int:
-    try:
-        value = int(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"not an int: {text!r}")
-    if value < 1:
-        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
-    return value
 
 
 def _resolve_mode(text: str) -> OverlapMode:
@@ -182,16 +282,14 @@ def _print_schedule(result) -> None:
         )
 
 
-def main(argv: Sequence[str] | None = None) -> int:
+def run_evaluate(argv: Sequence[str]) -> int:
+    """The classic artifact-style evaluation / tile sweep."""
     args = build_parser().parse_args(argv)
     accel = get_accelerator(args.accelerator)
     workload = get_workload(args.workload)
     mode = _resolve_mode(args.mode)
     config = SearchConfig(lpf_limit=args.lpf_limit, budget=args.budget)
-    try:
-        cache = MappingCache(args.cache) if args.cache else MappingCache()
-    except ValueError as exc:
-        raise SystemExit(f"--cache: {exc}")
+    cache = MappingCache(args.cache) if args.cache else MappingCache()
 
     tiles = [(tx, ty) for tx in args.tilex for ty in args.tiley]
     if len(tiles) == 1:
@@ -227,6 +325,238 @@ def main(argv: Sequence[str] | None = None) -> int:
             json.dump(summary, f, indent=2)
         print(f"wrote {args.output}")
     return 0
+
+
+# ----------------------------------------------------------------------
+# repro dse — multi-objective Pareto-frontier search
+# ----------------------------------------------------------------------
+def build_dse_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro dse",
+        description="Multi-objective design-space exploration: search the "
+        "joint space of tile sizes, overlap modes, fuse depths and "
+        "accelerators, maintaining a Pareto frontier.",
+    )
+    parser.add_argument(
+        "--workload",
+        required=True,
+        choices=sorted(WORKLOAD_FACTORIES),
+        help="workload from the Table I(b) zoo",
+    )
+    parser.add_argument(
+        "--accelerators",
+        type=_name_list,
+        default=("meta_proto_like_df",),
+        help="comma-separated zoo accelerators, or 'all'",
+    )
+    parser.add_argument(
+        "--objectives",
+        type=_name_list,
+        default=("energy",),
+        help=f"comma-separated objectives, all minimized; "
+        f"choose from: {', '.join(OBJECTIVE_NAMES)}",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=("exhaustive", "random", "genetic"),
+        default="genetic",
+        help="search strategy over the design space",
+    )
+    parser.add_argument(
+        "--tilex",
+        type=_int_list,
+        default=PAPER_TILE_GRID_X,
+        help="candidate tile widths (default: the paper's Fig. 12 grid)",
+    )
+    parser.add_argument(
+        "--tiley",
+        type=_int_list,
+        default=PAPER_TILE_GRID_Y,
+        help="candidate tile heights (default: the paper's Fig. 12 grid)",
+    )
+    parser.add_argument(
+        "--modes",
+        type=_mode_list,
+        default=tuple(OverlapMode),
+        help="candidate overlap modes (names or the artifact's 0/1/2)",
+    )
+    parser.add_argument(
+        "--fuse-depths",
+        type=_fuse_list,
+        default=(None,),
+        help="candidate per-stack layer caps; 'auto' = weights-fit rule "
+        "(e.g. 'auto,1,2,4')",
+    )
+    parser.add_argument(
+        "--population",
+        type=_positive_int,
+        default=16,
+        help="genetic: designs per generation",
+    )
+    parser.add_argument(
+        "--generations",
+        type=_positive_int,
+        default=8,
+        help="genetic: number of generations",
+    )
+    parser.add_argument(
+        "--samples",
+        type=_positive_int,
+        default=64,
+        help="random: designs to sample",
+    )
+    parser.add_argument(
+        "--max-evals",
+        type=_positive_int,
+        default=None,
+        help="evaluation budget: cap on fresh cost-model evaluations",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        help="JSON checkpoint: resumed if present, saved every generation",
+    )
+    parser.add_argument(
+        "--csv",
+        default=None,
+        help="write the frontier as CSV to this file",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the frontier summary to this JSON file",
+    )
+    _add_runtime_options(parser)
+    return parser
+
+
+def run_dse(argv: Sequence[str]) -> int:
+    args = build_dse_parser().parse_args(argv)
+
+    accelerators = args.accelerators
+    if accelerators == ("all",):
+        accelerators = tuple(ACCELERATOR_NAMES)
+    for name in accelerators:
+        if name not in ACCELERATOR_NAMES:
+            raise SystemExit(
+                f"unknown accelerator {name!r}; choose from "
+                f"{', '.join(ACCELERATOR_NAMES)} (or 'all')"
+            )
+    for name in args.objectives:
+        if name not in OBJECTIVE_NAMES:
+            raise SystemExit(
+                f"unknown objective {name!r}; choose from "
+                f"{', '.join(OBJECTIVE_NAMES)}"
+            )
+
+    try:
+        space = DesignSpace(
+            accelerators=accelerators,
+            tile_x=args.tilex,
+            tile_y=args.tiley,
+            modes=args.modes,
+            fuse_depths=args.fuse_depths,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    config = SearchConfig(lpf_limit=args.lpf_limit, budget=args.budget)
+    cache = MappingCache(args.cache) if args.cache else MappingCache()
+    executor = Executor(jobs=args.jobs, search_config=config, cache=cache)
+    strategy = create_strategy(
+        args.strategy,
+        population=args.population,
+        generations=args.generations,
+        samples=args.samples,
+    )
+    runner = DSERunner(
+        space,
+        args.workload,
+        objectives=args.objectives,
+        executor=executor,
+        max_evals=args.max_evals,
+        checkpoint=args.checkpoint,
+        seed=args.seed,
+    )
+    try:
+        result = runner.run(strategy)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    print(
+        f"dse: {args.workload}, strategy={args.strategy}, seed={args.seed}, "
+        f"space={space.size} designs, objectives={','.join(args.objectives)}"
+    )
+    print(result.describe())
+    print(frontier_table(result.frontier))
+
+    if args.csv:
+        with open(args.csv, "w") as f:
+            f.write(frontier_csv(result.frontier))
+        print(f"wrote {args.csv}")
+    if args.output:
+        summary = {
+            "workload": args.workload,
+            "accelerators": list(accelerators),
+            "objectives": list(args.objectives),
+            "strategy": args.strategy,
+            "seed": args.seed,
+            "evaluations": result.evaluations,
+            "total_evaluations": result.total_evaluations,
+            "frontier": result.frontier.to_json(),
+        }
+        with open(args.output, "w") as f:
+            json.dump(summary, f, indent=2)
+        print(f"wrote {args.output}")
+    if args.cache:
+        cache.save()
+        print(f"mapping cache: {cache.stats} -> {args.cache}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro cache-info — mapping-cache file inspection
+# ----------------------------------------------------------------------
+def build_cache_info_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro cache-info",
+        description="Inspect a persistent mapping-cache JSON file.",
+    )
+    parser.add_argument("path", help="mapping-cache file to inspect")
+    return parser
+
+
+def run_cache_info(argv: Sequence[str]) -> int:
+    args = build_cache_info_parser().parse_args(argv)
+    info = cache_file_info(args.path)
+    print(f"path:    {info['path']}")
+    print(f"status:  {info['status']}")
+    if info["status"] == "missing":
+        return 1
+    print(f"size:    {info['size_bytes']} bytes")
+    print(f"format:  {info['format']}")
+    print(f"entries: {info['entries']}")
+    stats = info["stats"]
+    if stats:
+        print(
+            f"stats:   {stats.get('hits', 0)} hits / "
+            f"{stats.get('misses', 0)} misses at last save"
+        )
+    # Only a loadable file exits 0, so scripts can gate on the status.
+    return 0 if info["status"] == "ok" else 1
+
+
+# ----------------------------------------------------------------------
+SUBCOMMANDS = {
+    "dse": run_dse,
+    "cache-info": run_cache_info,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]](argv[1:])
+    return run_evaluate(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

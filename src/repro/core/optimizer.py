@@ -18,7 +18,7 @@ path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from ..mapping.cost import Objective, resolve_objective
 from ..workloads.graph import WorkloadGraph
@@ -39,6 +39,26 @@ ALL_MODES = (
     OverlapMode.H_CACHED_V_RECOMPUTE,
     OverlapMode.FULLY_CACHED,
 )
+
+
+def grid_strategies(
+    tile_sizes: Iterable[tuple[int, int]],
+    modes: Sequence[OverlapMode] = ALL_MODES,
+    fuse_depth: int | None = None,
+) -> Iterator[DFStrategy]:
+    """The classic sweep enumeration: every (mode, tile size) strategy,
+    mode-major.
+
+    This order is the deterministic identity of every grid walk in the
+    repo — :meth:`~repro.explore.spec.SweepSpec.tile_grid` and the DSE
+    subsystem's exhaustive backend both enumerate through it, so a
+    single-objective exhaustive DSE visits exactly the points (and tie
+    breaks) of the paper's sweeps.
+    """
+    tiles = tuple(tile_sizes)
+    for mode in modes:
+        for tx, ty in tiles:
+            yield DFStrategy(tile_x=tx, tile_y=ty, mode=mode, fuse_depth=fuse_depth)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,71 @@
+"""Multi-objective design-space exploration (DSE).
+
+The paper's case studies are single-objective grid walks over a fixed
+menu of points.  This subsystem generalizes them into a search engine
+over the *joint* space of DF strategies (tile size, overlap mode), stack
+partitions (fuse depth) and accelerators, optimizing several objectives
+at once (energy, latency, EDP, on/off-chip traffic) and maintaining an
+incremental Pareto frontier instead of a single argmin:
+
+* :class:`DesignSpace` / :class:`DesignPoint` — the joint space and its
+  gene encoding (:mod:`repro.dse.space`);
+* :class:`ExhaustiveSearch`, :class:`RandomSearch`,
+  :class:`GeneticSearch` — pluggable searchers (:mod:`repro.dse.search`);
+* :class:`ParetoFrontier` — dominance pruning, JSON checkpoint/resume
+  (:mod:`repro.dse.pareto`);
+* :class:`DSERunner` — the generation loop, batching every strategy's
+  candidates through the exploration runtime so ``jobs=N`` parallelism
+  and mapping-cache reuse come for free (:mod:`repro.dse.runner`).
+
+Quick frontier search::
+
+    from repro.dse import DesignSpace, DSERunner, GeneticSearch
+    from repro.explore import Executor, MappingCache
+
+    space = DesignSpace.paper_grid(accelerators=("meta_proto_like_df",))
+    runner = DSERunner(
+        space, "resnet18", objectives=("energy", "latency"),
+        executor=Executor(jobs=4, cache=MappingCache("loma.json")), seed=0,
+    )
+    result = runner.run(GeneticSearch(population=16, generations=8))
+    for entry in result.frontier.entries:
+        print(entry.point.describe(), entry.values)
+
+Searches are deterministic given (space, seed): parallel evaluation
+changes wall-clock only, never the frontier.
+"""
+
+from .pareto import (
+    FrontierEntry,
+    ParetoFrontier,
+    crowding_distances,
+    dominates,
+    nondominated_ranks,
+)
+from .runner import DSEResult, DSERunner, GenerationStats
+from .search import (
+    ExhaustiveSearch,
+    GeneticSearch,
+    RandomSearch,
+    SearchStrategy,
+    create_strategy,
+)
+from .space import DesignPoint, DesignSpace
+
+__all__ = [
+    "DesignPoint",
+    "DesignSpace",
+    "DSEResult",
+    "DSERunner",
+    "GenerationStats",
+    "FrontierEntry",
+    "ParetoFrontier",
+    "dominates",
+    "nondominated_ranks",
+    "crowding_distances",
+    "SearchStrategy",
+    "ExhaustiveSearch",
+    "RandomSearch",
+    "GeneticSearch",
+    "create_strategy",
+]

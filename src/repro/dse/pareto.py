@@ -1,0 +1,226 @@
+"""Incremental Pareto frontier over minimized objective vectors.
+
+The DSE subsystem never reduces a design to a single scalar: every
+evaluated point carries one value per objective (all minimized), and the
+frontier keeps exactly the non-dominated set, pruning dominated entries
+as better points arrive.  The same dominance machinery (non-dominated
+ranks, crowding distances) drives the genetic searcher's selection.
+
+Frontiers checkpoint to JSON and resume exactly, so long explorations
+survive interruption and repeated runs refine rather than restart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from .space import DesignPoint
+
+#: On-disk checkpoint format; bump when the encoding changes.
+FRONTIER_FORMAT_VERSION = 1
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Whether vector ``a`` Pareto-dominates ``b`` (all objectives
+    minimized): no worse everywhere, strictly better somewhere."""
+    better = False
+    for x, y in zip(a, b):
+        if x > y:
+            return False
+        if x < y:
+            better = True
+    return better
+
+
+def nondominated_ranks(values: Sequence[Sequence[float]]) -> list[int]:
+    """Rank each vector by non-dominated front: 0 for the Pareto front,
+    1 for the front once rank 0 is removed, and so on (NSGA-II style)."""
+    n = len(values)
+    dominated_by = [0] * n  # how many vectors dominate values[i]
+    dominating: list[list[int]] = [[] for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(values[i], values[j]):
+                dominated_by[j] += 1
+                dominating[i].append(j)
+            elif dominates(values[j], values[i]):
+                dominated_by[i] += 1
+                dominating[j].append(i)
+    ranks = [0] * n
+    front = [i for i in range(n) if dominated_by[i] == 0]
+    rank = 0
+    while front:
+        next_front: list[int] = []
+        for i in front:
+            ranks[i] = rank
+            for j in dominating[i]:
+                dominated_by[j] -= 1
+                if dominated_by[j] == 0:
+                    next_front.append(j)
+        front = next_front
+        rank += 1
+    return ranks
+
+
+def crowding_distances(values: Sequence[Sequence[float]]) -> list[float]:
+    """NSGA-II crowding distance per vector (larger = less crowded;
+    boundary points get infinity).  Used as a diversity tie-break."""
+    n = len(values)
+    if n == 0:
+        return []
+    distances = [0.0] * n
+    objectives = len(values[0])
+    for m in range(objectives):
+        order = sorted(range(n), key=lambda i: values[i][m])
+        lo, hi = values[order[0]][m], values[order[-1]][m]
+        distances[order[0]] = distances[order[-1]] = float("inf")
+        if hi == lo:
+            continue
+        for pos in range(1, n - 1):
+            i = order[pos]
+            if distances[i] == float("inf"):
+                continue
+            gap = values[order[pos + 1]][m] - values[order[pos - 1]][m]
+            distances[i] += gap / (hi - lo)
+    return distances
+
+
+@dataclass(frozen=True)
+class FrontierEntry:
+    """One non-dominated design with its objective values."""
+
+    point: DesignPoint
+    values: tuple[float, ...]
+
+    def to_json(self) -> dict:
+        return {"point": self.point.to_json(), "values": list(self.values)}
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "FrontierEntry":
+        return cls(
+            point=DesignPoint.from_json(data["point"]),
+            values=tuple(float(v) for v in data["values"]),
+        )
+
+
+class ParetoFrontier:
+    """The incremental non-dominated set for a fixed objective tuple.
+
+    ``offer`` is the single mutation point: a candidate is accepted iff
+    no current entry dominates it (and it is not a duplicate design);
+    entries the candidate dominates are pruned.  Reported ``entries``
+    are sorted by objective vector (then design key), so two runs that
+    evaluated the same points report bit-identical frontiers whatever
+    order the offers arrived in.
+    """
+
+    def __init__(self, objectives: Sequence[str]) -> None:
+        if not objectives:
+            raise ValueError("a Pareto frontier needs at least one objective")
+        if len(set(objectives)) != len(objectives):
+            raise ValueError(f"duplicate objectives: {objectives}")
+        self.objectives = tuple(objectives)
+        self._entries: list[FrontierEntry] = []
+        self.offered = 0
+        self.accepted = 0
+        self.pruned = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> list[FrontierEntry]:
+        """Non-dominated entries, deterministically ordered."""
+        return sorted(
+            self._entries, key=lambda e: (e.values, e.point.sort_key())
+        )
+
+    def offer(self, point: DesignPoint, values: Sequence[float]) -> bool:
+        """Propose an evaluated design; returns whether it was kept."""
+        vec = tuple(float(v) for v in values)
+        if len(vec) != len(self.objectives):
+            raise ValueError(
+                f"expected {len(self.objectives)} objective values, got {len(vec)}"
+            )
+        self.offered += 1
+        key = point.key()
+        for entry in self._entries:
+            if dominates(entry.values, vec) or entry.point.key() == key:
+                return False
+        survivors = [e for e in self._entries if not dominates(vec, e.values)]
+        self.pruned += len(self._entries) - len(survivors)
+        survivors.append(FrontierEntry(point=point, values=vec))
+        self._entries = survivors
+        self.accepted += 1
+        return True
+
+    def merge(self, other: "ParetoFrontier") -> int:
+        """Offer every entry of ``other``; returns how many were kept."""
+        if other.objectives != self.objectives:
+            raise ValueError(
+                f"objective mismatch: {other.objectives} vs {self.objectives}"
+            )
+        return sum(
+            1 for e in other.entries if self.offer(e.point, e.values)
+        )
+
+    def best(self, objective: str) -> FrontierEntry:
+        """The entry minimizing one of the frontier's objectives.
+
+        Exact ties resolve to the *first-offered* entry — the classic
+        ``min()``-over-sweep-order semantics, so a degenerate
+        single-objective exhaustive DSE picks the very same point as
+        ``best_point`` does (``_entries`` preserves offer order).
+        """
+        index = self.objectives.index(objective)
+        best_entry: FrontierEntry | None = None
+        for entry in self._entries:
+            if best_entry is None or entry.values[index] < best_entry.values[index]:
+                best_entry = entry
+        if best_entry is None:
+            raise ValueError("the frontier is empty")
+        return best_entry
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "format": FRONTIER_FORMAT_VERSION,
+            "objectives": list(self.objectives),
+            # Offer order, not the sorted report order: from_json
+            # re-offers in this order, so the first-offered tie-break
+            # of best() survives a save/load round trip.
+            "entries": [e.to_json() for e in self._entries],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "ParetoFrontier":
+        if data.get("format") != FRONTIER_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported frontier format {data.get('format')!r} "
+                f"(expected {FRONTIER_FORMAT_VERSION})"
+            )
+        frontier = cls(tuple(data["objectives"]))
+        for raw in data["entries"]:
+            entry = FrontierEntry.from_json(raw)
+            frontier.offer(entry.point, entry.values)
+        return frontier
+
+    def save(self, path: str | Path) -> Path:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic replace, like the runner's checkpoint: never tear the
+        # file an interrupted run will resume from.
+        scratch = target.with_suffix(target.suffix + ".tmp")
+        scratch.write_text(json.dumps(self.to_json()))
+        os.replace(scratch, target)
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ParetoFrontier":
+        return cls.from_json(json.loads(Path(path).read_text()))

@@ -1,0 +1,283 @@
+"""The DSE driver: generations of candidate designs, evaluated in
+batches through the exploration runtime, folded into a Pareto frontier.
+
+The runner owns the loop glue that every search strategy shares:
+
+* **dedup** — a design evaluated once (this run or in a resumed
+  checkpoint) is never re-dispatched; repeats are served from the
+  run-level memo at zero cost (on top of the mapping-level
+  :class:`~repro.mapping.cache.MappingCache` reuse inside the executor);
+* **batching** — each generation becomes one
+  :class:`~repro.explore.spec.EvalJob` list run by an
+  :class:`~repro.explore.executor.Executor`, so ``jobs=N`` process
+  parallelism applies to any strategy for free, with results identical
+  to a serial run;
+* **budget** — an optional cap on fresh cost-model evaluations;
+* **checkpointing** — evaluated designs persist to JSON after every
+  generation (stamped with the workload, objectives, space and search
+  config so a mismatched resume is rejected, not silently mixed) and
+  the frontier is rebuilt from them exactly on resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from ..explore.executor import Executor
+from ..explore.spec import EvalJob
+from ..mapping.cost import resolve_objective
+from .pareto import ParetoFrontier
+from .search import SearchStrategy, create_strategy
+from .space import DesignPoint, DesignSpace
+
+if TYPE_CHECKING:
+    from ..workloads.graph import WorkloadGraph
+
+#: On-disk checkpoint format; bump when the encoding changes.
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class GenerationStats:
+    """Per-generation progress of one DSE run."""
+
+    index: int
+    proposed: int
+    evaluated: int
+    cached: int
+    frontier_size: int
+
+
+@dataclass
+class DSEResult:
+    """Outcome of a DSE run."""
+
+    frontier: ParetoFrontier
+    evaluations: int
+    total_evaluations: int
+    generations: list[GenerationStats] = field(default_factory=list)
+    evaluated: dict[tuple, tuple[DesignPoint, tuple[float, ...]]] = field(
+        default_factory=dict
+    )
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.generations)} generation(s), "
+            f"{self.evaluations} evaluation(s) "
+            f"({self.total_evaluations} incl. checkpoint), "
+            f"frontier size {len(self.frontier)}"
+        )
+
+
+class DSERunner:
+    """Drives one search strategy over a design space for one workload.
+
+    Parameters
+    ----------
+    space:
+        The joint design space to explore.
+    workload:
+        Zoo name (cheap to ship to workers) or a workload object.
+    objectives:
+        Named objectives (see :data:`~repro.mapping.cost.OBJECTIVE_NAMES`),
+        all minimized simultaneously.
+    executor:
+        Exploration-runtime executor; a private serial one is created
+        when omitted.  ``Executor(jobs=N)`` parallelizes every
+        generation without changing any result.
+    max_evals:
+        Optional cap on fresh cost-model evaluations for the run.
+    checkpoint:
+        Optional JSON path; loaded (and validated against space,
+        workload and objectives) if it exists, rewritten after every
+        generation.
+    seed:
+        Seed of the single rng all strategy randomness flows through.
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        workload: "str | WorkloadGraph",
+        objectives: Sequence[str] = ("energy",),
+        executor: Executor | None = None,
+        max_evals: int | None = None,
+        checkpoint: str | Path | None = None,
+        seed: int = 0,
+    ) -> None:
+        if max_evals is not None and max_evals < 1:
+            raise ValueError(f"max_evals must be >= 1, got {max_evals}")
+        self.space = space
+        self.workload = workload
+        self.objectives = tuple(objectives)
+        self._objective_fns = [resolve_objective(name) for name in self.objectives]
+        self.executor = executor if executor is not None else Executor()
+        self.max_evals = max_evals
+        self.checkpoint = Path(checkpoint) if checkpoint is not None else None
+        self.seed = seed
+
+    @property
+    def workload_name(self) -> str:
+        wl = self.workload
+        return wl if isinstance(wl, str) else wl.name
+
+    def _checkpoint_stamp(self) -> dict:
+        """Everything a checkpoint's cached values depend on: resuming
+        under a different stamp would silently mix incomparable
+        results, so :meth:`_resume` rejects any mismatch."""
+        config = self.executor.search_config
+        return {
+            "workload": self.workload_name,
+            "objectives": list(self.objectives),
+            "space": self.space.to_json(),
+            "config": None if config is None else list(config.cache_token()),
+        }
+
+    # ------------------------------------------------------------------
+    def run(self, strategy: "SearchStrategy | str") -> DSEResult:
+        """Execute the search to completion (or budget exhaustion)."""
+        if isinstance(strategy, str):
+            strategy = create_strategy(strategy)
+        rng = random.Random(self.seed)
+        strategy.reset(self.space, rng)
+
+        frontier = ParetoFrontier(self.objectives)
+        seen: dict[tuple, tuple[DesignPoint, tuple[float, ...]]] = {}
+        prior_evals = self._resume(frontier, seen)
+
+        stats: list[GenerationStats] = []
+        evals_run = 0
+        while True:
+            batch = strategy.propose()
+            if not batch:
+                break
+            unique: list[DesignPoint] = []
+            keys: set[tuple] = set()
+            for point in batch:
+                if point.key() not in keys:
+                    keys.add(point.key())
+                    unique.append(point)
+
+            fresh = [p for p in unique if p.key() not in seen]
+            if self.max_evals is not None:
+                allow = max(0, self.max_evals - evals_run)
+                truncated = len(fresh) > allow
+                fresh = fresh[:allow]
+            else:
+                truncated = False
+
+            if fresh:
+                jobs = [
+                    EvalJob(
+                        accelerator=p.accelerator,
+                        workload=self.workload,
+                        strategy=p.strategy(),
+                        tag="dse",
+                    )
+                    for p in fresh
+                ]
+                for point, result in zip(fresh, self.executor.run(jobs)):
+                    values = tuple(
+                        fn(result.result.total) for fn in self._objective_fns
+                    )
+                    seen[point.key()] = (point, values)
+                    frontier.offer(point, values)
+                evals_run += len(fresh)
+
+            evaluated = [seen[p.key()] for p in unique if p.key() in seen]
+            strategy.observe(evaluated)
+            stats.append(
+                GenerationStats(
+                    index=len(stats),
+                    proposed=len(batch),
+                    evaluated=len(fresh),
+                    cached=len(evaluated) - len(fresh),
+                    frontier_size=len(frontier),
+                )
+            )
+            self._save_checkpoint(seen, prior_evals + evals_run)
+            if truncated:
+                break
+
+        return DSEResult(
+            frontier=frontier,
+            evaluations=evals_run,
+            total_evaluations=prior_evals + evals_run,
+            generations=stats,
+            evaluated=seen,
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _resume(
+        self,
+        frontier: ParetoFrontier,
+        seen: dict[tuple, tuple[DesignPoint, tuple[float, ...]]],
+    ) -> int:
+        """Prime frontier and memo from the checkpoint file, if any.
+        Returns the number of evaluations already paid for."""
+        if self.checkpoint is None or not self.checkpoint.exists():
+            return 0
+        try:
+            data = json.loads(self.checkpoint.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(
+                f"{self.checkpoint}: not a DSE checkpoint: {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"{self.checkpoint}: not a DSE checkpoint (expected an object)"
+            )
+        if data.get("format") != CHECKPOINT_FORMAT_VERSION:
+            raise ValueError(
+                f"{self.checkpoint}: unsupported DSE checkpoint format "
+                f"{data.get('format')!r} (expected {CHECKPOINT_FORMAT_VERSION})"
+            )
+        for field_name, expected in self._checkpoint_stamp().items():
+            if data.get(field_name) != expected:
+                raise ValueError(
+                    f"{self.checkpoint}: checkpoint {field_name} does not match "
+                    f"this run (checkpointed {data.get(field_name)!r})"
+                )
+        try:
+            for raw_point, raw_values in data.get("evaluated", []):
+                point = DesignPoint.from_json(raw_point)
+                values = tuple(float(v) for v in raw_values)
+                seen[point.key()] = (point, values)
+                frontier.offer(point, values)
+        except (KeyError, TypeError, AttributeError, ValueError) as exc:
+            raise ValueError(
+                f"{self.checkpoint}: malformed DSE checkpoint entry: {exc!r}"
+            ) from exc
+        return int(data.get("evaluations", len(seen)))
+
+    def _save_checkpoint(
+        self,
+        seen: dict[tuple, tuple[DesignPoint, tuple[float, ...]]],
+        evaluations: int,
+    ) -> None:
+        if self.checkpoint is None:
+            return
+        payload = {
+            "format": CHECKPOINT_FORMAT_VERSION,
+            **self._checkpoint_stamp(),
+            "evaluations": evaluations,
+            # Evaluation order, not sorted: _resume re-offers in this
+            # order, reproducing the original frontier tie-breaks.
+            "evaluated": [
+                [point.to_json(), list(values)]
+                for point, values in seen.values()
+            ],
+        }
+        self.checkpoint.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic replace: an interrupt mid-write must never tear the
+        # checkpoint the next run resumes from.
+        scratch = self.checkpoint.with_suffix(self.checkpoint.suffix + ".tmp")
+        scratch.write_text(json.dumps(payload))
+        os.replace(scratch, self.checkpoint)

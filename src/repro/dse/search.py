@@ -1,0 +1,214 @@
+"""Pluggable search strategies over a :class:`~repro.dse.space.DesignSpace`.
+
+Every strategy is a generation-based ask/tell loop driven by the
+:class:`~repro.dse.runner.DSERunner`:
+
+* :meth:`SearchStrategy.propose` returns the next batch of candidate
+  points (empty = converged / budget of generations spent);
+* the runner evaluates the batch through the exploration runtime
+  (deduplicating against everything already evaluated) and feeds the
+  objective vectors back via :meth:`SearchStrategy.observe`.
+
+All randomness flows through the single ``random.Random`` the runner
+seeds, and all tie-breaks sort on design keys, so a search is
+deterministic given (space, seed) — including across ``--jobs N``
+parallel evaluation, which never changes results, only wall-clock.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .pareto import crowding_distances, nondominated_ranks
+from .space import DesignPoint, DesignSpace
+
+#: One evaluated candidate: the design and its objective vector.
+Evaluated = "tuple[DesignPoint, tuple[float, ...]]"
+
+
+class SearchStrategy:
+    """Base ask/tell interface; subclasses implement :meth:`propose`."""
+
+    name = "base"
+
+    def reset(self, space: DesignSpace, rng: random.Random) -> None:
+        """Bind the strategy to a space and seeded rng before a run."""
+        self.space = space
+        self.rng = rng
+
+    def propose(self) -> list[DesignPoint]:
+        """The next candidate batch; ``[]`` ends the search."""
+        raise NotImplementedError
+
+    def observe(self, evaluated: Sequence["Evaluated"]) -> None:
+        """Receive the batch's objective vectors (default: ignore)."""
+
+
+class ExhaustiveSearch(SearchStrategy):
+    """Grid walk: every point of the space, in the classic sweep order
+    (the paper's case studies as a degenerate DSE)."""
+
+    name = "exhaustive"
+
+    def reset(self, space: DesignSpace, rng: random.Random) -> None:
+        super().reset(space, rng)
+        self._done = False
+
+    def propose(self) -> list[DesignPoint]:
+        if self._done:
+            return []
+        self._done = True
+        return list(self.space.enumerate())
+
+
+class RandomSearch(SearchStrategy):
+    """Seeded uniform sampling without replacement."""
+
+    name = "random"
+
+    def __init__(self, samples: int = 64) -> None:
+        if samples < 1:
+            raise ValueError(f"samples must be >= 1, got {samples}")
+        self.samples = samples
+
+    def reset(self, space: DesignSpace, rng: random.Random) -> None:
+        super().reset(space, rng)
+        self._done = False
+
+    def propose(self) -> list[DesignPoint]:
+        if self._done:
+            return []
+        self._done = True
+        count = min(self.samples, self.space.size)
+        indices = self.rng.sample(range(self.space.size), count)
+        return [self.space.point_at(i) for i in indices]
+
+
+class GeneticSearch(SearchStrategy):
+    """NSGA-II-flavoured evolutionary search over strategy genes.
+
+    Genes are the per-axis indices of a design point.  Each generation
+    breeds ``population`` offspring by binary tournament on
+    (non-dominated rank, crowding distance), uniform crossover, and
+    per-gene uniform mutation; survivors are the best ``population`` of
+    the merged parent+offspring pool.
+    """
+
+    name = "genetic"
+
+    def __init__(
+        self,
+        population: int = 16,
+        generations: int = 8,
+        crossover_rate: float = 0.9,
+        mutation_rate: float = 0.15,
+    ) -> None:
+        if population < 2:
+            raise ValueError(f"population must be >= 2, got {population}")
+        if generations < 1:
+            raise ValueError(f"generations must be >= 1, got {generations}")
+        if not 0.0 <= crossover_rate <= 1.0:
+            raise ValueError(f"crossover_rate outside [0, 1]: {crossover_rate}")
+        if not 0.0 <= mutation_rate <= 1.0:
+            raise ValueError(f"mutation_rate outside [0, 1]: {mutation_rate}")
+        self.population = population
+        self.generations = generations
+        self.crossover_rate = crossover_rate
+        self.mutation_rate = mutation_rate
+
+    def reset(self, space: DesignSpace, rng: random.Random) -> None:
+        super().reset(space, rng)
+        self._generation = 0
+        self._pool: list[tuple[DesignPoint, tuple[float, ...]]] = []
+        self._ordered: list[DesignPoint] = []
+
+    # ------------------------------------------------------------------
+    def propose(self) -> list[DesignPoint]:
+        if self._generation >= self.generations:
+            return []
+        self._generation += 1
+        if not self._pool:
+            count = min(self.population, self.space.size)
+            indices = self.rng.sample(range(self.space.size), count)
+            return [self.space.point_at(i) for i in indices]
+        return [self._breed() for _ in range(self.population)]
+
+    def observe(self, evaluated: Sequence["Evaluated"]) -> None:
+        seen = {point.key() for point, _ in self._pool}
+        for point, values in evaluated:
+            if point.key() not in seen:
+                seen.add(point.key())
+                self._pool.append((point, tuple(values)))
+        self._select()
+
+    # ------------------------------------------------------------------
+    def _select(self) -> None:
+        """Truncate the pool to the best ``population`` members by
+        (rank, crowding), with design keys as the deterministic
+        tie-break, and cache the selection order for tournaments."""
+        values = [vals for _, vals in self._pool]
+        ranks = nondominated_ranks(values)
+        # NSGA-II crowding is per front: distances measured against
+        # same-rank neighbours only, so dominated fronts cannot distort
+        # the elite's diversity ordering.
+        crowding = [0.0] * len(self._pool)
+        for rank in set(ranks):
+            members = [i for i, r in enumerate(ranks) if r == rank]
+            for i, distance in zip(
+                members, crowding_distances([values[i] for i in members])
+            ):
+                crowding[i] = distance
+        order = sorted(
+            range(len(self._pool)),
+            key=lambda i: (ranks[i], -crowding[i], self._pool[i][0].sort_key()),
+        )
+        keep = order[: self.population]
+        self._pool = [self._pool[i] for i in keep]
+        self._ordered = [point for point, _ in self._pool]
+
+    def _tournament(self) -> DesignPoint:
+        """Binary tournament: two uniform picks, fitter (earlier in the
+        selection order) wins."""
+        a = self.rng.randrange(len(self._ordered))
+        b = self.rng.randrange(len(self._ordered))
+        return self._ordered[min(a, b)]
+
+    def _breed(self) -> DesignPoint:
+        mother = self.space.genes(self._tournament())
+        father = self.space.genes(self._tournament())
+        if self.rng.random() < self.crossover_rate:
+            child = tuple(
+                m if self.rng.random() < 0.5 else f
+                for m, f in zip(mother, father)
+            )
+        else:
+            child = mother
+        axes = list(self.space.axes().values())
+        child = tuple(
+            self.rng.randrange(len(axes[i]))
+            if self.rng.random() < self.mutation_rate
+            else gene
+            for i, gene in enumerate(child)
+        )
+        return self.space.point(child)
+
+
+def create_strategy(name: str, **options) -> SearchStrategy:
+    """Build a search strategy by CLI name (unknown options for a
+    strategy are ignored, so one option namespace can serve all)."""
+    if name == "exhaustive":
+        return ExhaustiveSearch()
+    if name == "random":
+        return RandomSearch(samples=options.get("samples", 64))
+    if name == "genetic":
+        return GeneticSearch(
+            population=options.get("population", 16),
+            generations=options.get("generations", 8),
+            crossover_rate=options.get("crossover_rate", 0.9),
+            mutation_rate=options.get("mutation_rate", 0.15),
+        )
+    raise ValueError(
+        f"unknown search strategy {name!r}; "
+        "choose from exhaustive, random, genetic"
+    )

@@ -1,0 +1,259 @@
+"""The joint design space of the multi-objective DSE subsystem.
+
+A :class:`DesignPoint` is one coordinate in the joint space of the
+paper's three scheduling axes — tile size (axis 1), overlap storing mode
+(axis 2) and fuse depth / stack partition (axis 3) — crossed with the
+hardware axis of case study 3 (which accelerator runs the workload).
+
+A :class:`DesignSpace` declares the candidate values per axis.  It is
+the single source of truth for
+
+* **enumeration** — grid order reuses the classic sweep enumeration
+  (:func:`~repro.core.optimizer.grid_strategies`), so an exhaustive DSE
+  visits exactly the points of the paper's case-study sweeps;
+* **genes** — every point maps to a tuple of per-axis indices, the
+  representation the genetic searcher crosses over and mutates;
+* **sampling** — :meth:`DesignSpace.point_at` turns linear indices into
+  points so searchers draw without replacement
+  (``rng.sample(range(space.size), k)``); :meth:`DesignSpace.sample` is
+  the with-replacement single draw.
+
+Accelerators are referenced by zoo name so points stay cheap to ship to
+worker processes and round-trip through JSON checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from ..core.strategy import DFStrategy, OverlapMode
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate design: an accelerator plus a DF strategy choice."""
+
+    accelerator: str
+    tile_x: int
+    tile_y: int
+    mode: OverlapMode
+    fuse_depth: int | None = None
+
+    def strategy(self) -> DFStrategy:
+        """The DF strategy this point evaluates."""
+        return DFStrategy(
+            tile_x=self.tile_x,
+            tile_y=self.tile_y,
+            mode=self.mode,
+            fuse_depth=self.fuse_depth,
+        )
+
+    def key(self) -> tuple:
+        """Hashable identity for dedup and checkpoint lookups."""
+        return (
+            self.accelerator,
+            self.tile_x,
+            self.tile_y,
+            self.mode.value,
+            self.fuse_depth,
+        )
+
+    def sort_key(self) -> tuple:
+        """Totally ordered variant of :meth:`key` (``fuse_depth=None``
+        mixes with ints, which plain tuple comparison cannot order)."""
+        return (
+            self.accelerator,
+            self.tile_x,
+            self.tile_y,
+            self.mode.value,
+            self.fuse_depth is not None,
+            self.fuse_depth or 0,
+        )
+
+    def describe(self) -> str:
+        base = f"{self.accelerator} {self.mode.value} {self.tile_x}x{self.tile_y}"
+        if self.fuse_depth is not None:
+            base += f" fuse<={self.fuse_depth}"
+        return base
+
+    def to_json(self) -> dict:
+        return {
+            "accelerator": self.accelerator,
+            "tile_x": self.tile_x,
+            "tile_y": self.tile_y,
+            "mode": self.mode.value,
+            "fuse_depth": self.fuse_depth,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "DesignPoint":
+        return cls(
+            accelerator=data["accelerator"],
+            tile_x=int(data["tile_x"]),
+            tile_y=int(data["tile_y"]),
+            mode=OverlapMode(data["mode"]),
+            fuse_depth=(
+                None if data.get("fuse_depth") is None else int(data["fuse_depth"])
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """Candidate values per axis of the joint design space.
+
+    Axis order — accelerators, tile_x, tile_y, modes, fuse_depths — is
+    also the gene order of the genetic searcher.  ``fuse_depths`` may
+    contain ``None``, the automatic weights-fit stack partition.
+    """
+
+    accelerators: tuple[str, ...]
+    tile_x: tuple[int, ...]
+    tile_y: tuple[int, ...]
+    modes: tuple[OverlapMode, ...] = tuple(OverlapMode)
+    fuse_depths: tuple[int | None, ...] = (None,)
+
+    def __post_init__(self) -> None:
+        for label, axis in self.axes().items():
+            if not axis:
+                raise ValueError(f"design-space axis {label!r} is empty")
+            if len(set(axis)) != len(axis):
+                raise ValueError(f"design-space axis {label!r} has duplicates")
+
+    # ------------------------------------------------------------------
+    def axes(self) -> dict[str, tuple]:
+        """The axes in gene order, keyed by name."""
+        return {
+            "accelerators": self.accelerators,
+            "tile_x": self.tile_x,
+            "tile_y": self.tile_y,
+            "modes": self.modes,
+            "fuse_depths": self.fuse_depths,
+        }
+
+    @property
+    def size(self) -> int:
+        """Number of distinct design points."""
+        total = 1
+        for axis in self.axes().values():
+            total *= len(axis)
+        return total
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, point: DesignPoint) -> bool:
+        return (
+            point.accelerator in self.accelerators
+            and point.tile_x in self.tile_x
+            and point.tile_y in self.tile_y
+            and point.mode in self.modes
+            and point.fuse_depth in self.fuse_depths
+        )
+
+    # ------------------------------------------------------------------
+    # Genes <-> points
+    # ------------------------------------------------------------------
+    def point(self, genes: Sequence[int]) -> DesignPoint:
+        """The design point at per-axis indices ``genes``."""
+        accel_i, tx_i, ty_i, mode_i, fuse_i = genes
+        return DesignPoint(
+            accelerator=self.accelerators[accel_i],
+            tile_x=self.tile_x[tx_i],
+            tile_y=self.tile_y[ty_i],
+            mode=self.modes[mode_i],
+            fuse_depth=self.fuse_depths[fuse_i],
+        )
+
+    def genes(self, point: DesignPoint) -> tuple[int, ...]:
+        """Inverse of :meth:`point`; raises ``ValueError`` if outside."""
+        return (
+            self.accelerators.index(point.accelerator),
+            self.tile_x.index(point.tile_x),
+            self.tile_y.index(point.tile_y),
+            self.modes.index(point.mode),
+            self.fuse_depths.index(point.fuse_depth),
+        )
+
+    def point_at(self, index: int) -> DesignPoint:
+        """The ``index``-th point of :meth:`enumerate` (for sampling
+        without replacement over linear indices)."""
+        if not 0 <= index < self.size:
+            raise IndexError(index)
+        # Linear order matches enumerate(): accelerator-major, then fuse
+        # depth, then the classic mode-major tile grid.
+        tiles = len(self.tile_x) * len(self.tile_y)
+        per_fuse = len(self.modes) * tiles
+        per_accel = len(self.fuse_depths) * per_fuse
+        accel_i, rest = divmod(index, per_accel)
+        fuse_i, rest = divmod(rest, per_fuse)
+        mode_i, rest = divmod(rest, tiles)
+        tx_i, ty_i = divmod(rest, len(self.tile_y))
+        return self.point((accel_i, tx_i, ty_i, mode_i, fuse_i))
+
+    # ------------------------------------------------------------------
+    def enumerate(self) -> Iterator[DesignPoint]:
+        """Every point in deterministic grid order: accelerator-major,
+        then fuse depth, then the classic sweep (mode-major) tile order
+        shared with :func:`~repro.core.optimizer.grid_strategies`."""
+        from ..core.optimizer import grid_strategies
+
+        tiles = tuple((tx, ty) for tx in self.tile_x for ty in self.tile_y)
+        for accelerator in self.accelerators:
+            for fuse_depth in self.fuse_depths:
+                for strategy in grid_strategies(tiles, self.modes, fuse_depth):
+                    yield DesignPoint(
+                        accelerator=accelerator,
+                        tile_x=strategy.tile_x,
+                        tile_y=strategy.tile_y,
+                        mode=strategy.mode,
+                        fuse_depth=strategy.fuse_depth,
+                    )
+
+    def sample(self, rng) -> DesignPoint:
+        """One uniform draw (deterministic given the ``rng`` state)."""
+        return self.point(
+            tuple(rng.randrange(len(axis)) for axis in self.axes().values())
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_grid(
+        cls,
+        accelerators: Sequence[str] = ("meta_proto_like_df",),
+        fuse_depths: Sequence[int | None] = (None,),
+    ) -> "DesignSpace":
+        """The paper's Fig. 12 tile grid and all three modes, as a
+        design space (the degenerate CS1/CS2 configuration)."""
+        from ..core.optimizer import ALL_MODES, PAPER_TILE_GRID_X, PAPER_TILE_GRID_Y
+
+        return cls(
+            accelerators=tuple(accelerators),
+            tile_x=PAPER_TILE_GRID_X,
+            tile_y=PAPER_TILE_GRID_Y,
+            modes=ALL_MODES,
+            fuse_depths=tuple(fuse_depths),
+        )
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "accelerators": list(self.accelerators),
+            "tile_x": list(self.tile_x),
+            "tile_y": list(self.tile_y),
+            "modes": [m.value for m in self.modes],
+            "fuse_depths": list(self.fuse_depths),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "DesignSpace":
+        return cls(
+            accelerators=tuple(data["accelerators"]),
+            tile_x=tuple(int(v) for v in data["tile_x"]),
+            tile_y=tuple(int(v) for v in data["tile_y"]),
+            modes=tuple(OverlapMode(m) for m in data["modes"]),
+            fuse_depths=tuple(
+                None if v is None else int(v) for v in data["fuse_depths"]
+            ),
+        )

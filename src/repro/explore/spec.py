@@ -113,17 +113,19 @@ class SweepSpec:
         tag: str = "",
     ) -> "SweepSpec":
         """The CS1 grid: every (mode, tile size) combination, mode-major
-        (the classic ``sweep`` order)."""
+        (the classic ``sweep`` order, shared with the DSE exhaustive
+        backend via :func:`~repro.core.optimizer.grid_strategies`)."""
+        from ..core.optimizer import grid_strategies
+
         return cls(
             tuple(
                 EvalJob(
                     accelerator=accelerator,
                     workload=workload,
-                    strategy=DFStrategy(tile_x=tx, tile_y=ty, mode=mode),
+                    strategy=strategy,
                     tag=tag,
                 )
-                for mode in modes
-                for tx, ty in tile_sizes
+                for strategy in grid_strategies(tile_sizes, modes)
             )
         )
 

@@ -3,7 +3,7 @@ temporal-mapping search engine (LOMA substitute)."""
 
 from .allocation import AllocationError, allocate
 from .cache import MappingCache
-from .cost import CostResult, Objective, Traffic, resolve_objective
+from .cost import OBJECTIVE_NAMES, CostResult, Objective, Traffic, resolve_objective
 from .loma import MappingSearchEngine, SearchConfig, SearchResult
 from .loops import (
     Loop,
@@ -28,6 +28,7 @@ __all__ = [
     "CostResult",
     "Traffic",
     "Objective",
+    "OBJECTIVE_NAMES",
     "resolve_objective",
     "MappingSearchEngine",
     "SearchConfig",

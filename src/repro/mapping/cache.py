@@ -20,6 +20,7 @@ logical key is stable across processes and runs.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Hashable, Iterable, Mapping
 
@@ -95,13 +96,28 @@ class MappingCache:
     path:
         Optional backing file.  When given and the file exists, its
         entries are loaded immediately; :meth:`save` without arguments
-        writes back to the same file.
+        writes back to the same file.  A stale file (older
+        ``FORMAT_VERSION``, torn write, malformed entries) is discarded
+        with a warning rather than crashing — the next :meth:`save`
+        rewrites it in the current format.
+    max_entries:
+        Optional capacity bound.  Entries are kept in recency order
+        (both lookups and inserts refresh a key); :meth:`save` prunes
+        to the ``max_entries`` most recently used before writing, so
+        long-lived cache files cannot grow without bound.
     """
 
-    def __init__(self, path: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        max_entries: int | None = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self._entries: dict[str, SearchResult] = {}
         self.hits = 0
         self.misses = 0
+        self.max_entries = max_entries
         self.path = Path(path) if path is not None else None
         if self.path is not None and self.path.exists():
             self.load(self.path)
@@ -111,15 +127,20 @@ class MappingCache:
     # ------------------------------------------------------------------
     def get(self, key: Hashable) -> SearchResult | None:
         """Look up a search result, counting hit/miss statistics."""
-        entry = self._entries.get(normalize_key(key))
+        text = normalize_key(key)
+        entry = self._entries.get(text)
         if entry is None:
             self.misses += 1
         else:
             self.hits += 1
+            # Refresh recency (dict order is the LRU order).
+            self._entries[text] = self._entries.pop(text)
         return entry
 
     def put(self, key: Hashable, result: SearchResult) -> None:
-        self._entries[normalize_key(key)] = result
+        text = normalize_key(key)
+        self._entries.pop(text, None)
+        self._entries[text] = result
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -141,6 +162,17 @@ class MappingCache:
         """Hit/miss/size counters (misses == LOMA searches actually run)."""
         return {"hits": self.hits, "misses": self.misses, "size": len(self)}
 
+    def prune(self, max_entries: int | None = None) -> int:
+        """Evict least-recently-used entries beyond ``max_entries``
+        (default: the instance's bound); returns how many were evicted."""
+        bound = max_entries if max_entries is not None else self.max_entries
+        if bound is None or len(self._entries) <= bound:
+            return 0
+        evict = len(self._entries) - bound
+        for key in list(self._entries)[:evict]:
+            del self._entries[key]
+        return evict
+
     # ------------------------------------------------------------------
     # Sharing between caches / processes
     # ------------------------------------------------------------------
@@ -149,10 +181,18 @@ class MappingCache:
         return dict(self._entries)
 
     def merge(self, entries: Mapping[str, SearchResult]) -> int:
-        """Adopt entries from another cache; returns how many were new."""
+        """Adopt entries from another cache; returns how many were new.
+
+        Merged keys count as uses: a worker harvest or disk load
+        refreshes their recency, like :meth:`get`/:meth:`put`, so
+        ``max_entries`` pruning never favours stale entries over ones
+        the workers just hit.
+        """
         new = 0
         for key, result in entries.items():
-            if key not in self._entries:
+            if key in self._entries:
+                del self._entries[key]
+            else:
                 new += 1
             self._entries[key] = result
         return new
@@ -166,12 +206,19 @@ class MappingCache:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: str | Path | None = None) -> Path:
-        """Write all entries as JSON; returns the path written."""
+        """Write all entries as JSON; returns the path written.
+
+        When ``max_entries`` is set, the least-recently-used overflow is
+        pruned first.  The payload also records this session's hit/miss
+        counters so ``repro cache-info`` can report them later.
+        """
         target = Path(path) if path is not None else self.path
         if target is None:
             raise ValueError("MappingCache has no backing path; pass one")
+        self.prune()
         payload = {
             "format": FORMAT_VERSION,
+            "stats": {"hits": self.hits, "misses": self.misses},
             "entries": {
                 key: encode_search_result(result)
                 for key, result in self._entries.items()
@@ -181,27 +228,95 @@ class MappingCache:
         target.write_text(json.dumps(payload))
         return target
 
-    def load(self, path: str | Path | None = None) -> int:
-        """Merge entries from a JSON file; returns how many were loaded."""
+    def load(
+        self, path: str | Path | None = None, strict: bool = False
+    ) -> int:
+        """Merge entries from a JSON file; returns how many were loaded.
+
+        A file that cannot be used — not JSON, a different
+        ``FORMAT_VERSION``, or malformed entries — is *discarded*: the
+        cache stays usable (and a later :meth:`save` rewrites the file
+        in the current format).  Pass ``strict=True`` to raise
+        ``ValueError`` instead.
+        """
         source = Path(path) if path is not None else self.path
         if source is None:
             raise ValueError("MappingCache has no backing path; pass one")
         try:
             payload = json.loads(source.read_text())
-        except json.JSONDecodeError as exc:
-            raise ValueError(f"{source}: not a mapping-cache file: {exc}") from exc
+        except (OSError, json.JSONDecodeError) as exc:
+            return self._reject(f"{source}: not a mapping-cache file: {exc}", strict)
         if not isinstance(payload, dict) or payload.get("format") != FORMAT_VERSION:
-            raise ValueError(
+            version = payload.get("format") if isinstance(payload, dict) else None
+            return self._reject(
                 f"{source}: unsupported mapping-cache format "
-                f"{payload.get('format')!r} (expected {FORMAT_VERSION})"
+                f"{version!r} (expected {FORMAT_VERSION})",
+                strict,
             )
         try:
             entries = {
                 key: decode_search_result(data)
                 for key, data in payload["entries"].items()
             }
-        except (KeyError, TypeError, AttributeError) as exc:
-            raise ValueError(
-                f"{source}: malformed mapping-cache entry: {exc!r}"
-            ) from exc
+        except (KeyError, TypeError, AttributeError, ValueError) as exc:
+            return self._reject(
+                f"{source}: malformed mapping-cache entry: {exc!r}", strict
+            )
         return self.merge(entries)
+
+    @staticmethod
+    def _reject(message: str, strict: bool) -> int:
+        """Handle an unusable cache file: raise (strict) or discard."""
+        if strict:
+            raise ValueError(message)
+        warnings.warn(f"discarding stale mapping cache: {message}", stacklevel=3)
+        return 0
+
+
+def cache_file_info(path: str | Path) -> dict:
+    """Inspect a mapping-cache file, validating that it would load
+    (every entry is decoded, so the call is O(entries)).
+
+    Returns a dict with ``path``, ``size_bytes``, ``format``,
+    ``entries``, the ``stats`` recorded at the last save, and a
+    ``status`` of ``"ok"``, ``"stale-version"``, ``"malformed-entries"``,
+    ``"corrupt"`` or ``"missing"`` (the ``repro cache-info`` backend).
+    ``"ok"`` means :meth:`MappingCache.load` would load every entry.
+    """
+    source = Path(path)
+    info: dict = {
+        "path": str(source),
+        "size_bytes": 0,
+        "format": None,
+        "entries": 0,
+        "stats": {},
+        "status": "missing",
+    }
+    if not source.exists():
+        return info
+    info["size_bytes"] = source.stat().st_size
+    try:
+        payload = json.loads(source.read_text())
+    except (json.JSONDecodeError, OSError):
+        info["status"] = "corrupt"
+        return info
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("entries"), dict
+    ):
+        info["status"] = "corrupt"
+        return info
+    info["format"] = payload.get("format")
+    info["entries"] = len(payload["entries"])
+    stats = payload.get("stats")
+    info["stats"] = stats if isinstance(stats, dict) else {}
+    if payload.get("format") != FORMAT_VERSION:
+        info["status"] = "stale-version"
+        return info
+    try:
+        for data in payload["entries"].values():
+            decode_search_result(data)
+    except (KeyError, TypeError, AttributeError, ValueError):
+        info["status"] = "malformed-entries"
+        return info
+    info["status"] = "ok"
+    return info

@@ -133,7 +133,14 @@ _OBJECTIVES: Mapping[str, Objective] = {
     "edp": lambda c: c.edp,
     "dram_accesses": lambda c: c.accesses(level_names=("DRAM",)),
     "activation_energy": lambda c: c.energy_of(categories=("I", "O", "copy")),
+    # Traffic split for the multi-objective DSE: element accesses that
+    # cross the chip boundary vs. those served on chip.
+    "offchip_traffic": lambda c: c.accesses(level_names=("DRAM",)),
+    "onchip_traffic": lambda c: c.accesses() - c.accesses(level_names=("DRAM",)),
 }
+
+#: The named objectives, for CLI choices and validation.
+OBJECTIVE_NAMES: tuple[str, ...] = tuple(sorted(_OBJECTIVES))
 
 
 def resolve_objective(objective: str | Objective) -> Objective:

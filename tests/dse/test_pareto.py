@@ -1,0 +1,169 @@
+"""Unit tests for Pareto dominance, the frontier, and its checkpoints."""
+
+import pytest
+
+from repro.core.strategy import OverlapMode
+from repro.dse import (
+    DesignPoint,
+    ParetoFrontier,
+    crowding_distances,
+    dominates,
+    nondominated_ranks,
+)
+
+
+def point(tx, ty=4, mode=OverlapMode.FULLY_CACHED, fuse=None):
+    return DesignPoint("meta_proto_like_df", tx, ty, mode, fuse)
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+
+    def test_better_in_one_equal_in_other(self):
+        assert dominates((1.0, 2.0), (2.0, 2.0))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_trade_off_does_not_dominate(self):
+        assert not dominates((1.0, 3.0), (2.0, 2.0))
+        assert not dominates((2.0, 2.0), (1.0, 3.0))
+
+
+class TestNondominatedRanks:
+    def test_layered_fronts(self):
+        values = [(1, 3), (3, 1), (2, 2), (3, 3), (4, 4)]
+        assert nondominated_ranks(values) == [0, 0, 0, 1, 2]
+
+    def test_single_objective_is_sorted_rank(self):
+        values = [(3,), (1,), (2,), (1,)]
+        assert nondominated_ranks(values) == [2, 0, 1, 0]
+
+    def test_empty(self):
+        assert nondominated_ranks([]) == []
+
+
+class TestCrowdingDistances:
+    def test_boundaries_are_infinite(self):
+        values = [(0.0, 2.0), (1.0, 1.0), (2.0, 0.0)]
+        distances = crowding_distances(values)
+        assert distances[0] == float("inf") and distances[2] == float("inf")
+        assert distances[1] == pytest.approx(2.0)
+
+    def test_constant_objective_contributes_nothing(self):
+        values = [(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]
+        distances = crowding_distances(values)
+        assert distances[1] == pytest.approx(1.0)
+
+
+class TestParetoFrontier:
+    def test_requires_objectives(self):
+        with pytest.raises(ValueError):
+            ParetoFrontier(())
+        with pytest.raises(ValueError):
+            ParetoFrontier(("energy", "energy"))
+
+    def test_offer_keeps_nondominated(self):
+        frontier = ParetoFrontier(("energy", "latency"))
+        assert frontier.offer(point(1), (1.0, 3.0))
+        assert frontier.offer(point(2), (3.0, 1.0))
+        assert len(frontier) == 2
+
+    def test_offer_rejects_dominated(self):
+        frontier = ParetoFrontier(("energy", "latency"))
+        frontier.offer(point(1), (1.0, 1.0))
+        assert not frontier.offer(point(2), (2.0, 2.0))
+        assert len(frontier) == 1
+
+    def test_offer_prunes_newly_dominated(self):
+        frontier = ParetoFrontier(("energy", "latency"))
+        frontier.offer(point(1), (2.0, 2.0))
+        frontier.offer(point(2), (3.0, 1.0))
+        assert frontier.offer(point(3), (1.0, 1.0))
+        assert [e.point for e in frontier.entries] == [point(3)]
+        assert frontier.pruned == 2
+
+    def test_duplicate_design_rejected(self):
+        frontier = ParetoFrontier(("energy",))
+        frontier.offer(point(1), (1.0,))
+        assert not frontier.offer(point(1), (1.0,))
+
+    def test_equal_vectors_from_distinct_designs_coexist(self):
+        frontier = ParetoFrontier(("energy",))
+        frontier.offer(point(1), (1.0,))
+        assert frontier.offer(point(2), (1.0,))
+        assert len(frontier) == 2
+
+    def test_value_arity_checked(self):
+        frontier = ParetoFrontier(("energy", "latency"))
+        with pytest.raises(ValueError):
+            frontier.offer(point(1), (1.0,))
+
+    def test_entries_order_is_offer_order_independent(self):
+        offers = [
+            (point(1), (1.0, 3.0)),
+            (point(2), (3.0, 1.0)),
+            (point(3), (2.0, 2.0)),
+        ]
+        forward = ParetoFrontier(("energy", "latency"))
+        backward = ParetoFrontier(("energy", "latency"))
+        for p, v in offers:
+            forward.offer(p, v)
+        for p, v in reversed(offers):
+            backward.offer(p, v)
+        assert forward.entries == backward.entries
+
+    def test_best_per_objective(self):
+        frontier = ParetoFrontier(("energy", "latency"))
+        frontier.offer(point(1), (1.0, 3.0))
+        frontier.offer(point(2), (3.0, 1.0))
+        assert frontier.best("energy").point == point(1)
+        assert frontier.best("latency").point == point(2)
+
+    def test_best_tie_goes_to_first_offered(self):
+        """Classic ``min()``-over-sweep-order semantics: on an exact
+        tie, the earliest offer wins, whatever its sort order."""
+        frontier = ParetoFrontier(("energy",))
+        frontier.offer(point(9), (1.0,))  # later in sort order, offered first
+        frontier.offer(point(1), (1.0,))
+        assert frontier.best("energy").point == point(9)
+
+    def test_best_on_empty_frontier_raises(self):
+        with pytest.raises(ValueError):
+            ParetoFrontier(("energy",)).best("energy")
+
+    def test_merge(self):
+        a = ParetoFrontier(("energy",))
+        a.offer(point(1), (2.0,))
+        b = ParetoFrontier(("energy",))
+        b.offer(point(2), (1.0,))
+        assert a.merge(b) == 1
+        assert [e.point for e in a.entries] == [point(2)]
+        with pytest.raises(ValueError):
+            a.merge(ParetoFrontier(("latency",)))
+
+    def test_save_load_round_trip(self, tmp_path):
+        frontier = ParetoFrontier(("energy", "latency"))
+        frontier.offer(point(1, fuse=2), (1.0, 3.0))
+        frontier.offer(point(2), (3.0, 1.0))
+        path = tmp_path / "frontier.json"
+        frontier.save(path)
+        loaded = ParetoFrontier.load(path)
+        assert loaded.objectives == frontier.objectives
+        assert loaded.entries == frontier.entries
+
+    def test_round_trip_preserves_best_tie_break(self, tmp_path):
+        frontier = ParetoFrontier(("energy",))
+        frontier.offer(point(9), (1.0,))  # first offered wins ties...
+        frontier.offer(point(1), (1.0,))
+        path = tmp_path / "frontier.json"
+        frontier.save(path)
+        # ... including after a save/load round trip.
+        assert ParetoFrontier.load(path).best("energy").point == point(9)
+
+    def test_load_rejects_unknown_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": 999, "objectives": ["energy"], "entries": []}')
+        with pytest.raises(ValueError, match="format"):
+            ParetoFrontier.load(path)

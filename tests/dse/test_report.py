@@ -1,0 +1,58 @@
+"""Tests for the frontier text/CSV reports in :mod:`repro.analysis`."""
+
+import csv
+import io
+
+from repro.analysis import frontier_csv, frontier_table
+from repro.core.strategy import OverlapMode
+from repro.dse import DesignPoint, ParetoFrontier
+
+
+def sample_frontier():
+    frontier = ParetoFrontier(("energy", "latency"))
+    frontier.offer(
+        DesignPoint("meta_proto_like_df", 4, 4, OverlapMode.FULLY_CACHED),
+        (2.0e9, 1.0e6),
+    )
+    frontier.offer(
+        DesignPoint(
+            "edge_tpu_like_df", 60, 72, OverlapMode.H_CACHED_V_RECOMPUTE, 2
+        ),
+        (1.0e9, 3.0e6),
+    )
+    return frontier
+
+
+class TestFrontierTable:
+    def test_header_and_rows(self):
+        text = frontier_table(sample_frontier())
+        lines = text.splitlines()
+        assert "energy [mJ]" in lines[0] and "latency [Mcycles]" in lines[0]
+        assert len(lines) == 3  # header + two entries
+        assert "edge_tpu_like_df h_cached_v_recompute 60x72 fuse<=2" in text
+        # Display scaling: 2.0e9 pJ = 2 mJ.
+        assert "2" in lines[1]
+
+    def test_rows_sorted_by_first_objective(self):
+        lines = frontier_table(sample_frontier()).splitlines()
+        assert lines[1].startswith("edge_tpu_like_df")
+        assert lines[2].startswith("meta_proto_like_df")
+
+    def test_empty_frontier(self):
+        assert "(empty frontier)" in frontier_table(ParetoFrontier(("energy",)))
+
+
+class TestFrontierCsv:
+    def test_round_trippable_rows(self):
+        text = frontier_csv(sample_frontier())
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert rows[0]["accelerator"] == "edge_tpu_like_df"
+        assert rows[0]["fuse_depth"] == "2"
+        assert float(rows[0]["energy"]) == 1.0e9
+        assert rows[1]["fuse_depth"] == ""  # automatic partition
+        assert float(rows[1]["latency"]) == 1.0e6
+
+    def test_header_names_axes_then_objectives(self):
+        header = frontier_csv(sample_frontier()).splitlines()[0]
+        assert header == "accelerator,tile_x,tile_y,mode,fuse_depth,energy,latency"

@@ -1,0 +1,313 @@
+"""Integration tests for the DSE runner on a tiny real workload."""
+
+import json
+
+import pytest
+
+from repro.core.optimizer import best_point, sweep
+from repro.core.scheduler import DepthFirstEngine
+from repro.core.strategy import OverlapMode
+from repro.dse import (
+    DesignPoint,
+    DesignSpace,
+    DSERunner,
+    ExhaustiveSearch,
+    GeneticSearch,
+    SearchStrategy,
+)
+from repro.explore import Executor, MappingCache
+
+from ..conftest import make_tiny_workload
+
+SPACE = DesignSpace(
+    accelerators=("meta_proto_like_df",),
+    tile_x=(4, 16),
+    tile_y=(4, 18),
+    modes=(OverlapMode.FULLY_CACHED, OverlapMode.H_CACHED_V_RECOMPUTE),
+)
+
+
+def executor(fast_config, jobs=1):
+    return Executor(jobs=jobs, search_config=fast_config, cache=MappingCache())
+
+
+class TestExhaustiveRunner:
+    def test_single_objective_matches_classic_sweep(self, meta_df, fast_config):
+        """A degenerate single-objective exhaustive DSE reproduces the
+        classic ``sweep`` + ``best_point`` search exactly."""
+        workload = make_tiny_workload()
+        engine = DepthFirstEngine(meta_df, fast_config)
+        tiles = tuple((tx, ty) for tx in SPACE.tile_x for ty in SPACE.tile_y)
+        expected = best_point(
+            sweep(engine, workload, tiles, SPACE.modes), "energy"
+        )
+
+        runner = DSERunner(
+            SPACE, workload, ("energy",), executor(fast_config), seed=0
+        )
+        result = runner.run(ExhaustiveSearch())
+
+        assert result.evaluations == SPACE.size
+        best = result.frontier.best("energy")
+        assert best.values[0] == expected.result.total.energy_pj
+        assert best.point.strategy() == expected.strategy
+
+    def test_multi_objective_frontier_is_nondominated(self, fast_config):
+        workload = make_tiny_workload()
+        runner = DSERunner(
+            SPACE,
+            workload,
+            ("energy", "latency"),
+            executor(fast_config),
+            seed=0,
+        )
+        result = runner.run(ExhaustiveSearch())
+        entries = result.frontier.entries
+        assert entries
+        from repro.dse import dominates
+
+        for a in entries:
+            for b in entries:
+                assert not dominates(a.values, b.values)
+
+
+class TestDeterminism:
+    def test_parallel_genetic_run_is_bit_identical_to_serial(self, fast_config):
+        """The acceptance property: ``--jobs N`` never changes a DSE
+        result, only its wall-clock."""
+        workload = make_tiny_workload()
+
+        def run(jobs):
+            runner = DSERunner(
+                SPACE,
+                workload,
+                ("energy", "latency"),
+                executor(fast_config, jobs=jobs),
+                seed=0,
+            )
+            return runner.run(GeneticSearch(population=4, generations=2))
+
+        serial, parallel = run(1), run(2)
+        assert serial.evaluations == parallel.evaluations
+        assert [
+            (e.point, e.values) for e in serial.frontier.entries
+        ] == [(e.point, e.values) for e in parallel.frontier.entries]
+
+    def test_same_seed_same_result(self, fast_config):
+        workload = make_tiny_workload()
+
+        def run():
+            runner = DSERunner(
+                SPACE,
+                workload,
+                ("energy",),
+                executor(fast_config),
+                seed=7,
+            )
+            return runner.run(GeneticSearch(population=4, generations=2))
+
+        first, second = run(), run()
+        assert first.frontier.entries == second.frontier.entries
+
+
+class TestBudgetAndDedup:
+    def test_max_evals_caps_fresh_evaluations(self, fast_config):
+        workload = make_tiny_workload()
+        runner = DSERunner(
+            SPACE,
+            workload,
+            ("energy",),
+            executor(fast_config),
+            max_evals=3,
+            seed=0,
+        )
+        result = runner.run(ExhaustiveSearch())
+        assert result.evaluations == 3
+        assert len(result.evaluated) == 3
+
+    def test_rejects_bad_max_evals(self, fast_config):
+        with pytest.raises(ValueError):
+            DSERunner(
+                SPACE, make_tiny_workload(), ("energy",), max_evals=0
+            )
+
+    def test_duplicate_proposals_evaluated_once(self, fast_config):
+        class Repeater(SearchStrategy):
+            """Proposes the same single point three rounds in a row."""
+
+            def reset(self, space, rng):
+                super().reset(space, rng)
+                self.rounds = 0
+                self.observed = []
+
+            def propose(self):
+                if self.rounds >= 3:
+                    return []
+                self.rounds += 1
+                point = DesignPoint(
+                    "meta_proto_like_df", 4, 4, OverlapMode.FULLY_CACHED
+                )
+                return [point, point]
+
+            def observe(self, evaluated):
+                self.observed.append(list(evaluated))
+
+        workload = make_tiny_workload()
+        strategy = Repeater()
+        runner = DSERunner(
+            SPACE, workload, ("energy",), executor(fast_config), seed=0
+        )
+        result = runner.run(strategy)
+        assert result.evaluations == 1  # one cost-model evaluation total
+        # ... but every round still observed the value (memo hits).
+        assert [len(batch) for batch in strategy.observed] == [1, 1, 1]
+        assert result.generations[1].cached == 1
+
+
+class TestCheckpoint:
+    def test_resume_skips_paid_evaluations(self, fast_config, tmp_path):
+        workload = make_tiny_workload()
+        path = tmp_path / "dse.json"
+
+        first = DSERunner(
+            SPACE,
+            workload,
+            ("energy",),
+            executor(fast_config),
+            checkpoint=path,
+            seed=0,
+        ).run(ExhaustiveSearch())
+        assert path.exists()
+        assert first.evaluations == SPACE.size
+
+        resumed = DSERunner(
+            SPACE,
+            workload,
+            ("energy",),
+            executor(fast_config),
+            checkpoint=path,
+            seed=0,
+        ).run(ExhaustiveSearch())
+        assert resumed.evaluations == 0
+        assert resumed.total_evaluations == SPACE.size
+        assert resumed.frontier.entries == first.frontier.entries
+
+    def test_mismatched_checkpoint_rejected(self, fast_config, tmp_path):
+        workload = make_tiny_workload()
+        path = tmp_path / "dse.json"
+        DSERunner(
+            SPACE,
+            workload,
+            ("energy",),
+            executor(fast_config),
+            checkpoint=path,
+            seed=0,
+        ).run(ExhaustiveSearch())
+
+        with pytest.raises(ValueError, match="objectives"):
+            DSERunner(
+                SPACE,
+                workload,
+                ("latency",),
+                executor(fast_config),
+                checkpoint=path,
+                seed=0,
+            ).run(ExhaustiveSearch())
+
+    def test_changed_search_config_rejected(self, fast_config, tmp_path):
+        """Resuming under different evaluation settings must fail loudly:
+        the memoized objective values were computed under the old ones."""
+        from repro.mapping import SearchConfig
+
+        workload = make_tiny_workload()
+        path = tmp_path / "dse.json"
+        DSERunner(
+            SPACE,
+            workload,
+            ("energy",),
+            executor(fast_config),
+            checkpoint=path,
+            seed=0,
+        ).run(ExhaustiveSearch())
+
+        other = Executor(
+            jobs=1,
+            search_config=SearchConfig(lpf_limit=6, budget=200),
+            cache=MappingCache(),
+        )
+        with pytest.raises(ValueError, match="config"):
+            DSERunner(
+                SPACE,
+                workload,
+                ("energy",),
+                other,
+                checkpoint=path,
+                seed=0,
+            ).run(ExhaustiveSearch())
+
+    def test_unknown_checkpoint_format_rejected(self, fast_config, tmp_path):
+        path = tmp_path / "dse.json"
+        path.write_text(json.dumps({"format": 999}))
+        with pytest.raises(ValueError, match="format"):
+            DSERunner(
+                SPACE,
+                make_tiny_workload(),
+                ("energy",),
+                executor(fast_config),
+                checkpoint=path,
+                seed=0,
+            ).run(ExhaustiveSearch())
+
+    @pytest.mark.parametrize("content", ["not json{", "[]"])
+    def test_structurally_broken_checkpoint_is_value_error(
+        self, fast_config, tmp_path, content
+    ):
+        """Torn or foreign files must surface as ValueError (the CLI
+        turns that into a clean message), never a raw traceback."""
+        path = tmp_path / "dse.json"
+        path.write_text(content)
+        with pytest.raises(ValueError):
+            DSERunner(
+                SPACE,
+                make_tiny_workload(),
+                ("energy",),
+                executor(fast_config),
+                checkpoint=path,
+                seed=0,
+            ).run(ExhaustiveSearch())
+
+    def test_undecodable_evaluated_entries_are_value_error(
+        self, fast_config, tmp_path
+    ):
+        runner = DSERunner(
+            SPACE,
+            make_tiny_workload(),
+            ("energy",),
+            executor(fast_config),
+            checkpoint=tmp_path / "dse.json",
+            seed=0,
+        )
+        bad_entries = [
+            [[{"accelerator": "a"}, [1.0]]],  # missing fields (KeyError)
+            [  # bad field value (ValueError from OverlapMode)
+                [
+                    {
+                        "accelerator": "a",
+                        "tile_x": 4,
+                        "tile_y": 4,
+                        "mode": "bogus",
+                        "fuse_depth": None,
+                    },
+                    [1.0],
+                ]
+            ],
+        ]
+        for evaluated in bad_entries:
+            payload = {
+                "format": 1,
+                **runner._checkpoint_stamp(),
+                "evaluated": evaluated,
+            }
+            runner.checkpoint.write_text(json.dumps(payload))
+            with pytest.raises(ValueError, match="malformed DSE checkpoint"):
+                runner.run(ExhaustiveSearch())

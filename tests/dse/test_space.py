@@ -1,0 +1,123 @@
+"""Unit tests for the DSE design space and point encoding."""
+
+import random
+
+import pytest
+
+from repro.core.optimizer import ALL_MODES, PAPER_TILE_GRID_X, PAPER_TILE_GRID_Y
+from repro.core.strategy import OverlapMode
+from repro.dse import DesignPoint, DesignSpace
+
+
+def small_space(**overrides):
+    base = dict(
+        accelerators=("meta_proto_like_df", "edge_tpu_like_df"),
+        tile_x=(4, 16),
+        tile_y=(4, 18),
+        modes=(OverlapMode.FULLY_CACHED, OverlapMode.H_CACHED_V_RECOMPUTE),
+        fuse_depths=(None, 2),
+    )
+    base.update(overrides)
+    return DesignSpace(**base)
+
+
+class TestDesignPoint:
+    def test_strategy_carries_all_axes(self):
+        point = DesignPoint(
+            "meta_proto_like_df", 16, 18, OverlapMode.FULLY_CACHED, fuse_depth=2
+        )
+        strategy = point.strategy()
+        assert strategy.tile_x == 16 and strategy.tile_y == 18
+        assert strategy.mode is OverlapMode.FULLY_CACHED
+        assert strategy.fuse_depth == 2
+
+    def test_json_round_trip(self):
+        point = DesignPoint(
+            "edge_tpu_like_df", 4, 72, OverlapMode.FULLY_RECOMPUTE, fuse_depth=None
+        )
+        assert DesignPoint.from_json(point.to_json()) == point
+
+    def test_sort_key_orders_mixed_fuse_depths(self):
+        auto = DesignPoint("a", 4, 4, OverlapMode.FULLY_CACHED, None)
+        capped = DesignPoint("a", 4, 4, OverlapMode.FULLY_CACHED, 2)
+        assert sorted([capped, auto], key=lambda p: p.sort_key()) == [auto, capped]
+
+    def test_describe_mentions_fuse_cap(self):
+        point = DesignPoint("a", 4, 4, OverlapMode.FULLY_CACHED, 3)
+        assert "fuse<=3" in point.describe()
+
+
+class TestDesignSpace:
+    def test_size_is_axis_product(self):
+        assert small_space().size == 2 * 2 * 2 * 2 * 2
+        assert len(small_space()) == small_space().size
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ValueError, match="empty"):
+            small_space(modes=())
+
+    def test_rejects_duplicate_axis_values(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            small_space(tile_x=(4, 4))
+
+    def test_contains(self):
+        space = small_space()
+        inside = DesignPoint(
+            "meta_proto_like_df", 4, 18, OverlapMode.FULLY_CACHED, 2
+        )
+        outside = DesignPoint(
+            "meta_proto_like_df", 8, 18, OverlapMode.FULLY_CACHED, 2
+        )
+        assert inside in space and outside not in space
+
+    def test_enumerate_covers_space_once(self):
+        space = small_space()
+        points = list(space.enumerate())
+        assert len(points) == space.size
+        assert len({p.key() for p in points}) == space.size
+
+    def test_enumerate_reuses_classic_sweep_order(self):
+        """Within one (accelerator, fuse depth) slab the order is the
+        classic mode-major grid of ``grid_strategies``."""
+        from repro.core.optimizer import grid_strategies
+
+        space = small_space(
+            accelerators=("meta_proto_like_df",), fuse_depths=(None,)
+        )
+        tiles = tuple((tx, ty) for tx in space.tile_x for ty in space.tile_y)
+        expected = [
+            (s.tile_x, s.tile_y, s.mode)
+            for s in grid_strategies(tiles, space.modes)
+        ]
+        got = [(p.tile_x, p.tile_y, p.mode) for p in space.enumerate()]
+        assert got == expected
+
+    def test_point_at_matches_enumerate(self):
+        space = small_space()
+        points = list(space.enumerate())
+        assert [space.point_at(i) for i in range(space.size)] == points
+        with pytest.raises(IndexError):
+            space.point_at(space.size)
+
+    def test_genes_round_trip(self):
+        space = small_space()
+        for point in space.enumerate():
+            assert space.point(space.genes(point)) == point
+
+    def test_sample_is_seed_deterministic(self):
+        space = small_space()
+        a = [space.sample(random.Random(7)) for _ in range(5)]
+        b = [space.sample(random.Random(7)) for _ in range(5)]
+        assert a == b
+        assert all(p in space for p in a)
+
+    def test_json_round_trip(self):
+        space = small_space()
+        assert DesignSpace.from_json(space.to_json()) == space
+
+    def test_paper_grid_matches_fig12(self):
+        space = DesignSpace.paper_grid()
+        assert space.tile_x == PAPER_TILE_GRID_X
+        assert space.tile_y == PAPER_TILE_GRID_Y
+        assert space.modes == ALL_MODES
+        assert space.size == 6 * 6 * 3

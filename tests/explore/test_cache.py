@@ -56,27 +56,73 @@ class TestRoundTrip:
         assert len(loaded) == len(cache)
         assert loaded.snapshot() == cache.snapshot()
 
-    def test_bad_format_rejected(self, tmp_path):
-        path = tmp_path / "bad.json"
+    def test_stale_format_discarded_not_fatal(self, tmp_path):
+        path = tmp_path / "stale.json"
         path.write_text(json.dumps({"format": 999, "entries": {}}))
-        with pytest.raises(ValueError):
-            MappingCache(path)
+        with pytest.warns(UserWarning, match="unsupported mapping-cache format"):
+            cache = MappingCache(path)
+        assert len(cache) == 0  # usable, just empty
+        cache.save()  # rewrites the stale file in the current format
+        assert json.loads(path.read_text())["format"] == 1
 
-    def test_non_json_rejected_as_value_error(self, tmp_path):
+    def test_corrupt_file_discarded_not_fatal(self, tmp_path):
         path = tmp_path / "corrupt.json"
         path.write_text("not json{")
-        with pytest.raises(ValueError, match="not a mapping-cache file"):
-            MappingCache(path)
+        with pytest.warns(UserWarning, match="not a mapping-cache file"):
+            cache = MappingCache(path)
+        assert len(cache) == 0
 
-    def test_malformed_entry_rejected_as_value_error(self, tmp_path):
+    def test_malformed_entry_discarded_not_fatal(self, tmp_path):
         path = tmp_path / "torn.json"
         path.write_text(json.dumps({"format": 1, "entries": {"k": {}}}))
-        with pytest.raises(ValueError, match="malformed mapping-cache entry"):
-            MappingCache(path)
+        with pytest.warns(UserWarning, match="malformed mapping-cache entry"):
+            cache = MappingCache(path)
+        assert len(cache) == 0
+
+    def test_undecodable_entry_value_discarded_not_fatal(self, tmp_path):
+        """Entry *values* that fail decoding (e.g. a non-int loop
+        factor raising ValueError) are discarded like structural
+        damage, never a traceback."""
+        path = tmp_path / "bad_value.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": 1,
+                    "entries": {
+                        "k": {"loops": [["K", "abc"]], "bounds": {}, "cost": {}}
+                    },
+                }
+            )
+        )
+        with pytest.warns(UserWarning, match="malformed mapping-cache entry"):
+            cache = MappingCache(path)
+        assert len(cache) == 0
+
+    def test_unreadable_path_discarded_not_fatal(self, tmp_path):
+        """A cache path that is a directory (OSError on read) is
+        discarded like any other unusable file."""
+        with pytest.warns(UserWarning, match="not a mapping-cache file"):
+            assert MappingCache().load(tmp_path) == 0
+
+    def test_strict_load_raises(self, tmp_path):
+        path = tmp_path / "stale.json"
+        path.write_text(json.dumps({"format": 999, "entries": {}}))
+        with pytest.raises(ValueError, match="unsupported mapping-cache format"):
+            MappingCache().load(path, strict=True)
+        path.write_text("not json{")
+        with pytest.raises(ValueError, match="not a mapping-cache file"):
+            MappingCache().load(path, strict=True)
 
     def test_save_without_path_raises(self):
         with pytest.raises(ValueError):
             MappingCache().save()
+
+    def test_save_records_session_stats(self, searched_cache, tmp_path):
+        cache, _ = searched_cache
+        path = tmp_path / "loma.json"
+        cache.save(path)
+        payload = json.loads(path.read_text())
+        assert payload["stats"] == {"hits": cache.hits, "misses": cache.misses}
 
 
 class TestSharing:
@@ -103,6 +149,100 @@ class TestSharing:
             "misses": 0,
             "size": 0,
         }
+
+
+class TestEviction:
+    """LRU-ish ``max_entries`` pruning (ROADMAP cache-eviction item)."""
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValueError):
+            MappingCache(max_entries=0)
+
+    def test_prune_keeps_most_recently_used(self):
+        cache = MappingCache(max_entries=2)
+        for key in ("a", "b", "c"):
+            cache.put(key, object())
+        assert cache.prune() == 1
+        assert cache.keys() == {"b", "c"}
+
+    def test_get_refreshes_recency(self):
+        cache = MappingCache(max_entries=2)
+        for key in ("a", "b", "c"):
+            cache.put(key, object())
+        cache.get("a")  # touch the oldest entry
+        cache.prune()
+        assert cache.keys() == {"c", "a"}
+
+    def test_merge_refreshes_recency(self):
+        """A harvested/loaded key counts as a use, like get/put — else
+        save-time pruning would evict exactly what workers just hit."""
+        cache = MappingCache(max_entries=2)
+        for key in ("a", "b", "c"):
+            cache.put(key, object())
+        cache.merge({"a": object()})  # harvest refreshes 'a'
+        cache.prune()
+        assert cache.keys() == {"c", "a"}
+
+    def test_prune_noop_under_bound(self):
+        cache = MappingCache(max_entries=10)
+        cache.put("a", object())
+        assert cache.prune() == 0
+
+    def test_save_prunes_to_bound(self, searched_cache, tmp_path):
+        cache, _ = searched_cache
+        assert len(cache) > 2
+        bounded = MappingCache(max_entries=2)
+        bounded.merge(cache.snapshot())
+        path = tmp_path / "bounded.json"
+        bounded.save(path)
+        assert len(bounded) == 2
+        assert len(json.loads(path.read_text())["entries"]) == 2
+
+
+class TestFileInfo:
+    """The ``repro cache-info`` backend."""
+
+    def test_ok_file(self, searched_cache, tmp_path):
+        from repro.mapping.cache import cache_file_info
+
+        cache, _ = searched_cache
+        path = tmp_path / "loma.json"
+        cache.save(path)
+        info = cache_file_info(path)
+        assert info["status"] == "ok"
+        assert info["format"] == 1
+        assert info["entries"] == len(cache)
+        assert info["size_bytes"] > 0
+        assert info["stats"]["misses"] == cache.misses
+
+    def test_missing_file(self, tmp_path):
+        from repro.mapping.cache import cache_file_info
+
+        assert cache_file_info(tmp_path / "nope.json")["status"] == "missing"
+
+    def test_stale_version(self, tmp_path):
+        from repro.mapping.cache import cache_file_info
+
+        path = tmp_path / "stale.json"
+        path.write_text(json.dumps({"format": 999, "entries": {"k": {}}}))
+        info = cache_file_info(path)
+        assert info["status"] == "stale-version"
+        assert info["entries"] == 1
+
+    def test_corrupt(self, tmp_path):
+        from repro.mapping.cache import cache_file_info
+
+        path = tmp_path / "corrupt.json"
+        path.write_text("not json{")
+        assert cache_file_info(path)["status"] == "corrupt"
+
+    def test_malformed_entries_not_ok(self, tmp_path):
+        """'ok' must mean load() would actually load every entry."""
+        from repro.mapping.cache import cache_file_info
+
+        path = tmp_path / "torn_entries.json"
+        path.write_text(json.dumps({"format": 1, "entries": {"k": {}}}))
+        assert cache_file_info(path)["status"] == "malformed-entries"
 
 
 class TestWarmEngine:

@@ -112,3 +112,65 @@ class TestHierarchy:
         # Only the per-PE register holds W on-chip here.
         top = small_accel().top_weight_buffer()
         assert top is not None and top.name == "W_reg"
+
+
+class TestFingerprint:
+    """Stability of the structural digest the persistent mapping cache
+    keys on: it must survive re-construction (fresh instances, other
+    dict orders) and must change when the hardware actually changes."""
+
+    def _build(self, unroll_items, lb_bytes=4 * 1024):
+        """A fresh accelerator (all-new memory instances) with the
+        spatial unrolling dict built in the given item order."""
+        w_reg = MemoryInstance.register("W_reg", 1)
+        o_reg = MemoryInstance.register("O_reg", 2)
+        lb = MemoryInstance.sram("LB_IO", lb_bytes)
+        dram = MemoryInstance.dram()
+        return build_accelerator(
+            "small",
+            dict(unroll_items),
+            [
+                level(w_reg, "W"),
+                level(o_reg, "O"),
+                level(lb, "IO"),
+                level(dram, "WIO"),
+            ],
+        )
+
+    def test_stable_across_reconstruction(self):
+        items = [("K", 4), ("OX", 2), ("OY", 2)]
+        assert self._build(items).fingerprint() == self._build(items).fingerprint()
+
+    def test_stable_across_spatial_dict_order(self):
+        forward = self._build([("K", 4), ("OX", 2), ("OY", 2)])
+        backward = self._build([("OY", 2), ("OX", 2), ("K", 4)])
+        assert forward.fingerprint() == backward.fingerprint()
+
+    def test_matches_zoo_reconstruction(self):
+        from repro.hardware.zoo import get_accelerator
+
+        assert (
+            get_accelerator("meta_proto_like_df").fingerprint()
+            == get_accelerator("meta_proto_like_df").fingerprint()
+        )
+
+    def test_changes_when_memory_level_changes(self):
+        base = self._build([("K", 4), ("OX", 2), ("OY", 2)])
+        bigger_lb = self._build(
+            [("K", 4), ("OX", 2), ("OY", 2)], lb_bytes=8 * 1024
+        )
+        assert base.fingerprint() != bigger_lb.fingerprint()
+
+    def test_changes_when_unroll_changes(self):
+        base = self._build([("K", 4), ("OX", 2), ("OY", 2)])
+        wider = self._build([("K", 8), ("OX", 2), ("OY", 2)])
+        assert base.fingerprint() != wider.fingerprint()
+
+    def test_zoo_architectures_are_distinct(self):
+        from repro.hardware.zoo import ACCELERATOR_FACTORIES
+
+        prints = {
+            factory().fingerprint()
+            for factory in ACCELERATOR_FACTORIES.values()
+        }
+        assert len(prints) == len(ACCELERATOR_FACTORIES)

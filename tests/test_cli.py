@@ -4,7 +4,18 @@ import json
 
 import pytest
 
-from repro.cli import DFMODE_ALIASES, _resolve_mode, build_parser, main
+from repro.cli import (
+    DFMODE_ALIASES,
+    _fuse_list,
+    _mode_list,
+    _name_list,
+    _resolve_mode,
+    _seed,
+    build_cache_info_parser,
+    build_dse_parser,
+    build_parser,
+    main,
+)
 from repro.core.strategy import OverlapMode
 
 
@@ -21,6 +32,7 @@ class TestParser:
         assert args.tilex == (16,) and args.tiley == (8,)
         assert args.lpf_limit == 6
         assert args.jobs == 1 and args.cache is None
+        assert args.seed == 0  # the shared seed option is always plumbed
 
     def test_tile_lists(self):
         args = build_parser().parse_args(
@@ -48,6 +60,157 @@ class TestParser:
             build_parser().parse_args(
                 ["--accelerator", "gpu", "--workload", "fsrcnn"]
             )
+
+
+class TestValidators:
+    def test_seed_rejects_negative_and_junk(self):
+        assert _seed("0") == 0 and _seed("42") == 42
+        with pytest.raises(Exception):
+            _seed("-1")
+        with pytest.raises(Exception):
+            _seed("banana")
+
+    def test_name_list(self):
+        assert _name_list("energy,latency") == ("energy", "latency")
+        assert _name_list(" a , b ") == ("a", "b")
+        with pytest.raises(Exception):
+            _name_list(",")
+
+    def test_mode_list_accepts_names_and_artifact_integers(self):
+        assert _mode_list("fully_cached,1") == (
+            OverlapMode.FULLY_CACHED,
+            OverlapMode.H_CACHED_V_RECOMPUTE,
+        )
+
+    def test_mode_list_rejects_unknown_as_argparse_error(self):
+        """Inside a type= callable the failure must be an
+        ArgumentTypeError (usage + exit 2), not a bare SystemExit."""
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _mode_list("bogus")
+        with pytest.raises(SystemExit):
+            build_dse_parser().parse_args(
+                ["--workload", "fsrcnn", "--modes", "bogus"]
+            )
+
+    def test_fuse_list(self):
+        assert _fuse_list("auto,1,4") == (None, 1, 4)
+        with pytest.raises(Exception):
+            _fuse_list("0")
+        with pytest.raises(Exception):
+            _fuse_list("sometimes")
+
+
+class TestDseParser:
+    def test_defaults(self):
+        args = build_dse_parser().parse_args(["--workload", "resnet18"])
+        assert args.strategy == "genetic"
+        assert args.objectives == ("energy",)
+        assert args.accelerators == ("meta_proto_like_df",)
+        assert args.tilex == (1, 4, 16, 60, 240, 960)  # paper grid
+        assert args.fuse_depths == (None,)
+        assert args.seed == 0 and args.jobs == 1
+        assert args.max_evals is None
+
+    def test_requires_workload(self):
+        with pytest.raises(SystemExit):
+            build_dse_parser().parse_args([])
+
+    def test_unknown_accelerator_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                ["dse", "--workload", "fsrcnn", "--accelerators", "gpu"]
+            )
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["dse", "--workload", "fsrcnn", "--objectives", "carbon"]
+            )
+
+    def test_duplicate_axis_values_exit_cleanly(self):
+        """Duplicate axis values are a CLI error, not a traceback."""
+        with pytest.raises(SystemExit, match="duplicates"):
+            main(["dse", "--workload", "fsrcnn", "--tilex", "4,4"])
+
+
+class TestDseMain:
+    def test_exhaustive_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "dse.json"
+        csv_path = tmp_path / "frontier.csv"
+        code = main(
+            [
+                "dse",
+                "--workload", "mobilenet_v1",
+                "--strategy", "exhaustive",
+                "--objectives", "energy,latency",
+                "--tilex", "14,28",
+                "--tiley", "14",
+                "--modes", "fully_cached",
+                "--budget", "40",
+                "--lpf-limit", "5",
+                "--seed", "0",
+                "--csv", str(csv_path),
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "frontier size" in captured
+        assert "energy [mJ]" in captured
+
+        summary = json.loads(out.read_text())
+        assert summary["evaluations"] == 2
+        assert summary["objectives"] == ["energy", "latency"]
+        assert summary["frontier"]["entries"]
+        assert csv_path.read_text().startswith(
+            "accelerator,tile_x,tile_y,mode,fuse_depth,energy,latency"
+        )
+
+
+class TestCacheInfoMain:
+    def test_reports_saved_cache(self, tmp_path, capsys):
+        cache_path = tmp_path / "loma.json"
+        assert main(
+            [
+                "--accelerator", "meta_proto_like_df",
+                "--workload", "mobilenet_v1",
+                "--tilex", "14",
+                "--tiley", "14",
+                "--budget", "40",
+                "--lpf-limit", "5",
+                "--cache", str(cache_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["cache-info", str(cache_path)]) == 0
+        captured = capsys.readouterr().out
+        assert "status:  ok" in captured
+        assert "entries:" in captured
+        assert "hits" in captured
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert main(["cache-info", str(tmp_path / "nope.json")]) == 1
+        assert "missing" in capsys.readouterr().out
+
+    def test_unusable_file_fails(self, tmp_path, capsys):
+        """Corrupt and stale-version files exit nonzero so scripts can
+        gate on the status."""
+        torn = tmp_path / "torn.json"
+        torn.write_text("not json{")
+        assert main(["cache-info", str(torn)]) == 1
+        assert "corrupt" in capsys.readouterr().out
+
+        stale = tmp_path / "stale.json"
+        stale.write_text('{"format": 999, "entries": {}}')
+        assert main(["cache-info", str(stale)]) == 1
+        assert "stale-version" in capsys.readouterr().out
+
+    def test_parser_requires_path(self):
+        with pytest.raises(SystemExit):
+            build_cache_info_parser().parse_args([])
 
 
 class TestModeResolution:
