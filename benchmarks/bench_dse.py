@@ -195,3 +195,60 @@ def test_dse_genetic_frontier_across_zoo(benchmark):
 
     write_output("dse_frontier_resnet18.txt", frontier_table(serial.frontier))
     write_output("dse_frontier_resnet18.csv", frontier_csv(serial.frontier))
+
+
+def test_dse_constrained_scenario_smoke(benchmark):
+    """The PR-3 acceptance smoke: a 3-workload scenario under an
+    on-chip memory-budget constraint produces an all-feasible frontier
+    whose per-generation hypervolume is bit-identical between serial
+    and parallel execution."""
+    from repro.dse import MemoryBudgetConstraint, Scenario
+    from repro.dse import GeneticSearch as GS
+
+    config = _config()
+    cache = MappingCache()
+    space = DesignSpace(
+        accelerators=ZOO[:2],
+        tile_x=TILE_X,
+        tile_y=TILE_Y,
+        modes=MODES,
+    )
+    scenario = Scenario.parse("resnet18,fsrcnn,mccnn")
+    population, generations = (8, 4) if FULL else (4, 2)
+
+    def run(jobs):
+        runner = DSERunner(
+            space,
+            scenario,
+            objectives=("energy", "latency"),
+            executor=Executor(jobs=jobs, search_config=config, cache=cache),
+            constraints=(MemoryBudgetConstraint(),),
+            seed=0,
+        )
+        return runner.run(GS(population=population, generations=generations))
+
+    serial = benchmark.pedantic(run, args=(1,), rounds=1, iterations=1)
+    parallel = run(4)
+
+    assert all(e.feasible for e in serial.frontier.entries) or not any(
+        v == 0.0 for _, _, v in serial.evaluated.values()
+    )
+    assert [
+        (e.point, e.values, e.violation) for e in serial.frontier.entries
+    ] == [(e.point, e.values, e.violation) for e in parallel.frontier.entries]
+    hv_serial = [g.hypervolume for g in serial.generations]
+    hv_parallel = [g.hypervolume for g in parallel.generations]
+    assert hv_serial == hv_parallel
+    assert hv_serial == sorted(hv_serial)  # monotone convergence
+
+    from repro.analysis import convergence_table
+
+    write_output(
+        "dse_scenario_frontier.txt",
+        f"scenario {scenario.describe()} on {', '.join(space.accelerators)}, "
+        f"{serial.evaluations} designs "
+        f"({len(serial.infeasible)} infeasible):\n"
+        + frontier_table(serial.frontier)
+        + "\n\n"
+        + convergence_table(serial.generations),
+    )

@@ -51,8 +51,11 @@ from .dse import (
     DSERunner,
     ExhaustiveSearch,
     GeneticSearch,
+    MemoryBudgetConstraint,
+    ObjectiveCapConstraint,
     ParetoFrontier,
     RandomSearch,
+    Scenario,
 )
 from .explore import EvalJob, EvalResult, Executor, SweepSpec
 from .hardware import Accelerator, MemoryInstance, MemoryLevel, build_accelerator, level
@@ -109,6 +112,9 @@ __all__ = [
     "ExhaustiveSearch",
     "RandomSearch",
     "GeneticSearch",
+    "MemoryBudgetConstraint",
+    "ObjectiveCapConstraint",
+    "Scenario",
     # explore (runtime)
     "EvalJob",
     "EvalResult",

@@ -9,7 +9,12 @@ from .breakdown import (
     tier_of,
     weight_vs_activation_energy,
 )
-from .frontier import frontier_csv, frontier_table
+from .frontier import (
+    convergence_table,
+    frontier_csv,
+    frontier_table,
+    infeasible_table,
+)
 from .heatmap import (
     SweepPointLike,
     energy_mj,
@@ -36,6 +41,8 @@ __all__ = [
     "weight_vs_activation_energy",
     "frontier_table",
     "frontier_csv",
+    "convergence_table",
+    "infeasible_table",
     "SweepPointLike",
     "sweep_grid",
     "render_heatmap",

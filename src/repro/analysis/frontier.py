@@ -6,16 +6,23 @@ every row is *optimal* for some trade-off between the frontier's
 objectives — moving from one row to the next buys an improvement in one
 column at the cost of another.  A single-objective frontier degenerates
 to the classic argmin (usually one row; several on exact ties).
+
+Constraint-aware runs add two reports: :func:`infeasible_table` lists
+the designs a feasibility filter rejected (with their violation
+magnitudes), and :func:`convergence_table` renders the per-generation
+progress — evaluations, frontier size and hypervolume — that the
+:class:`~repro.dse.runner.DSERunner` tracks and checkpoints.
 """
 
 from __future__ import annotations
 
 import csv
 import io
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:
-    from ..dse.pareto import ParetoFrontier
+    from ..dse.pareto import FrontierEntry, ParetoFrontier
+    from ..dse.runner import GenerationStats
 
 #: Human-scale units per named objective (value divisor, display unit).
 _UNITS = {
@@ -39,37 +46,84 @@ def _display_value(objective: str, value: float) -> float:
     return value / scale[0] if scale else value
 
 
-def frontier_table(frontier: "ParetoFrontier") -> str:
-    """Fixed-width text rendering of a Pareto frontier, one design per
-    row, sorted by the first objective."""
-    labels = [_column_label(obj) for obj in frontier.objectives]
-    width = max(
-        [36]
-        + [len(e.point.describe()) for e in frontier.entries]
-    )
+def _entry_rows(
+    entries: "Sequence[FrontierEntry]",
+    objectives: Sequence[str],
+    show_violation: bool,
+) -> str:
+    labels = [_column_label(obj) for obj in objectives]
+    if show_violation:
+        labels.append("violation")
+    width = max([36] + [len(e.point.describe()) for e in entries])
     header = f"{'Design':{width}s} " + " ".join(
         f"{label:>18s}" for label in labels
     )
     lines = [header]
-    for entry in frontier.entries:
-        cells = " ".join(
+    for entry in entries:
+        cells = [
             f"{_display_value(obj, value):18.6g}"
-            for obj, value in zip(frontier.objectives, entry.values)
+            for obj, value in zip(objectives, entry.values)
+        ]
+        if show_violation:
+            cells.append(f"{entry.violation:18.4g}")
+        lines.append(f"{entry.point.describe():{width}s} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def frontier_table(frontier: "ParetoFrontier") -> str:
+    """Fixed-width text rendering of a Pareto frontier, one design per
+    row, sorted by (violation, objectives).  A violation column appears
+    only when the frontier holds infeasible entries (i.e. no feasible
+    design was ever offered)."""
+    entries = frontier.entries
+    show_violation = any(not e.feasible for e in entries)
+    lines = _entry_rows(entries, frontier.objectives, show_violation)
+    if not entries:
+        lines += "\n(empty frontier)"
+    return lines
+
+
+def infeasible_table(
+    entries: "Sequence[FrontierEntry]", objectives: Sequence[str]
+) -> str:
+    """Fixed-width rendering of constraint-violating designs (as
+    :attr:`~repro.dse.runner.DSEResult.infeasible` reports them), with
+    their total violation in the last column."""
+    if not entries:
+        return "(no infeasible designs)"
+    return _entry_rows(entries, objectives, show_violation=True)
+
+
+def convergence_table(generations: "Sequence[GenerationStats]") -> str:
+    """Per-generation convergence: evaluations, frontier size and the
+    hypervolume against the run's fixed reference point (monotone
+    non-decreasing within a run; '-' before any design was feasible)."""
+    header = (
+        f"{'gen':>4s} {'proposed':>9s} {'evaluated':>10s} "
+        f"{'cached':>7s} {'frontier':>9s} {'hypervolume':>14s}"
+    )
+    lines = [header]
+    for s in generations:
+        hv = "-" if s.hypervolume is None else f"{s.hypervolume:.6g}"
+        lines.append(
+            f"{s.index:4d} {s.proposed:9d} {s.evaluated:10d} "
+            f"{s.cached:7d} {s.frontier_size:9d} {hv:>14s}"
         )
-        lines.append(f"{entry.point.describe():{width}s} {cells}")
     if len(lines) == 1:
-        lines.append("(empty frontier)")
+        lines.append("(no generations)")
     return "\n".join(lines)
 
 
 def frontier_csv(frontier: "ParetoFrontier") -> str:
     """CSV rendering of a Pareto frontier (raw objective values, not
-    display-scaled): design axes first, then one column per objective."""
+    display-scaled): design axes first, then one column per objective,
+    then the total constraint violation."""
     buffer = io.StringIO()
     writer = csv.writer(buffer, lineterminator="\n")
     writer.writerow(
         ["accelerator", "tile_x", "tile_y", "mode", "fuse_depth"]
         + list(frontier.objectives)
+        + ["violation"]
     )
     for entry in frontier.entries:
         p = entry.point
@@ -82,5 +136,6 @@ def frontier_csv(frontier: "ParetoFrontier") -> str:
                 "" if p.fuse_depth is None else p.fuse_depth,
             ]
             + [repr(v) for v in entry.values]
+            + [repr(entry.violation)]
         )
     return buffer.getvalue()

@@ -25,7 +25,12 @@ evaluation above):
     Multi-objective design-space exploration: Pareto-frontier search
     over tile sizes, overlap modes, fuse depths and accelerators with
     exhaustive, random or genetic strategies (deterministic per
-    ``--seed``, parallel via ``--jobs``).
+    ``--seed``, parallel via ``--jobs``).  ``--workloads a,b:2,c``
+    searches a weighted multi-workload scenario; ``--memory-budget``,
+    ``--latency-cap`` and ``--energy-cap`` add feasibility constraints
+    (infeasible designs are listed by ``--show-infeasible``); the
+    per-generation hypervolume convergence is printed after the
+    frontier.
 ``repro cache-info``
     Inspect a persistent mapping-cache file (format version, entries,
     size, last session's hit/miss stats).
@@ -38,16 +43,31 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from typing import Sequence
 
-from .analysis import access_breakdown, frontier_csv, frontier_table
+from .analysis import (
+    access_breakdown,
+    convergence_table,
+    frontier_csv,
+    frontier_table,
+    infeasible_table,
+)
 from .core import DepthFirstEngine, DFStrategy, OverlapMode
 from .core.optimizer import PAPER_TILE_GRID_X, PAPER_TILE_GRID_Y
-from .dse import DesignSpace, DSERunner, create_strategy
+from .dse import (
+    DesignSpace,
+    DSERunner,
+    MemoryBudgetConstraint,
+    Scenario,
+    create_strategy,
+    energy_cap,
+    latency_cap,
+)
 from .explore import Executor, MappingCache, SweepSpec
 from .hardware.zoo import ACCELERATOR_FACTORIES, get_accelerator
-from .mapping import OBJECTIVE_NAMES, SearchConfig
+from .mapping import OBJECTIVE_NAMES, SearchConfig, validate_objectives
 from .mapping.cache import cache_file_info
 from .workloads.zoo import WORKLOAD_FACTORIES, get_workload
 
@@ -121,6 +141,52 @@ def _mode_list(text: str) -> tuple[OverlapMode, ...]:
     if not modes:
         raise argparse.ArgumentTypeError(f"empty mode list: {text!r}")
     return tuple(modes)
+
+
+def _byte_size(text: str) -> "int | str":
+    """Parse a byte budget: a plain int with an optional K/M/G (or
+    KB/MB/GB, KiB/MiB/GiB — all binary) suffix, or ``fit`` for "each
+    accelerator's own on-chip activation capacity" (passed through as
+    the string ``"fit"``; absence of the option stays None)."""
+    t = text.strip().lower()
+    if t == "fit":
+        return "fit"
+    for suffix, mult in (
+        ("kib", 1024),
+        ("mib", 1024**2),
+        ("gib", 1024**3),
+        ("kb", 1024),
+        ("mb", 1024**2),
+        ("gb", 1024**3),
+        ("k", 1024),
+        ("m", 1024**2),
+        ("g", 1024**3),
+    ):
+        if t.endswith(suffix):
+            t, scale = t[: -len(suffix)], mult
+            break
+    else:
+        scale = 1
+    try:
+        value = int(float(t) * scale)
+    except (ValueError, OverflowError):
+        raise argparse.ArgumentTypeError(
+            f"not a byte size: {text!r} (use an int, K/M/G suffixes, or 'fit')"
+        )
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"byte size must be >= 1: {text!r}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    # NaN fails this comparison too, so caps are always finite positives.
+    if not (value > 0 and math.isfinite(value)):
+        raise argparse.ArgumentTypeError(f"must be a finite number > 0: {text!r}")
+    return value
 
 
 def _fuse_list(text: str) -> tuple[int | None, ...]:
@@ -339,9 +405,15 @@ def build_dse_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workload",
-        required=True,
         choices=sorted(WORKLOAD_FACTORIES),
-        help="workload from the Table I(b) zoo",
+        help="single workload from the Table I(b) zoo",
+    )
+    parser.add_argument(
+        "--workloads",
+        default=None,
+        help="multi-workload scenario: comma-separated zoo workloads "
+        "with optional :weight suffixes (e.g. 'resnet18:3,fsrcnn,mccnn'); "
+        "objectives become weight-averaged aggregates",
     )
     parser.add_argument(
         "--accelerators",
@@ -406,10 +478,37 @@ def build_dse_parser() -> argparse.ArgumentParser:
         help="random: designs to sample",
     )
     parser.add_argument(
+        "--memory-budget",
+        type=_byte_size,
+        default=None,
+        help="feasibility: peak activation working set must fit this "
+        "many on-chip bytes (K/M/G suffixes allowed), or 'fit' for each "
+        "accelerator's own activation capacity",
+    )
+    parser.add_argument(
+        "--latency-cap",
+        type=_positive_float,
+        default=None,
+        help="feasibility: per-workload latency must stay <= this many cycles",
+    )
+    parser.add_argument(
+        "--energy-cap",
+        type=_positive_float,
+        default=None,
+        help="feasibility: per-workload energy must stay <= this many pJ",
+    )
+    parser.add_argument(
+        "--show-infeasible",
+        action="store_true",
+        help="also list evaluated designs that violate a constraint, "
+        "with their violation magnitudes",
+    )
+    parser.add_argument(
         "--max-evals",
         type=_positive_int,
         default=None,
-        help="evaluation budget: cap on fresh cost-model evaluations",
+        help="evaluation budget: cap on fresh design evaluations "
+        "(a scenario costs one cost-model run per member workload)",
     )
     parser.add_argument(
         "--checkpoint",
@@ -442,12 +541,37 @@ def run_dse(argv: Sequence[str]) -> int:
                 f"unknown accelerator {name!r}; choose from "
                 f"{', '.join(ACCELERATOR_NAMES)} (or 'all')"
             )
-    for name in args.objectives:
-        if name not in OBJECTIVE_NAMES:
-            raise SystemExit(
-                f"unknown objective {name!r}; choose from "
-                f"{', '.join(OBJECTIVE_NAMES)}"
-            )
+    try:
+        validate_objectives(args.objectives)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    if (args.workload is None) == (args.workloads is None):
+        raise SystemExit(
+            "pass exactly one of --workload NAME or --workloads A,B:2,..."
+        )
+    if args.workloads is not None:
+        try:
+            workload = Scenario.parse(args.workloads)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        for name in workload.workload_names():
+            if name not in WORKLOAD_FACTORIES:
+                raise SystemExit(
+                    f"unknown workload {name!r}; choose from "
+                    f"{', '.join(sorted(WORKLOAD_FACTORIES))}"
+                )
+    else:
+        workload = args.workload
+
+    constraints = []
+    if args.memory_budget is not None:
+        budget = None if args.memory_budget == "fit" else args.memory_budget
+        constraints.append(MemoryBudgetConstraint(budget_bytes=budget))
+    if args.latency_cap is not None:
+        constraints.append(latency_cap(args.latency_cap))
+    if args.energy_cap is not None:
+        constraints.append(energy_cap(args.energy_cap))
 
     try:
         space = DesignSpace(
@@ -470,9 +594,10 @@ def run_dse(argv: Sequence[str]) -> int:
     )
     runner = DSERunner(
         space,
-        args.workload,
+        workload,
         objectives=args.objectives,
         executor=executor,
+        constraints=constraints,
         max_evals=args.max_evals,
         checkpoint=args.checkpoint,
         seed=args.seed,
@@ -482,12 +607,26 @@ def run_dse(argv: Sequence[str]) -> int:
     except ValueError as exc:
         raise SystemExit(str(exc))
 
+    workload_label = (
+        workload.describe() if isinstance(workload, Scenario) else workload
+    )
     print(
-        f"dse: {args.workload}, strategy={args.strategy}, seed={args.seed}, "
+        f"dse: {workload_label}, strategy={args.strategy}, seed={args.seed}, "
         f"space={space.size} designs, objectives={','.join(args.objectives)}"
     )
+    if constraints:
+        print(
+            "constraints: "
+            + "; ".join(c.describe() for c in constraints)
+        )
     print(result.describe())
     print(frontier_table(result.frontier))
+    print()
+    print(convergence_table(result.generations))
+    if args.show_infeasible:
+        print()
+        print("infeasible designs (total relative violation):")
+        print(infeasible_table(result.infeasible, result.frontier.objectives))
 
     if args.csv:
         with open(args.csv, "w") as f:
@@ -495,14 +634,22 @@ def run_dse(argv: Sequence[str]) -> int:
         print(f"wrote {args.csv}")
     if args.output:
         summary = {
-            "workload": args.workload,
+            "workload": workload_label,
             "accelerators": list(accelerators),
             "objectives": list(args.objectives),
+            "constraints": [c.token() for c in constraints],
             "strategy": args.strategy,
             "seed": args.seed,
             "evaluations": result.evaluations,
             "total_evaluations": result.total_evaluations,
+            "generations": [s.to_json() for s in result.generations],
+            "hv_reference": (
+                None
+                if result.hv_reference is None
+                else list(result.hv_reference)
+            ),
             "frontier": result.frontier.to_json(),
+            "infeasible": [e.to_json() for e in result.infeasible],
         }
         with open(args.output, "w") as f:
             json.dump(summary, f, indent=2)

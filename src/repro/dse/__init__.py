@@ -9,6 +9,14 @@ incremental Pareto frontier instead of a single argmin:
 
 * :class:`DesignSpace` / :class:`DesignPoint` — the joint space and its
   gene encoding (:mod:`repro.dse.space`);
+* :class:`Constraint` implementations — feasibility filters (on-chip
+  memory budgets, latency/energy caps) ranked by Deb's constrained
+  dominance (:mod:`repro.dse.constraints`);
+* :class:`Scenario` — weighted multi-workload bundles searched as one
+  aggregate-objective frontier (:mod:`repro.dse.scenario`);
+* :func:`hypervolume` / :func:`additive_epsilon` — frontier-quality
+  metrics driving per-generation convergence tracking
+  (:mod:`repro.dse.metrics`);
 * :class:`ExhaustiveSearch`, :class:`RandomSearch`,
   :class:`GeneticSearch` — pluggable searchers (:mod:`repro.dse.search`);
 * :class:`ParetoFrontier` — dominance pruning, JSON checkpoint/resume
@@ -35,14 +43,25 @@ Searches are deterministic given (space, seed): parallel evaluation
 changes wall-clock only, never the frontier.
 """
 
+from .constraints import (
+    Constraint,
+    MemoryBudgetConstraint,
+    ObjectiveCapConstraint,
+    energy_cap,
+    latency_cap,
+    peak_activation_bytes,
+)
+from .metrics import additive_epsilon, hypervolume, reference_point
 from .pareto import (
     FrontierEntry,
     ParetoFrontier,
+    constrained_dominates,
     crowding_distances,
     dominates,
     nondominated_ranks,
 )
 from .runner import DSEResult, DSERunner, GenerationStats
+from .scenario import Scenario, WeightedWorkload
 from .search import (
     ExhaustiveSearch,
     GeneticSearch,
@@ -61,8 +80,20 @@ __all__ = [
     "FrontierEntry",
     "ParetoFrontier",
     "dominates",
+    "constrained_dominates",
     "nondominated_ranks",
     "crowding_distances",
+    "Constraint",
+    "MemoryBudgetConstraint",
+    "ObjectiveCapConstraint",
+    "latency_cap",
+    "energy_cap",
+    "peak_activation_bytes",
+    "hypervolume",
+    "additive_epsilon",
+    "reference_point",
+    "Scenario",
+    "WeightedWorkload",
     "SearchStrategy",
     "ExhaustiveSearch",
     "RandomSearch",

@@ -1,0 +1,163 @@
+"""Feasibility constraints for the DSE: on-chip memory budgets and
+objective caps.
+
+The paper's headline claim is that depth-first schedules only pay off
+when the on-chip buffers and the workload shape interact favourably —
+an unconstrained search happily reports "optimal" tile sizes whose
+activation working set never fits on the chip.  A :class:`Constraint`
+turns such points from frontier candidates into *infeasible* ones:
+
+* every constraint maps an evaluated design to a **violation** — 0.0
+  when satisfied, otherwise a dimensionless magnitude (relative excess
+  over the budget/cap), so violations from different constraints can be
+  summed into the single total that Deb's constrained dominance ranks
+  infeasible designs by (:func:`~repro.dse.pareto.constrained_dominates`);
+* the :class:`~repro.dse.runner.DSERunner` evaluates every constraint
+  on every (design, workload) result, keeps feasible and infeasible
+  designs apart in the frontier, and reports the violating designs when
+  asked (``repro dse --show-infeasible``).
+
+Violations are computed from the *evaluated* schedule (tile geometry,
+cost totals), not from a static heuristic: the activation footprint of
+a design depends on back-calculated halos and overlap caches, which
+only step 2 of the cost model knows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from ..mapping.cost import resolve_objective
+
+if TYPE_CHECKING:
+    from ..core.results import ScheduleResult
+    from .space import DesignPoint
+
+
+@runtime_checkable
+class Constraint(Protocol):
+    """One feasibility requirement on an evaluated design.
+
+    ``violation`` returns 0.0 when the design satisfies the constraint
+    and a positive, dimensionless magnitude otherwise (conventionally
+    the relative excess over the budget, so different constraints sum
+    meaningfully).  ``token`` is the constraint's stable identity for
+    checkpoint stamps: resuming a run under different constraints must
+    be rejected, not silently mixed.
+    """
+
+    name: str
+
+    def violation(
+        self, point: "DesignPoint", result: "ScheduleResult"
+    ) -> float: ...
+
+    def describe(self) -> str: ...
+
+    def token(self) -> list: ...
+
+
+def peak_activation_bytes(result: "ScheduleResult") -> int:
+    """Peak on-chip activation working set of an evaluated schedule.
+
+    Per tile type: the largest single-layer I+O residency plus the
+    stack's H- and V-overlap caches (which live across the whole tile);
+    the peak over all tile types of all stacks is what the chip's
+    activation memories must hold at the worst moment.
+    """
+    peak = 0
+    for stack in result.stacks:
+        for tile in stack.tiling.tile_types:
+            layer_peak = max(
+                (g.input_bytes + g.output_bytes for g in tile.geometry),
+                default=0,
+            )
+            need = layer_peak + tile.h_cache_bytes + tile.v_cache_line_bytes
+            peak = max(peak, need)
+    return peak
+
+
+class MemoryBudgetConstraint:
+    """Activation working set must fit an on-chip byte budget.
+
+    ``budget_bytes=None`` uses each design's own accelerator activation
+    capacity (the summed size of on-chip memories serving I or O), so
+    one constraint instance serves a multi-accelerator space.  The
+    violation is the relative excess: ``(footprint - budget) / budget``.
+    """
+
+    name = "memory_budget"
+
+    def __init__(self, budget_bytes: int | None = None) -> None:
+        if budget_bytes is not None and budget_bytes < 1:
+            raise ValueError(f"budget_bytes must be >= 1, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self._capacities: dict[str, int] = {}
+
+    def budget_for(self, point: "DesignPoint") -> int:
+        """The effective byte budget for one design."""
+        if self.budget_bytes is not None:
+            return self.budget_bytes
+        capacity = self._capacities.get(point.accelerator)
+        if capacity is None:
+            from ..hardware.zoo import get_accelerator
+
+            accel = get_accelerator(point.accelerator)
+            capacity = accel.activation_capacity_bytes()
+            self._capacities[point.accelerator] = capacity
+        return capacity
+
+    def violation(
+        self, point: "DesignPoint", result: "ScheduleResult"
+    ) -> float:
+        budget = self.budget_for(point)
+        excess = peak_activation_bytes(result) - budget
+        return max(0.0, excess / budget)
+
+    def describe(self) -> str:
+        if self.budget_bytes is None:
+            return "activations fit each accelerator's on-chip memories"
+        return f"activations fit {self.budget_bytes} on-chip bytes"
+
+    def token(self) -> list:
+        return [self.name, self.budget_bytes]
+
+
+class ObjectiveCapConstraint:
+    """A named objective must stay at or below a cap (e.g. a latency
+    deadline in cycles, an energy budget in pJ).  The violation is the
+    relative excess over the cap."""
+
+    name = "objective_cap"
+
+    def __init__(self, objective: str, cap: float) -> None:
+        # The comparison also rejects NaN, which would otherwise make
+        # every violation compute to 0.0 (a silently-disabled cap).
+        if not (cap > 0.0 and math.isfinite(cap)):
+            raise ValueError(f"cap must be a finite number > 0, got {cap}")
+        self.objective = objective
+        self.cap = float(cap)
+        self._fn = resolve_objective(objective)
+
+    def violation(
+        self, point: "DesignPoint", result: "ScheduleResult"
+    ) -> float:
+        excess = self._fn(result.total) - self.cap
+        return max(0.0, excess / self.cap)
+
+    def describe(self) -> str:
+        return f"{self.objective} <= {self.cap:g}"
+
+    def token(self) -> list:
+        return [self.name, self.objective, self.cap]
+
+
+def latency_cap(cycles: float) -> ObjectiveCapConstraint:
+    """A latency deadline in cycles."""
+    return ObjectiveCapConstraint("latency", cycles)
+
+
+def energy_cap(picojoules: float) -> ObjectiveCapConstraint:
+    """An energy budget in pJ."""
+    return ObjectiveCapConstraint("energy", picojoules)

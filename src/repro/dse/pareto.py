@@ -6,6 +6,15 @@ frontier keeps exactly the non-dominated set, pruning dominated entries
 as better points arrive.  The same dominance machinery (non-dominated
 ranks, crowding distances) drives the genetic searcher's selection.
 
+Dominance is *constraint-aware* (Deb's constrained-dominance rules):
+every candidate carries a total constraint violation (0.0 = feasible),
+a lower violation always beats a higher one, and objective values only
+decide between candidates with equal violation.  A single feasible
+point therefore evicts every infeasible entry from the frontier, while
+an all-infeasible frontier ranks its entries by how close they are to
+feasibility — the search never loses gradient toward the feasible
+region.
+
 Frontiers checkpoint to JSON and resume exactly, so long explorations
 survive interruption and repeated runs refine rather than restart.
 """
@@ -36,18 +45,50 @@ def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
     return better
 
 
-def nondominated_ranks(values: Sequence[Sequence[float]]) -> list[int]:
+def constrained_dominates(
+    a: Sequence[float],
+    b: Sequence[float],
+    violation_a: float = 0.0,
+    violation_b: float = 0.0,
+) -> bool:
+    """Constrained dominance (Deb): a lower total violation always wins
+    (a feasible point has violation 0.0, so it beats every infeasible
+    one); equal violations fall back to Pareto dominance on the
+    objective values."""
+    if violation_a != violation_b:
+        return violation_a < violation_b
+    return dominates(a, b)
+
+
+def nondominated_ranks(
+    values: Sequence[Sequence[float]],
+    violations: Sequence[float] | None = None,
+) -> list[int]:
     """Rank each vector by non-dominated front: 0 for the Pareto front,
-    1 for the front once rank 0 is removed, and so on (NSGA-II style)."""
+    1 for the front once rank 0 is removed, and so on (NSGA-II style).
+    With ``violations``, fronts are built under constrained dominance,
+    so all feasible fronts precede all infeasible ones."""
     n = len(values)
+    if violations is not None and len(violations) != n:
+        raise ValueError(
+            f"{len(violations)} violations for {n} value vectors"
+        )
+
+    def dom(i: int, j: int) -> bool:
+        if violations is None:
+            return dominates(values[i], values[j])
+        return constrained_dominates(
+            values[i], values[j], violations[i], violations[j]
+        )
+
     dominated_by = [0] * n  # how many vectors dominate values[i]
     dominating: list[list[int]] = [[] for _ in range(n)]
     for i in range(n):
         for j in range(i + 1, n):
-            if dominates(values[i], values[j]):
+            if dom(i, j):
                 dominated_by[j] += 1
                 dominating[i].append(j)
-            elif dominates(values[j], values[i]):
+            elif dom(j, i):
                 dominated_by[i] += 1
                 dominating[j].append(i)
     ranks = [0] * n
@@ -91,31 +132,45 @@ def crowding_distances(values: Sequence[Sequence[float]]) -> list[float]:
 
 @dataclass(frozen=True)
 class FrontierEntry:
-    """One non-dominated design with its objective values."""
+    """One non-dominated design with its objective values and total
+    constraint violation (0.0 = feasible)."""
 
     point: DesignPoint
     values: tuple[float, ...]
+    violation: float = 0.0
+
+    @property
+    def feasible(self) -> bool:
+        return self.violation == 0.0
 
     def to_json(self) -> dict:
-        return {"point": self.point.to_json(), "values": list(self.values)}
+        data = {"point": self.point.to_json(), "values": list(self.values)}
+        if self.violation:
+            data["violation"] = self.violation
+        return data
 
     @classmethod
     def from_json(cls, data: Mapping) -> "FrontierEntry":
         return cls(
             point=DesignPoint.from_json(data["point"]),
             values=tuple(float(v) for v in data["values"]),
+            violation=float(data.get("violation", 0.0)),
         )
 
 
 class ParetoFrontier:
-    """The incremental non-dominated set for a fixed objective tuple.
+    """The incremental constrained-non-dominated set for a fixed
+    objective tuple.
 
     ``offer`` is the single mutation point: a candidate is accepted iff
-    no current entry dominates it (and it is not a duplicate design);
-    entries the candidate dominates are pruned.  Reported ``entries``
-    are sorted by objective vector (then design key), so two runs that
-    evaluated the same points report bit-identical frontiers whatever
-    order the offers arrived in.
+    no current entry constrained-dominates it (and it is not a duplicate
+    design); entries the candidate dominates are pruned.  A feasible
+    candidate therefore evicts every infeasible entry; while no feasible
+    design has been seen, the frontier holds the least-violating
+    candidates so the search can report how far from feasibility it is.
+    Reported ``entries`` are sorted by (violation, objective vector,
+    design key), so two runs that evaluated the same points report
+    bit-identical frontiers whatever order the offers arrived in.
     """
 
     def __init__(self, objectives: Sequence[str]) -> None:
@@ -136,24 +191,52 @@ class ParetoFrontier:
     def entries(self) -> list[FrontierEntry]:
         """Non-dominated entries, deterministically ordered."""
         return sorted(
-            self._entries, key=lambda e: (e.values, e.point.sort_key())
+            self._entries,
+            key=lambda e: (e.violation, e.values, e.point.sort_key()),
         )
 
-    def offer(self, point: DesignPoint, values: Sequence[float]) -> bool:
-        """Propose an evaluated design; returns whether it was kept."""
+    @property
+    def feasible_entries(self) -> list[FrontierEntry]:
+        """The entries with zero constraint violation (ordered like
+        :attr:`entries`; empty while no feasible design has been seen)."""
+        return [e for e in self.entries if e.feasible]
+
+    def offer(
+        self,
+        point: DesignPoint,
+        values: Sequence[float],
+        violation: float = 0.0,
+    ) -> bool:
+        """Propose an evaluated design; returns whether it was kept.
+        ``violation`` is the design's total constraint violation
+        (0.0 = feasible); it must never be negative."""
         vec = tuple(float(v) for v in values)
         if len(vec) != len(self.objectives):
             raise ValueError(
                 f"expected {len(self.objectives)} objective values, got {len(vec)}"
             )
+        violation = float(violation)
+        if violation < 0.0:
+            raise ValueError(f"violation must be >= 0, got {violation}")
         self.offered += 1
         key = point.key()
         for entry in self._entries:
-            if dominates(entry.values, vec) or entry.point.key() == key:
+            if (
+                constrained_dominates(
+                    entry.values, vec, entry.violation, violation
+                )
+                or entry.point.key() == key
+            ):
                 return False
-        survivors = [e for e in self._entries if not dominates(vec, e.values)]
+        survivors = [
+            e
+            for e in self._entries
+            if not constrained_dominates(vec, e.values, violation, e.violation)
+        ]
         self.pruned += len(self._entries) - len(survivors)
-        survivors.append(FrontierEntry(point=point, values=vec))
+        survivors.append(
+            FrontierEntry(point=point, values=vec, violation=violation)
+        )
         self._entries = survivors
         self.accepted += 1
         return True
@@ -165,25 +248,60 @@ class ParetoFrontier:
                 f"objective mismatch: {other.objectives} vs {self.objectives}"
             )
         return sum(
-            1 for e in other.entries if self.offer(e.point, e.values)
+            1
+            for e in other.entries
+            if self.offer(e.point, e.values, e.violation)
         )
+
+    def _objective_index(self, objective: str) -> int:
+        try:
+            return self.objectives.index(objective)
+        except ValueError:
+            raise ValueError(
+                f"unknown objective {objective!r}; this frontier tracks: "
+                f"{', '.join(self.objectives)}"
+            ) from None
 
     def best(self, objective: str) -> FrontierEntry:
         """The entry minimizing one of the frontier's objectives.
 
-        Exact ties resolve to the *first-offered* entry — the classic
-        ``min()``-over-sweep-order semantics, so a degenerate
-        single-objective exhaustive DSE picks the very same point as
-        ``best_point`` does (``_entries`` preserves offer order).
+        Feasible entries always beat infeasible ones; within the same
+        feasibility, exact ties resolve to the *first-offered* entry —
+        the classic ``min()``-over-sweep-order semantics, so a
+        degenerate single-objective exhaustive DSE picks the very same
+        point as ``best_point`` does (``_entries`` preserves offer
+        order).
         """
-        index = self.objectives.index(objective)
+        index = self._objective_index(objective)
         best_entry: FrontierEntry | None = None
         for entry in self._entries:
-            if best_entry is None or entry.values[index] < best_entry.values[index]:
+            if best_entry is None or (
+                (entry.violation, entry.values[index])
+                < (best_entry.violation, best_entry.values[index])
+            ):
                 best_entry = entry
         if best_entry is None:
             raise ValueError("the frontier is empty")
         return best_entry
+
+    def hypervolume(
+        self,
+        reference: Sequence[float],
+        samples: int | None = None,
+        seed: int = 0,
+    ) -> float:
+        """Hypervolume of the *feasible* entries up to ``reference``
+        (see :func:`~repro.dse.metrics.hypervolume`); 0.0 while the
+        frontier holds no feasible design.  With a fixed reference this
+        is monotone non-decreasing under :meth:`offer`."""
+        from .metrics import DEFAULT_HV_SAMPLES, hypervolume
+
+        return hypervolume(
+            [e.values for e in self._entries if e.feasible],
+            reference,
+            samples=DEFAULT_HV_SAMPLES if samples is None else samples,
+            seed=seed,
+        )
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -208,7 +326,7 @@ class ParetoFrontier:
         frontier = cls(tuple(data["objectives"]))
         for raw in data["entries"]:
             entry = FrontierEntry.from_json(raw)
-            frontier.offer(entry.point, entry.values)
+            frontier.offer(entry.point, entry.values, entry.violation)
         return frontier
 
     def save(self, path: str | Path) -> Path:

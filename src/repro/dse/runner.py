@@ -12,11 +12,25 @@ The runner owns the loop glue that every search strategy shares:
   :class:`~repro.explore.executor.Executor`, so ``jobs=N`` process
   parallelism applies to any strategy for free, with results identical
   to a serial run;
-* **budget** — an optional cap on fresh cost-model evaluations;
-* **checkpointing** — evaluated designs persist to JSON after every
-  generation (stamped with the workload, objectives, space and search
-  config so a mismatched resume is rejected, not silently mixed) and
-  the frontier is rebuilt from them exactly on resume.
+* **scenarios** — the workload may be a
+  :class:`~repro.dse.scenario.Scenario`: every design is then evaluated
+  against each member workload (one job per pair, still one batch) and
+  scored on the weight-averaged objective vector;
+* **constraints** — every evaluated design gets a total violation from
+  the run's :class:`~repro.dse.constraints.Constraint` list (worst case
+  across scenario members per constraint, summed across constraints);
+  the frontier and the genetic selection rank under constrained
+  dominance, so infeasible designs never displace feasible ones;
+* **budget** — an optional cap on fresh *design* evaluations (each
+  design costs one cost-model evaluation per scenario member);
+* **convergence** — per-generation stats including the frontier
+  hypervolume against a reference point fixed after the first
+  evaluations (monotone non-decreasing within a run);
+* **checkpointing** — evaluated designs and generation stats persist to
+  JSON after every generation (stamped with the workload/scenario,
+  objectives, space, constraints and search config so a mismatched
+  resume is rejected, not silently mixed) and the frontier is rebuilt
+  from them exactly on resume.
 """
 
 from __future__ import annotations
@@ -31,7 +45,10 @@ from typing import TYPE_CHECKING, Sequence
 from ..explore.executor import Executor
 from ..explore.spec import EvalJob
 from ..mapping.cost import resolve_objective
-from .pareto import ParetoFrontier
+from .constraints import Constraint
+from .metrics import reference_point
+from .pareto import FrontierEntry, ParetoFrontier
+from .scenario import Scenario, WeightedWorkload
 from .search import SearchStrategy, create_strategy
 from .space import DesignPoint, DesignSpace
 
@@ -39,7 +56,9 @@ if TYPE_CHECKING:
     from ..workloads.graph import WorkloadGraph
 
 #: On-disk checkpoint format; bump when the encoding changes.
-CHECKPOINT_FORMAT_VERSION = 1
+#: 2: entries carry violations; generation stats and the hypervolume
+#: reference are persisted; the stamp covers constraints and scenarios.
+CHECKPOINT_FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -51,6 +70,34 @@ class GenerationStats:
     evaluated: int
     cached: int
     frontier_size: int
+    #: Feasible-frontier hypervolume against the run's fixed reference
+    #: point (None until any design has been evaluated).
+    hypervolume: float | None = None
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "proposed": self.proposed,
+            "evaluated": self.evaluated,
+            "cached": self.cached,
+            "frontier_size": self.frontier_size,
+            "hypervolume": self.hypervolume,
+        }
+
+    @classmethod
+    def from_json(cls, data) -> "GenerationStats":
+        return cls(
+            index=int(data["index"]),
+            proposed=int(data["proposed"]),
+            evaluated=int(data["evaluated"]),
+            cached=int(data["cached"]),
+            frontier_size=int(data["frontier_size"]),
+            hypervolume=(
+                None
+                if data.get("hypervolume") is None
+                else float(data["hypervolume"])
+            ),
+        )
 
 
 @dataclass
@@ -61,41 +108,69 @@ class DSEResult:
     evaluations: int
     total_evaluations: int
     generations: list[GenerationStats] = field(default_factory=list)
-    evaluated: dict[tuple, tuple[DesignPoint, tuple[float, ...]]] = field(
-        default_factory=dict
-    )
+    evaluated: dict[
+        tuple, tuple[DesignPoint, tuple[float, ...], float]
+    ] = field(default_factory=dict)
+    #: Reference point of the per-generation hypervolume numbers.
+    hv_reference: tuple[float, ...] | None = None
+
+    @property
+    def infeasible(self) -> list[FrontierEntry]:
+        """Every evaluated design violating a constraint, worst last
+        (deterministic order: violation, then values, then design key)."""
+        entries = [
+            FrontierEntry(point=point, values=values, violation=violation)
+            for point, values, violation in self.evaluated.values()
+            if violation > 0.0
+        ]
+        return sorted(
+            entries, key=lambda e: (e.violation, e.values, e.point.sort_key())
+        )
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{len(self.generations)} generation(s), "
             f"{self.evaluations} evaluation(s) "
             f"({self.total_evaluations} incl. checkpoint), "
             f"frontier size {len(self.frontier)}"
         )
+        infeasible = len(self.infeasible)
+        if infeasible:
+            text += f", {infeasible} infeasible design(s)"
+        return text
 
 
 class DSERunner:
-    """Drives one search strategy over a design space for one workload.
+    """Drives one search strategy over a design space for one workload
+    or scenario.
 
     Parameters
     ----------
     space:
         The joint design space to explore.
     workload:
-        Zoo name (cheap to ship to workers) or a workload object.
+        Zoo name (cheap to ship to workers), a workload object, or a
+        :class:`~repro.dse.scenario.Scenario` bundling several weighted
+        workloads into one aggregate-objective search.
     objectives:
         Named objectives (see :data:`~repro.mapping.cost.OBJECTIVE_NAMES`),
-        all minimized simultaneously.
+        all minimized simultaneously; for scenarios each objective is
+        the weight-normalized average across member workloads.
     executor:
         Exploration-runtime executor; a private serial one is created
         when omitted.  ``Executor(jobs=N)`` parallelizes every
         generation without changing any result.
+    constraints:
+        Feasibility filters (:mod:`repro.dse.constraints`); designs with
+        a positive total violation are kept out of the frontier whenever
+        any feasible design exists, and reported via
+        :attr:`DSEResult.infeasible`.
     max_evals:
-        Optional cap on fresh cost-model evaluations for the run.
+        Optional cap on fresh design evaluations for the run.
     checkpoint:
         Optional JSON path; loaded (and validated against space,
-        workload and objectives) if it exists, rewritten after every
-        generation.
+        workload, objectives and constraints) if it exists, rewritten
+        after every generation.
     seed:
         Seed of the single rng all strategy randomness flows through.
     """
@@ -103,9 +178,10 @@ class DSERunner:
     def __init__(
         self,
         space: DesignSpace,
-        workload: "str | WorkloadGraph",
+        workload: "str | WorkloadGraph | Scenario",
         objectives: Sequence[str] = ("energy",),
         executor: Executor | None = None,
+        constraints: Sequence[Constraint] = (),
         max_evals: int | None = None,
         checkpoint: str | Path | None = None,
         seed: int = 0,
@@ -117,14 +193,30 @@ class DSERunner:
         self.objectives = tuple(objectives)
         self._objective_fns = [resolve_objective(name) for name in self.objectives]
         self.executor = executor if executor is not None else Executor()
+        self.constraints = tuple(constraints)
         self.max_evals = max_evals
         self.checkpoint = Path(checkpoint) if checkpoint is not None else None
         self.seed = seed
+        self._members: tuple[WeightedWorkload, ...] = (
+            workload.members
+            if isinstance(workload, Scenario)
+            else (WeightedWorkload(workload=workload),)
+        )
 
     @property
     def workload_name(self) -> str:
         wl = self.workload
+        if isinstance(wl, Scenario):
+            return wl.name
         return wl if isinstance(wl, str) else wl.name
+
+    def _workload_token(self):
+        """Checkpoint identity of the workload axis: a plain name for a
+        single workload, the weighted member list for a scenario."""
+        wl = self.workload
+        if isinstance(wl, Scenario):
+            return wl.token()
+        return self.workload_name
 
     def _checkpoint_stamp(self) -> dict:
         """Everything a checkpoint's cached values depend on: resuming
@@ -132,11 +224,52 @@ class DSERunner:
         results, so :meth:`_resume` rejects any mismatch."""
         config = self.executor.search_config
         return {
-            "workload": self.workload_name,
+            "workload": self._workload_token(),
             "objectives": list(self.objectives),
             "space": self.space.to_json(),
+            "constraints": [c.token() for c in self.constraints],
             "config": None if config is None else list(config.cache_token()),
         }
+
+    # ------------------------------------------------------------------
+    def _evaluate_fresh(
+        self, fresh: Sequence[DesignPoint]
+    ) -> list[tuple[tuple[float, ...], float]]:
+        """Evaluate a batch of designs (one job per design x scenario
+        member), returning per-design (aggregate values, violation)."""
+        members = self._members
+        jobs = [
+            EvalJob(
+                accelerator=point.accelerator,
+                workload=member.workload,
+                strategy=point.strategy(),
+                tag="dse",
+            )
+            for point in fresh
+            for member in members
+        ]
+        results = self.executor.run(jobs)
+        total_weight = sum(m.weight for m in members)
+        out: list[tuple[tuple[float, ...], float]] = []
+        for i, point in enumerate(fresh):
+            chunk = results[i * len(members) : (i + 1) * len(members)]
+            values = tuple(
+                sum(
+                    m.weight * fn(r.result.total)
+                    for m, r in zip(members, chunk)
+                )
+                / total_weight
+                for fn in self._objective_fns
+            )
+            # Feasibility is per member: the chip must run every
+            # workload, so each constraint contributes its worst-case
+            # violation across the scenario.
+            violation = sum(
+                max(c.violation(point, r.result) for r in chunk)
+                for c in self.constraints
+            )
+            out.append((values, float(violation)))
+        return out
 
     # ------------------------------------------------------------------
     def run(self, strategy: "SearchStrategy | str") -> DSEResult:
@@ -147,10 +280,9 @@ class DSERunner:
         strategy.reset(self.space, rng)
 
         frontier = ParetoFrontier(self.objectives)
-        seen: dict[tuple, tuple[DesignPoint, tuple[float, ...]]] = {}
-        prior_evals = self._resume(frontier, seen)
+        seen: dict[tuple, tuple[DesignPoint, tuple[float, ...], float]] = {}
+        prior_evals, stats, hv_reference = self._resume(frontier, seen)
 
-        stats: list[GenerationStats] = []
         evals_run = 0
         while True:
             batch = strategy.propose()
@@ -172,25 +304,21 @@ class DSERunner:
                 truncated = False
 
             if fresh:
-                jobs = [
-                    EvalJob(
-                        accelerator=p.accelerator,
-                        workload=self.workload,
-                        strategy=p.strategy(),
-                        tag="dse",
-                    )
-                    for p in fresh
-                ]
-                for point, result in zip(fresh, self.executor.run(jobs)):
-                    values = tuple(
-                        fn(result.result.total) for fn in self._objective_fns
-                    )
-                    seen[point.key()] = (point, values)
-                    frontier.offer(point, values)
+                for point, (values, violation) in zip(
+                    fresh, self._evaluate_fresh(fresh)
+                ):
+                    seen[point.key()] = (point, values, violation)
+                    frontier.offer(point, values, violation)
                 evals_run += len(fresh)
 
             evaluated = [seen[p.key()] for p in unique if p.key() in seen]
             strategy.observe(evaluated)
+            if hv_reference is None and seen:
+                # Fix the reference after the first evaluations; from
+                # here on the per-generation hypervolume is monotone.
+                hv_reference = reference_point(
+                    [values for _, values, _ in seen.values()]
+                )
             stats.append(
                 GenerationStats(
                     index=len(stats),
@@ -198,9 +326,16 @@ class DSERunner:
                     evaluated=len(fresh),
                     cached=len(evaluated) - len(fresh),
                     frontier_size=len(frontier),
+                    hypervolume=(
+                        None
+                        if hv_reference is None
+                        else frontier.hypervolume(hv_reference)
+                    ),
                 )
             )
-            self._save_checkpoint(seen, prior_evals + evals_run)
+            self._save_checkpoint(
+                seen, prior_evals + evals_run, stats, hv_reference
+            )
             if truncated:
                 break
 
@@ -210,6 +345,7 @@ class DSERunner:
             total_evaluations=prior_evals + evals_run,
             generations=stats,
             evaluated=seen,
+            hv_reference=hv_reference,
         )
 
     # ------------------------------------------------------------------
@@ -218,12 +354,13 @@ class DSERunner:
     def _resume(
         self,
         frontier: ParetoFrontier,
-        seen: dict[tuple, tuple[DesignPoint, tuple[float, ...]]],
-    ) -> int:
+        seen: dict[tuple, tuple[DesignPoint, tuple[float, ...], float]],
+    ) -> tuple[int, list[GenerationStats], tuple[float, ...] | None]:
         """Prime frontier and memo from the checkpoint file, if any.
-        Returns the number of evaluations already paid for."""
+        Returns (evaluations already paid for, prior generation stats,
+        the persisted hypervolume reference point)."""
         if self.checkpoint is None or not self.checkpoint.exists():
-            return 0
+            return 0, [], None
         try:
             data = json.loads(self.checkpoint.read_text())
         except (OSError, json.JSONDecodeError) as exc:
@@ -246,21 +383,32 @@ class DSERunner:
                     f"this run (checkpointed {data.get(field_name)!r})"
                 )
         try:
-            for raw_point, raw_values in data.get("evaluated", []):
+            for raw_point, raw_values, *rest in data.get("evaluated", []):
                 point = DesignPoint.from_json(raw_point)
                 values = tuple(float(v) for v in raw_values)
-                seen[point.key()] = (point, values)
-                frontier.offer(point, values)
+                violation = float(rest[0]) if rest else 0.0
+                seen[point.key()] = (point, values, violation)
+                frontier.offer(point, values, violation)
+            stats = [
+                GenerationStats.from_json(raw)
+                for raw in data.get("generations", [])
+            ]
+            raw_ref = data.get("hv_reference")
+            hv_reference = (
+                None if raw_ref is None else tuple(float(v) for v in raw_ref)
+            )
         except (KeyError, TypeError, AttributeError, ValueError) as exc:
             raise ValueError(
                 f"{self.checkpoint}: malformed DSE checkpoint entry: {exc!r}"
             ) from exc
-        return int(data.get("evaluations", len(seen)))
+        return int(data.get("evaluations", len(seen))), stats, hv_reference
 
     def _save_checkpoint(
         self,
-        seen: dict[tuple, tuple[DesignPoint, tuple[float, ...]]],
+        seen: dict[tuple, tuple[DesignPoint, tuple[float, ...], float]],
         evaluations: int,
+        stats: Sequence[GenerationStats],
+        hv_reference: tuple[float, ...] | None,
     ) -> None:
         if self.checkpoint is None:
             return
@@ -268,11 +416,15 @@ class DSERunner:
             "format": CHECKPOINT_FORMAT_VERSION,
             **self._checkpoint_stamp(),
             "evaluations": evaluations,
+            "generations": [s.to_json() for s in stats],
+            "hv_reference": (
+                None if hv_reference is None else list(hv_reference)
+            ),
             # Evaluation order, not sorted: _resume re-offers in this
             # order, reproducing the original frontier tie-breaks.
             "evaluated": [
-                [point.to_json(), list(values)]
-                for point, values in seen.values()
+                [point.to_json(), list(values), violation]
+                for point, values, violation in seen.values()
             ],
         }
         self.checkpoint.parent.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,134 @@
+"""Multi-workload scenarios: one frontier over a weighted workload mix.
+
+A DSE run over a single network overfits that network: the tile size
+that wins for ResNet-18's deep narrow tail loses for FSRCNN's shallow
+wide layers.  A :class:`Scenario` bundles several workloads with
+weights (e.g. relative invocation rates of a deployment) so the runner
+evaluates every design against *all* of them and optimizes the
+weighted-average objectives — the frontier then trades off aggregate
+energy against aggregate latency instead of single-network ones.
+
+Feasibility stays per-workload: a design is feasible only if every
+constraint holds for **every** workload of the scenario (the chip must
+run each network, not their average), with the per-constraint violation
+aggregated as the worst case across workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from ..workloads.graph import WorkloadGraph
+
+
+@dataclass(frozen=True)
+class WeightedWorkload:
+    """One scenario member: a workload reference (zoo name, cheap to
+    ship to workers, or an object) with a positive weight."""
+
+    workload: "str | WorkloadGraph"
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0.0:
+            raise ValueError(f"weight must be > 0, got {self.weight}")
+
+    @property
+    def name(self) -> str:
+        wl = self.workload
+        return wl if isinstance(wl, str) else wl.name
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """An ordered bundle of weighted workloads evaluated as one unit.
+
+    The aggregate objective vector of a design is the weight-normalized
+    average of its per-workload objective vectors, so weights express
+    relative importance without changing units.
+    """
+
+    members: tuple[WeightedWorkload, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("a scenario needs at least one workload")
+        names = [m.name for m in self.members]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate scenario workloads: {names}")
+        if not self.name:
+            object.__setattr__(self, "name", "+".join(names))
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    @property
+    def total_weight(self) -> float:
+        return sum(m.weight for m in self.members)
+
+    def workload_names(self) -> tuple[str, ...]:
+        return tuple(m.name for m in self.members)
+
+    def token(self) -> list:
+        """Stable identity for checkpoint stamps: resuming a run under a
+        different workload mix must be rejected, not silently mixed."""
+        return [[m.name, m.weight] for m in self.members]
+
+    def describe(self) -> str:
+        parts = []
+        for m in self.members:
+            parts.append(
+                m.name if m.weight == 1.0 else f"{m.name}:{m.weight:g}"
+            )
+        return ",".join(parts)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(
+        cls,
+        workloads: Sequence["str | WorkloadGraph"],
+        weights: Sequence[float] | None = None,
+        name: str = "",
+    ) -> "Scenario":
+        """Build a scenario from parallel workload/weight sequences
+        (weights default to 1.0 each)."""
+        if weights is None:
+            weights = [1.0] * len(workloads)
+        if len(weights) != len(workloads):
+            raise ValueError(
+                f"{len(weights)} weights for {len(workloads)} workloads"
+            )
+        return cls(
+            members=tuple(
+                WeightedWorkload(workload=wl, weight=float(w))
+                for wl, w in zip(workloads, weights)
+            ),
+            name=name,
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "Scenario":
+        """Parse a CLI scenario spec: comma-separated zoo names with
+        optional ``:weight`` suffixes, e.g. ``resnet18:3,fsrcnn,mccnn``."""
+        members: list[WeightedWorkload] = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, _, raw_weight = part.partition(":")
+            if raw_weight:
+                try:
+                    weight = float(raw_weight)
+                except ValueError:
+                    raise ValueError(
+                        f"bad scenario weight {raw_weight!r} in {part!r}"
+                    ) from None
+            else:
+                weight = 1.0
+            members.append(WeightedWorkload(workload=name, weight=weight))
+        if not members:
+            raise ValueError(f"empty scenario spec: {spec!r}")
+        return cls(members=tuple(members))

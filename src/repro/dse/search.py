@@ -13,6 +13,12 @@ All randomness flows through the single ``random.Random`` the runner
 seeds, and all tie-breaks sort on design keys, so a search is
 deterministic given (space, seed) — including across ``--jobs N``
 parallel evaluation, which never changes results, only wall-clock.
+
+Observed candidates are ``(point, values, violation)`` triples: the
+genetic searcher selects under Deb's constrained dominance
+(:func:`~repro.dse.pareto.nondominated_ranks` with violations), so
+feasible designs always outrank infeasible ones and infeasible designs
+evolve toward feasibility.
 """
 
 from __future__ import annotations
@@ -23,8 +29,9 @@ from typing import Sequence
 from .pareto import crowding_distances, nondominated_ranks
 from .space import DesignPoint, DesignSpace
 
-#: One evaluated candidate: the design and its objective vector.
-Evaluated = "tuple[DesignPoint, tuple[float, ...]]"
+#: One evaluated candidate: the design, its objective vector, and its
+#: total constraint violation (0.0 = feasible).
+Evaluated = "tuple[DesignPoint, tuple[float, ...], float]"
 
 
 class SearchStrategy:
@@ -80,9 +87,7 @@ class RandomSearch(SearchStrategy):
         if self._done:
             return []
         self._done = True
-        count = min(self.samples, self.space.size)
-        indices = self.rng.sample(range(self.space.size), count)
-        return [self.space.point_at(i) for i in indices]
+        return self.space.sample_points(self.rng, self.samples)
 
 
 class GeneticSearch(SearchStrategy):
@@ -120,7 +125,7 @@ class GeneticSearch(SearchStrategy):
     def reset(self, space: DesignSpace, rng: random.Random) -> None:
         super().reset(space, rng)
         self._generation = 0
-        self._pool: list[tuple[DesignPoint, tuple[float, ...]]] = []
+        self._pool: list[tuple[DesignPoint, tuple[float, ...], float]] = []
         self._ordered: list[DesignPoint] = []
 
     # ------------------------------------------------------------------
@@ -129,26 +134,28 @@ class GeneticSearch(SearchStrategy):
             return []
         self._generation += 1
         if not self._pool:
-            count = min(self.population, self.space.size)
-            indices = self.rng.sample(range(self.space.size), count)
-            return [self.space.point_at(i) for i in indices]
+            return self.space.sample_points(self.rng, self.population)
         return [self._breed() for _ in range(self.population)]
 
     def observe(self, evaluated: Sequence["Evaluated"]) -> None:
-        seen = {point.key() for point, _ in self._pool}
-        for point, values in evaluated:
+        seen = {point.key() for point, _, _ in self._pool}
+        for point, values, violation in evaluated:
             if point.key() not in seen:
                 seen.add(point.key())
-                self._pool.append((point, tuple(values)))
+                self._pool.append((point, tuple(values), float(violation)))
         self._select()
 
     # ------------------------------------------------------------------
     def _select(self) -> None:
         """Truncate the pool to the best ``population`` members by
-        (rank, crowding), with design keys as the deterministic
-        tie-break, and cache the selection order for tournaments."""
-        values = [vals for _, vals in self._pool]
-        ranks = nondominated_ranks(values)
+        (constrained rank, crowding), with design keys as the
+        deterministic tie-break, and cache the selection order for
+        tournaments.  Constrained ranks place every feasible front
+        before every infeasible one, so elitism never trades a feasible
+        design for a better-valued infeasible one."""
+        values = [vals for _, vals, _ in self._pool]
+        violations = [violation for _, _, violation in self._pool]
+        ranks = nondominated_ranks(values, violations)
         # NSGA-II crowding is per front: distances measured against
         # same-rank neighbours only, so dominated fronts cannot distort
         # the elite's diversity ordering.
@@ -165,7 +172,7 @@ class GeneticSearch(SearchStrategy):
         )
         keep = order[: self.population]
         self._pool = [self._pool[i] for i in keep]
-        self._ordered = [point for point, _ in self._pool]
+        self._ordered = [point for point, _, _ in self._pool]
 
     def _tournament(self) -> DesignPoint:
         """Binary tournament: two uniform picks, fitter (earlier in the

@@ -217,6 +217,15 @@ class DesignSpace:
             tuple(rng.randrange(len(axis)) for axis in self.axes().values())
         )
 
+    def sample_points(self, rng, count: int) -> list[DesignPoint]:
+        """``count`` uniform draws *without replacement* (capped at the
+        space size), deterministic given the ``rng`` state.  The shared
+        seeding path of the random and genetic searchers."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        indices = rng.sample(range(self.size), min(count, self.size))
+        return [self.point_at(i) for i in indices]
+
     # ------------------------------------------------------------------
     @classmethod
     def paper_grid(

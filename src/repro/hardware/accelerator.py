@@ -136,6 +136,19 @@ class Accelerator:
             inst.size_bytes for inst in self.instances() if not inst.is_dram
         )
 
+    def activation_capacity_bytes(self) -> int:
+        """On-chip capacity available to activations: the summed size of
+        distinct non-DRAM, non-per-PE instances serving I or O.  This is
+        the budget the DSE memory-budget feasibility filter checks
+        activation footprints against."""
+        seen: dict[int, MemoryInstance] = {}
+        for lvl in self.levels:
+            if lvl.operands & {"I", "O"}:
+                inst = lvl.instance
+                if not inst.is_dram and not inst.per_pe:
+                    seen.setdefault(inst.uid, inst)
+        return sum(inst.size_bytes for inst in seen.values())
+
     def top_weight_buffer(self) -> MemoryLevel | None:
         """Highest on-chip level that stores weights, used by the automatic
         fuse-depth rule (Section III 'Inputs')."""

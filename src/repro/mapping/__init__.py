@@ -3,7 +3,14 @@ temporal-mapping search engine (LOMA substitute)."""
 
 from .allocation import AllocationError, allocate
 from .cache import MappingCache
-from .cost import OBJECTIVE_NAMES, CostResult, Objective, Traffic, resolve_objective
+from .cost import (
+    OBJECTIVE_NAMES,
+    CostResult,
+    Objective,
+    Traffic,
+    resolve_objective,
+    validate_objectives,
+)
 from .loma import MappingSearchEngine, SearchConfig, SearchResult
 from .loops import (
     Loop,
@@ -30,6 +37,7 @@ __all__ = [
     "Objective",
     "OBJECTIVE_NAMES",
     "resolve_objective",
+    "validate_objectives",
     "MappingSearchEngine",
     "SearchConfig",
     "SearchResult",

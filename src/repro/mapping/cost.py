@@ -7,7 +7,7 @@ data elements (the unit of the paper's Fig. 14).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 #: Key of a traffic entry: (operand-or-category, memory level name).
 TrafficKey = tuple[str, str]
@@ -153,3 +153,19 @@ def resolve_objective(objective: str | Objective) -> Objective:
     except KeyError as exc:
         known = ", ".join(sorted(_OBJECTIVES))
         raise KeyError(f"unknown objective {objective!r}; known: {known}") from exc
+
+
+def validate_objectives(names: "Sequence[str]") -> tuple[str, ...]:
+    """Check a user-supplied objective-name list, returning it as a
+    tuple; raises a ``ValueError`` naming the valid objectives on the
+    first unknown or duplicated name (the CLI/report-friendly
+    counterpart of :func:`resolve_objective`'s ``KeyError``)."""
+    for name in names:
+        if name not in _OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {name!r}; choose from: "
+                f"{', '.join(OBJECTIVE_NAMES)}"
+            )
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate objectives: {', '.join(names)}")
+    return tuple(names)

@@ -1,0 +1,129 @@
+"""Unit tests for the DSE feasibility constraints."""
+
+import pytest
+
+from repro import DepthFirstEngine, get_accelerator
+from repro.core.strategy import DFStrategy, OverlapMode
+from repro.dse import (
+    DesignPoint,
+    MemoryBudgetConstraint,
+    ObjectiveCapConstraint,
+    energy_cap,
+    latency_cap,
+    peak_activation_bytes,
+)
+
+from ..conftest import make_tiny_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_result(fast_config):
+    accel = get_accelerator("meta_proto_like_df")
+    engine = DepthFirstEngine(accel, fast_config)
+    return engine.evaluate(
+        make_tiny_workload(), DFStrategy(tile_x=8, tile_y=8)
+    )
+
+
+def meta_point(tx=8, ty=8):
+    return DesignPoint(
+        "meta_proto_like_df", tx, ty, OverlapMode.FULLY_CACHED
+    )
+
+
+class TestPeakActivationBytes:
+    def test_positive_and_bounded_by_feature_maps(self, tiny_result):
+        peak = peak_activation_bytes(tiny_result)
+        assert peak > 0
+        # A tile's working set can never exceed the whole workload's
+        # feature maps plus caches by orders of magnitude; sanity bound.
+        assert peak < 64 * 1024 * 1024
+
+    def test_covers_every_stack_and_tile(self, tiny_result):
+        per_tile = [
+            max(
+                (g.input_bytes + g.output_bytes for g in tile.geometry),
+                default=0,
+            )
+            + tile.h_cache_bytes
+            + tile.v_cache_line_bytes
+            for stack in tiny_result.stacks
+            for tile in stack.tiling.tile_types
+        ]
+        assert peak_activation_bytes(tiny_result) == max(per_tile)
+
+
+class TestMemoryBudgetConstraint:
+    def test_generous_budget_is_feasible(self, tiny_result):
+        constraint = MemoryBudgetConstraint(budget_bytes=1 << 30)
+        assert constraint.violation(meta_point(), tiny_result) == 0.0
+
+    def test_tiny_budget_reports_relative_excess(self, tiny_result):
+        constraint = MemoryBudgetConstraint(budget_bytes=1)
+        violation = constraint.violation(meta_point(), tiny_result)
+        assert violation == peak_activation_bytes(tiny_result) - 1
+
+    def test_default_budget_is_accelerator_activation_capacity(
+        self, tiny_result
+    ):
+        constraint = MemoryBudgetConstraint()
+        accel = get_accelerator("meta_proto_like_df")
+        assert (
+            constraint.budget_for(meta_point())
+            == accel.activation_capacity_bytes()
+        )
+        # Capacity lookups are cached per accelerator name.
+        assert constraint.budget_for(meta_point()) == constraint.budget_for(
+            meta_point(4, 4)
+        )
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            MemoryBudgetConstraint(budget_bytes=0)
+
+    def test_token_and_describe(self):
+        assert MemoryBudgetConstraint(1024).token() == ["memory_budget", 1024]
+        assert "1024" in MemoryBudgetConstraint(1024).describe()
+        assert "accelerator" in MemoryBudgetConstraint().describe()
+
+
+class TestActivationCapacity:
+    def test_excludes_dram_and_weight_only_memories(self):
+        accel = get_accelerator("meta_proto_like_df")
+        capacity = accel.activation_capacity_bytes()
+        assert 0 < capacity <= accel.on_chip_capacity_bytes()
+        io_instances = {
+            lvl.instance.uid: lvl.instance
+            for lvl in accel.levels
+            if lvl.operands & {"I", "O"}
+            and not lvl.instance.is_dram
+            and not lvl.instance.per_pe
+        }
+        assert capacity == sum(
+            inst.size_bytes for inst in io_instances.values()
+        )
+
+
+class TestObjectiveCapConstraint:
+    def test_cap_above_value_is_feasible(self, tiny_result):
+        cap = ObjectiveCapConstraint("energy", tiny_result.energy_pj * 2)
+        assert cap.violation(meta_point(), tiny_result) == 0.0
+
+    def test_cap_below_value_is_relative_excess(self, tiny_result):
+        cap = latency_cap(tiny_result.latency_cycles / 2)
+        violation = cap.violation(meta_point(), tiny_result)
+        assert violation == pytest.approx(1.0)
+
+    def test_helpers_name_their_objectives(self):
+        assert latency_cap(100.0).objective == "latency"
+        assert energy_cap(100.0).objective == "energy"
+
+    def test_rejects_bad_cap_and_unknown_objective(self):
+        with pytest.raises(ValueError):
+            ObjectiveCapConstraint("energy", 0.0)
+        with pytest.raises(KeyError, match="unknown objective"):
+            ObjectiveCapConstraint("carbon", 1.0)
+
+    def test_token_distinguishes_objective_and_cap(self):
+        assert latency_cap(5.0).token() != energy_cap(5.0).token()
+        assert latency_cap(5.0).token() != latency_cap(6.0).token()

@@ -1,0 +1,140 @@
+"""Golden-regression tests: the CS2/CS3 best points, checked in as JSON.
+
+The fixtures under ``tests/fixtures/`` pin the best design (tile, mode,
+fuse depth) *and its exact energy/latency numbers* for two degenerate
+single-objective DSE runs shaped like the paper's case studies:
+
+* **CS2** — ResNet-18 on the DepFiN-like architecture: the best DF
+  strategy of a reduced tile/mode grid;
+* **CS3** — FSRCNN across two architectures: the best (architecture,
+  strategy) pair of the joint space.
+
+Any cost-model, mapping-search or DSE change that silently shifts these
+numbers fails here with a field-by-field diff.  To re-bless after an
+*intentional* change::
+
+    PYTHONPATH=src python -m tests.dse.test_golden
+
+which rewrites both fixtures from the current code.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.strategy import OverlapMode
+from repro.dse import DesignSpace, DSERunner, ExhaustiveSearch
+from repro.explore import Executor, MappingCache
+from repro.mapping import SearchConfig
+
+FIXTURES = Path(__file__).resolve().parent.parent / "fixtures"
+
+#: The reduced (CI-sized) search settings the fixtures were blessed
+#: under.  Changing any of these is a fixture change: re-bless.
+CONFIG = SearchConfig(lpf_limit=5, budget=60)
+MODES = (OverlapMode.FULLY_CACHED, OverlapMode.H_CACHED_V_RECOMPUTE)
+
+CS2_SPACE = DesignSpace(
+    accelerators=("depfin_like",),
+    tile_x=(4, 16, 60),
+    tile_y=(18, 72),
+    modes=MODES,
+)
+CS3_SPACE = DesignSpace(
+    accelerators=("meta_proto_like_df", "edge_tpu_like_df"),
+    tile_x=(16, 60),
+    tile_y=(18, 72),
+    modes=MODES,
+)
+
+
+def derive(space: DesignSpace, workload: str) -> dict:
+    """Re-derive a golden record via a degenerate single-objective
+    exhaustive DSE (the frontier of a 1-objective search is the argmin),
+    then re-evaluate the winning design once for its latency."""
+    cache = MappingCache()
+    runner = DSERunner(
+        space,
+        workload,
+        objectives=("energy",),
+        executor=Executor(jobs=1, search_config=CONFIG, cache=cache),
+        seed=0,
+    )
+    result = runner.run(ExhaustiveSearch())
+    best = result.frontier.best("energy")
+
+    from repro import DepthFirstEngine, get_accelerator, get_workload
+
+    engine = DepthFirstEngine(
+        get_accelerator(best.point.accelerator), CONFIG, cache=cache
+    )
+    schedule = engine.evaluate(get_workload(workload), best.point.strategy())
+    assert schedule.energy_pj == best.values[0]  # internal consistency
+    return {
+        "workload": workload,
+        "evaluations": result.evaluations,
+        "best": {
+            "accelerator": best.point.accelerator,
+            "tile_x": best.point.tile_x,
+            "tile_y": best.point.tile_y,
+            "mode": best.point.mode.value,
+            "fuse_depth": best.point.fuse_depth,
+            "energy_pj": best.values[0],
+            "latency_cycles": schedule.latency_cycles,
+        },
+    }
+
+
+def diff_lines(expected: dict, derived: dict, prefix: str = "") -> list:
+    """Field-by-field readable diff of two nested dicts."""
+    lines = []
+    for key in sorted(set(expected) | set(derived)):
+        label = f"{prefix}{key}"
+        a, b = expected.get(key), derived.get(key)
+        if isinstance(a, dict) and isinstance(b, dict):
+            lines.extend(diff_lines(a, b, prefix=f"{label}."))
+        elif a != b:
+            lines.append(f"  {label}: blessed {a!r} != derived {b!r}")
+    return lines
+
+
+def check_golden(name: str, space: DesignSpace, workload: str) -> None:
+    path = FIXTURES / name
+    assert path.exists(), f"missing golden fixture {path}"
+    expected = json.loads(path.read_text())
+    derived = derive(space, workload)
+    drift = diff_lines(expected, derived)
+    assert not drift, (
+        f"\n{name} drifted from the blessed best point:\n"
+        + "\n".join(drift)
+        + f"\nIf the change is intentional, re-bless with:"
+        + f"\n  PYTHONPATH=src python -m tests.dse.test_golden"
+    )
+
+
+@pytest.mark.parametrize(
+    "name, space, workload",
+    [
+        ("cs2_best.json", CS2_SPACE, "resnet18"),
+        ("cs3_best.json", CS3_SPACE, "fsrcnn"),
+    ],
+    ids=["cs2-resnet18-depfin", "cs3-fsrcnn-arch-choice"],
+)
+def test_golden_best_point(name, space, workload):
+    check_golden(name, space, workload)
+
+
+def _regenerate() -> None:  # pragma: no cover - maintenance entry point
+    FIXTURES.mkdir(parents=True, exist_ok=True)
+    for name, space, workload in (
+        ("cs2_best.json", CS2_SPACE, "resnet18"),
+        ("cs3_best.json", CS3_SPACE, "fsrcnn"),
+    ):
+        record = derive(space, workload)
+        (FIXTURES / name).write_text(json.dumps(record, indent=2) + "\n")
+        print(f"blessed {FIXTURES / name}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate()

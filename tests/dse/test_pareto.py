@@ -6,6 +6,7 @@ from repro.core.strategy import OverlapMode
 from repro.dse import (
     DesignPoint,
     ParetoFrontier,
+    constrained_dominates,
     crowding_distances,
     dominates,
     nondominated_ranks,
@@ -167,3 +168,97 @@ class TestParetoFrontier:
         path.write_text('{"format": 999, "objectives": ["energy"], "entries": []}')
         with pytest.raises(ValueError, match="format"):
             ParetoFrontier.load(path)
+
+
+class TestConstrainedDominance:
+    def test_feasible_beats_infeasible_whatever_the_values(self):
+        assert constrained_dominates((9.0, 9.0), (1.0, 1.0), 0.0, 0.5)
+        assert not constrained_dominates((1.0, 1.0), (9.0, 9.0), 0.5, 0.0)
+
+    def test_lower_violation_beats_higher(self):
+        assert constrained_dominates((9.0,), (1.0,), 0.1, 0.2)
+        assert not constrained_dominates((1.0,), (9.0,), 0.2, 0.1)
+
+    def test_equal_violation_falls_back_to_pareto(self):
+        assert constrained_dominates((1.0, 1.0), (2.0, 2.0), 0.3, 0.3)
+        assert not constrained_dominates((1.0, 3.0), (2.0, 2.0), 0.3, 0.3)
+
+    def test_ranks_accept_violations(self):
+        values = [(1.0,), (2.0,), (3.0,)]
+        # The best value is infeasible: it must rank after both
+        # feasible designs.
+        ranks = nondominated_ranks(values, [1.0, 0.0, 0.0])
+        assert ranks == [2, 0, 1]
+        with pytest.raises(ValueError, match="violations"):
+            nondominated_ranks(values, [0.0])
+
+
+class TestConstrainedFrontier:
+    def test_feasible_offer_evicts_infeasible_entries(self):
+        frontier = ParetoFrontier(("energy",))
+        frontier.offer(point(1), (1.0,), violation=2.0)
+        frontier.offer(point(2), (1.5,), violation=0.5)
+        assert [e.violation for e in frontier.entries] == [0.5]
+        assert frontier.offer(point(3), (9.0,))  # feasible, worse value
+        assert [e.point for e in frontier.entries] == [point(3)]
+        assert all(e.feasible for e in frontier.entries)
+
+    def test_infeasible_rejected_once_any_feasible_exists(self):
+        frontier = ParetoFrontier(("energy",))
+        frontier.offer(point(1), (5.0,))
+        assert not frontier.offer(point(2), (0.1,), violation=0.01)
+        assert len(frontier) == 1
+
+    def test_feasible_entries_view(self):
+        frontier = ParetoFrontier(("energy",))
+        frontier.offer(point(1), (1.0,), violation=1.0)
+        assert frontier.feasible_entries == []
+        frontier.offer(point(2), (2.0,))
+        assert [e.point for e in frontier.feasible_entries] == [point(2)]
+
+    def test_best_prefers_feasible_over_better_infeasible(self):
+        frontier = ParetoFrontier(("energy", "latency"))
+        frontier.offer(point(1), (1.0, 1.0), violation=0.5)
+        frontier.offer(point(2), (3.0, 3.0))
+        # Both coexist only while... they do not: feasible evicts.
+        assert frontier.best("energy").point == point(2)
+
+    def test_negative_violation_rejected(self):
+        with pytest.raises(ValueError, match="violation"):
+            ParetoFrontier(("energy",)).offer(point(1), (1.0,), violation=-1.0)
+
+    def test_violation_survives_save_load(self, tmp_path):
+        frontier = ParetoFrontier(("energy",))
+        frontier.offer(point(1), (1.0,), violation=2.5)
+        path = tmp_path / "frontier.json"
+        frontier.save(path)
+        loaded = ParetoFrontier.load(path)
+        assert loaded.entries == frontier.entries
+        assert loaded.entries[0].violation == 2.5
+
+
+class TestBestValidation:
+    def test_unknown_objective_is_clear_value_error(self):
+        """The satellite fix: asking for an objective the frontier does
+        not track must raise a ValueError naming the valid ones."""
+        frontier = ParetoFrontier(("energy", "latency"))
+        frontier.offer(point(1), (1.0, 2.0))
+        with pytest.raises(ValueError, match="unknown objective 'edp'"):
+            frontier.best("edp")
+        with pytest.raises(ValueError, match="energy, latency"):
+            frontier.best("edp")
+
+    def test_unknown_objective_beats_empty_frontier_error(self):
+        # Even on an empty frontier the objective name is checked first,
+        # so the message points at the actual mistake.
+        with pytest.raises(ValueError, match="unknown objective"):
+            ParetoFrontier(("energy",)).best("latency")
+
+
+class TestFrontierHypervolume:
+    def test_counts_only_feasible_entries(self):
+        frontier = ParetoFrontier(("energy", "latency"))
+        frontier.offer(point(1), (2.0, 2.0), violation=1.0)
+        assert frontier.hypervolume((10.0, 10.0)) == 0.0
+        frontier.offer(point(2), (2.0, 2.0))
+        assert frontier.hypervolume((10.0, 10.0)) == 64.0

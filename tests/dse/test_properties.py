@@ -1,0 +1,215 @@
+"""Property-based tests for the Pareto/dominance machinery.
+
+Cases are generated with seeded ``random.Random`` instances (no extra
+dependencies), so every run exercises the same few hundred scenarios
+deterministically.  The invariants under test are the ones the DSE
+correctness rests on:
+
+* a frontier never contains a (constrained-)dominated pair;
+* merging frontiers is order-insensitive and equivalent to offering
+  every point into one frontier;
+* with a fixed reference point, the frontier hypervolume is monotone
+  non-decreasing as points are offered;
+* non-dominated rank 0 matches a brute-force non-dominated set, and
+  constrained ranks never place an infeasible design before a feasible
+  one.
+"""
+
+import random
+
+from repro.core.strategy import OverlapMode
+from repro.dse import (
+    ParetoFrontier,
+    constrained_dominates,
+    crowding_distances,
+    dominates,
+    nondominated_ranks,
+)
+from repro.dse.space import DesignPoint
+
+#: How many random scenarios each property replays.
+CASES = 60
+
+
+def make_point(index: int) -> DesignPoint:
+    """Distinct, deterministic designs (identity only; values are
+    synthetic)."""
+    modes = tuple(OverlapMode)
+    return DesignPoint(
+        accelerator="meta_proto_like_df",
+        tile_x=1 + index,
+        tile_y=1 + (index % 7),
+        mode=modes[index % len(modes)],
+        fuse_depth=None if index % 3 == 0 else index % 3,
+    )
+
+
+def random_offers(rng: random.Random, dims: int, count: int):
+    """Random (point, values, violation) triples; a small integer value
+    grid provokes ties, duplicates and dominance chains."""
+    offers = []
+    for i in range(count):
+        values = tuple(float(rng.randrange(8)) for _ in range(dims))
+        violation = rng.choice((0.0, 0.0, 0.0, 0.5, 1.5, float(rng.randrange(4))))
+        offers.append((make_point(i), values, violation))
+    return offers
+
+
+class TestFrontierInvariants:
+    def test_never_contains_dominated_pair(self):
+        for seed in range(CASES):
+            rng = random.Random(seed)
+            dims = rng.choice((1, 2, 3))
+            frontier = ParetoFrontier([f"o{i}" for i in range(dims)])
+            for point, values, violation in random_offers(
+                rng, dims, rng.randrange(2, 30)
+            ):
+                frontier.offer(point, values, violation)
+            entries = frontier.entries
+            for a in entries:
+                for b in entries:
+                    assert not constrained_dominates(
+                        a.values, b.values, a.violation, b.violation
+                    ), (seed, a, b)
+
+    def test_feasible_entry_evicts_all_infeasible(self):
+        for seed in range(CASES):
+            rng = random.Random(1000 + seed)
+            frontier = ParetoFrontier(("o0", "o1"))
+            offers = random_offers(rng, 2, rng.randrange(2, 25))
+            for point, values, violation in offers:
+                frontier.offer(point, values, violation)
+            if any(v == 0.0 for _, _, v in offers):
+                assert all(e.feasible for e in frontier.entries), seed
+            else:
+                min_violation = min(v for _, _, v in offers)
+                assert all(
+                    e.violation == min_violation for e in frontier.entries
+                ), seed
+
+    def test_accepted_counts_are_consistent(self):
+        for seed in range(CASES):
+            rng = random.Random(2000 + seed)
+            frontier = ParetoFrontier(("o0", "o1"))
+            offers = random_offers(rng, 2, 20)
+            for point, values, violation in offers:
+                frontier.offer(point, values, violation)
+            assert frontier.offered == len(offers)
+            assert len(frontier) == frontier.accepted - frontier.pruned
+
+
+class TestMergeProperties:
+    def test_merge_is_order_insensitive(self):
+        for seed in range(CASES):
+            rng = random.Random(3000 + seed)
+            dims = rng.choice((1, 2))
+            objectives = [f"o{i}" for i in range(dims)]
+            offers = random_offers(rng, dims, rng.randrange(2, 24))
+            split = rng.randrange(len(offers) + 1)
+
+            def build(chunk):
+                f = ParetoFrontier(objectives)
+                for point, values, violation in chunk:
+                    f.offer(point, values, violation)
+                return f
+
+            ab = build(offers[:split])
+            ab.merge(build(offers[split:]))
+            ba = build(offers[split:])
+            ba.merge(build(offers[:split]))
+            direct = build(offers)
+            assert ab.entries == ba.entries == direct.entries, seed
+
+    def test_merge_is_idempotent(self):
+        for seed in range(0, CASES, 4):
+            rng = random.Random(4000 + seed)
+            offers = random_offers(rng, 2, 12)
+            frontier = ParetoFrontier(("o0", "o1"))
+            for point, values, violation in offers:
+                frontier.offer(point, values, violation)
+            other = ParetoFrontier(("o0", "o1"))
+            other.merge(frontier)
+            before = other.entries
+            assert other.merge(frontier) == 0
+            assert other.entries == before
+
+
+class TestHypervolumeMonotonicity:
+    def test_monotone_as_points_are_offered(self):
+        reference = (10.0, 10.0)
+        for seed in range(CASES):
+            rng = random.Random(5000 + seed)
+            frontier = ParetoFrontier(("o0", "o1"))
+            previous = 0.0
+            for point, values, violation in random_offers(rng, 2, 25):
+                frontier.offer(point, values, violation)
+                current = frontier.hypervolume(reference)
+                assert current >= previous, (seed, point, values)
+                previous = current
+
+    def test_single_objective_monotone_too(self):
+        reference = (10.0,)
+        for seed in range(0, CASES, 3):
+            rng = random.Random(6000 + seed)
+            frontier = ParetoFrontier(("o0",))
+            previous = 0.0
+            for point, values, violation in random_offers(rng, 1, 15):
+                frontier.offer(point, values, violation)
+                current = frontier.hypervolume(reference)
+                assert current >= previous, seed
+                previous = current
+
+
+class TestRankProperties:
+    def test_rank_zero_matches_bruteforce_front(self):
+        for seed in range(CASES):
+            rng = random.Random(7000 + seed)
+            dims = rng.choice((1, 2, 3))
+            values = [
+                tuple(float(rng.randrange(6)) for _ in range(dims))
+                for _ in range(rng.randrange(1, 20))
+            ]
+            ranks = nondominated_ranks(values)
+            brute = {
+                i
+                for i, v in enumerate(values)
+                if not any(dominates(w, v) for w in values)
+            }
+            assert {i for i, r in enumerate(ranks) if r == 0} == brute, seed
+
+    def test_constrained_ranks_put_feasible_first(self):
+        for seed in range(CASES):
+            rng = random.Random(8000 + seed)
+            offers = random_offers(rng, 2, rng.randrange(2, 20))
+            values = [v for _, v, _ in offers]
+            violations = [x for _, _, x in offers]
+            ranks = nondominated_ranks(values, violations)
+            feasible = [r for r, x in zip(ranks, violations) if x == 0.0]
+            infeasible = [r for r, x in zip(ranks, violations) if x > 0.0]
+            if feasible and infeasible:
+                assert max(feasible) < min(infeasible), seed
+
+    def test_crowding_boundary_points_are_infinite(self):
+        for seed in range(0, CASES, 5):
+            rng = random.Random(9000 + seed)
+            values = [
+                (float(rng.randrange(10)), float(rng.randrange(10)))
+                for _ in range(rng.randrange(2, 12))
+            ]
+            distances = crowding_distances(values)
+            for m in (0, 1):
+                extremes = (
+                    min(range(len(values)), key=lambda i: values[i][m]),
+                    max(range(len(values)), key=lambda i: values[i][m]),
+                )
+                for i in extremes:
+                    # The sort in crowding_distances may pick a tied
+                    # extreme; some point at each extreme value is inf.
+                    tied = [
+                        j
+                        for j in range(len(values))
+                        if values[j][m] == values[i][m]
+                    ]
+                    assert any(
+                        distances[j] == float("inf") for j in tied
+                    ), seed

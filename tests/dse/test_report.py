@@ -55,4 +55,6 @@ class TestFrontierCsv:
 
     def test_header_names_axes_then_objectives(self):
         header = frontier_csv(sample_frontier()).splitlines()[0]
-        assert header == "accelerator,tile_x,tile_y,mode,fuse_depth,energy,latency"
+        assert header == (
+            "accelerator,tile_x,tile_y,mode,fuse_depth,energy,latency,violation"
+        )

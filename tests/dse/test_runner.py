@@ -15,6 +15,7 @@ from repro.dse import (
     GeneticSearch,
     SearchStrategy,
 )
+from repro.dse.runner import CHECKPOINT_FORMAT_VERSION
 from repro.explore import Executor, MappingCache
 
 from ..conftest import make_tiny_workload
@@ -304,10 +305,179 @@ class TestCheckpoint:
         ]
         for evaluated in bad_entries:
             payload = {
-                "format": 1,
+                "format": CHECKPOINT_FORMAT_VERSION,
                 **runner._checkpoint_stamp(),
                 "evaluated": evaluated,
             }
             runner.checkpoint.write_text(json.dumps(payload))
             with pytest.raises(ValueError, match="malformed DSE checkpoint"):
                 runner.run(ExhaustiveSearch())
+
+
+class AreaConstraint:
+    """Test double: designs with tile area above a bound are infeasible,
+    with the relative excess as the violation (mirrors the shape of the
+    real constraints without touching evaluated results)."""
+
+    name = "tile_area"
+
+    def __init__(self, max_area: int) -> None:
+        self.max_area = max_area
+
+    def violation(self, point, result) -> float:
+        area = point.tile_x * point.tile_y
+        return max(0.0, (area - self.max_area) / self.max_area)
+
+    def describe(self) -> str:
+        return f"tile area <= {self.max_area}"
+
+    def token(self) -> list:
+        return [self.name, self.max_area]
+
+
+class TestConstraints:
+    def test_frontier_only_holds_feasible_designs(self, fast_config):
+        workload = make_tiny_workload()
+        runner = DSERunner(
+            SPACE,
+            workload,
+            ("energy",),
+            executor(fast_config),
+            constraints=(AreaConstraint(max_area=64),),
+            seed=0,
+        )
+        result = runner.run(ExhaustiveSearch())
+        assert result.evaluations == SPACE.size
+        assert all(e.feasible for e in result.frontier.entries)
+        assert all(
+            e.point.tile_x * e.point.tile_y <= 64
+            for e in result.frontier.entries
+        )
+        # Every rejected design is reported, worst-violating last.
+        infeasible = result.infeasible
+        assert infeasible
+        assert all(e.violation > 0.0 for e in infeasible)
+        violations = [e.violation for e in infeasible]
+        assert violations == sorted(violations)
+        assert len(infeasible) + sum(
+            1 for _, _, v in result.evaluated.values() if v == 0.0
+        ) == SPACE.size
+
+    def test_constrained_best_matches_filtered_classic_sweep(
+        self, meta_df, fast_config
+    ):
+        """The feasibility filter must reproduce 'sweep, drop the
+        infeasible, take the argmin' exactly."""
+        workload = make_tiny_workload()
+        engine = DepthFirstEngine(meta_df, fast_config)
+        tiles = tuple(
+            (tx, ty)
+            for tx in SPACE.tile_x
+            for ty in SPACE.tile_y
+            if tx * ty <= 64
+        )
+        expected = best_point(
+            sweep(engine, workload, tiles, SPACE.modes), "energy"
+        )
+        runner = DSERunner(
+            SPACE,
+            workload,
+            ("energy",),
+            executor(fast_config),
+            constraints=(AreaConstraint(max_area=64),),
+            seed=0,
+        )
+        best = runner.run(ExhaustiveSearch()).frontier.best("energy")
+        assert best.values[0] == expected.result.total.energy_pj
+        assert best.point.strategy() == expected.strategy
+
+    def test_all_infeasible_frontier_ranks_by_violation(self, fast_config):
+        workload = make_tiny_workload()
+        runner = DSERunner(
+            SPACE,
+            workload,
+            ("energy",),
+            executor(fast_config),
+            constraints=(AreaConstraint(max_area=1),),
+            seed=0,
+        )
+        result = runner.run(ExhaustiveSearch())
+        assert result.frontier.feasible_entries == []
+        min_violation = min(v for _, _, v in result.evaluated.values())
+        assert all(
+            e.violation == min_violation for e in result.frontier.entries
+        )
+
+    def test_constraint_mismatch_rejected_on_resume(
+        self, fast_config, tmp_path
+    ):
+        workload = make_tiny_workload()
+        path = tmp_path / "dse.json"
+        DSERunner(
+            SPACE,
+            workload,
+            ("energy",),
+            executor(fast_config),
+            checkpoint=path,
+            seed=0,
+        ).run(ExhaustiveSearch())
+        with pytest.raises(ValueError, match="constraints"):
+            DSERunner(
+                SPACE,
+                workload,
+                ("energy",),
+                executor(fast_config),
+                constraints=(AreaConstraint(max_area=64),),
+                checkpoint=path,
+                seed=0,
+            ).run(ExhaustiveSearch())
+
+
+class TestConvergenceTracking:
+    def test_hypervolume_monotone_across_generations(self, fast_config):
+        workload = make_tiny_workload()
+        runner = DSERunner(
+            SPACE,
+            workload,
+            ("energy", "latency"),
+            executor(fast_config),
+            seed=0,
+        )
+        result = runner.run(GeneticSearch(population=4, generations=3))
+        hv = [g.hypervolume for g in result.generations]
+        assert all(v is not None for v in hv)
+        assert hv == sorted(hv)
+        assert result.hv_reference is not None
+        assert len(result.hv_reference) == 2
+
+    def test_generations_and_reference_survive_resume(
+        self, fast_config, tmp_path
+    ):
+        workload = make_tiny_workload()
+        path = tmp_path / "dse.json"
+
+        def make_runner():
+            return DSERunner(
+                SPACE,
+                workload,
+                ("energy",),
+                executor(fast_config),
+                checkpoint=path,
+                seed=0,
+            )
+
+        first = make_runner().run(ExhaustiveSearch())
+        resumed = make_runner().run(ExhaustiveSearch())
+        assert resumed.hv_reference == first.hv_reference
+        # The resumed run replays no evaluations but keeps the full
+        # convergence history and appends its own generation.
+        assert len(resumed.generations) == len(first.generations) + 1
+        assert (
+            resumed.generations[: len(first.generations)]
+            == first.generations
+        )
+        assert resumed.generations[-1].evaluated == 0
+        assert (
+            resumed.generations[-1].hypervolume
+            == first.generations[-1].hypervolume
+        )

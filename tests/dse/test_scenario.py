@@ -1,0 +1,135 @@
+"""Tests for multi-workload scenarios: parsing, aggregation semantics,
+and the serial/parallel determinism of scenario DSE runs."""
+
+import pytest
+
+from repro.core.strategy import OverlapMode
+from repro.dse import (
+    DesignSpace,
+    DSERunner,
+    ExhaustiveSearch,
+    GeneticSearch,
+    Scenario,
+    WeightedWorkload,
+)
+from repro.explore import Executor, MappingCache
+
+from ..conftest import make_strided_workload, make_tiny_workload
+
+SPACE = DesignSpace(
+    accelerators=("meta_proto_like_df",),
+    tile_x=(4, 16),
+    tile_y=(4, 18),
+    modes=(OverlapMode.FULLY_CACHED,),
+)
+
+
+def executor(fast_config, jobs=1):
+    return Executor(jobs=jobs, search_config=fast_config, cache=MappingCache())
+
+
+class TestScenarioParsing:
+    def test_parse_names_and_weights(self):
+        scenario = Scenario.parse("resnet18:3,fsrcnn,mccnn:0.5")
+        assert scenario.workload_names() == ("resnet18", "fsrcnn", "mccnn")
+        assert [m.weight for m in scenario.members] == [3.0, 1.0, 0.5]
+        assert scenario.total_weight == 4.5
+        assert scenario.describe() == "resnet18:3,fsrcnn,mccnn:0.5"
+
+    def test_default_name_joins_members(self):
+        assert Scenario.parse("a,b").name == "a+b"
+        assert Scenario.parse("a,b", ).token() == [["a", 1.0], ["b", 1.0]]
+
+    def test_parse_rejects_bad_specs(self):
+        with pytest.raises(ValueError, match="empty scenario"):
+            Scenario.parse(" , ")
+        with pytest.raises(ValueError, match="weight"):
+            Scenario.parse("a:heavy")
+        with pytest.raises(ValueError):
+            Scenario.parse("a:0")  # weights must be positive
+
+    def test_of_validates_lengths_and_duplicates(self):
+        with pytest.raises(ValueError, match="weights"):
+            Scenario.of(("a", "b"), weights=(1.0,))
+        with pytest.raises(ValueError, match="duplicate"):
+            Scenario.of(("a", "a"))
+        with pytest.raises(ValueError, match="at least one"):
+            Scenario(members=())
+
+    def test_weighted_workload_accepts_objects(self):
+        workload = make_tiny_workload()
+        member = WeightedWorkload(workload=workload, weight=2.0)
+        assert member.name == workload.name
+        with pytest.raises(ValueError):
+            WeightedWorkload(workload=workload, weight=-1.0)
+
+
+class TestScenarioRuns:
+    def test_aggregate_is_weighted_average_of_member_runs(self, fast_config):
+        """The scenario objective vector of a design must equal the
+        weight-normalized average of per-workload runs of that design."""
+        tiny = make_tiny_workload()
+        strided = make_strided_workload()
+        scenario = Scenario.of((tiny, strided), weights=(3.0, 1.0))
+
+        def run(workload):
+            runner = DSERunner(
+                SPACE,
+                workload,
+                ("energy", "latency"),
+                executor(fast_config),
+                seed=0,
+            )
+            return runner.run(ExhaustiveSearch())
+
+        combined = run(scenario)
+        alone = {name: run(wl) for name, wl in (("t", tiny), ("s", strided))}
+        assert combined.evaluations == SPACE.size
+        for key, (point, values, violation) in combined.evaluated.items():
+            vt = alone["t"].evaluated[key][1]
+            vs = alone["s"].evaluated[key][1]
+            for got, a, b in zip(values, vt, vs):
+                assert got == pytest.approx((3.0 * a + 1.0 * b) / 4.0)
+            assert violation == 0.0
+
+    def test_scenario_runner_name_and_stamp(self, fast_config):
+        scenario = Scenario.of(
+            (make_tiny_workload(), make_strided_workload())
+        )
+        runner = DSERunner(
+            SPACE, scenario, ("energy",), executor(fast_config)
+        )
+        assert runner.workload_name == "tiny+strided"
+        stamp = runner._checkpoint_stamp()
+        assert stamp["workload"] == [["tiny", 1.0], ["strided", 1.0]]
+
+    def test_scenario_serial_equals_parallel(self, fast_config):
+        """The acceptance property: a multi-workload genetic run is
+        bit-identical between --jobs 1 and --jobs 4 (frontier entries,
+        violations, and per-generation hypervolume)."""
+        scenario = Scenario.of(
+            (make_tiny_workload(), make_strided_workload()),
+            weights=(1.0, 2.0),
+        )
+
+        def run(jobs):
+            runner = DSERunner(
+                SPACE,
+                scenario,
+                ("energy", "latency"),
+                executor(fast_config, jobs=jobs),
+                seed=0,
+            )
+            return runner.run(GeneticSearch(population=4, generations=2))
+
+        serial, parallel = run(1), run(4)
+        assert serial.evaluations == parallel.evaluations
+        assert [
+            (e.point, e.values, e.violation) for e in serial.frontier.entries
+        ] == [
+            (e.point, e.values, e.violation)
+            for e in parallel.frontier.entries
+        ]
+        assert [g.hypervolume for g in serial.generations] == [
+            g.hypervolume for g in parallel.generations
+        ]

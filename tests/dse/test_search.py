@@ -47,7 +47,7 @@ def drive(strategy, sp, seed=0, max_rounds=50):
         batches.append(batch)
         unique = {p.key(): p for p in batch}
         strategy.observe(
-            [(p, fake_values(p)) for p in unique.values()]
+            [(p, fake_values(p), 0.0) for p in unique.values()]
         )
     return batches
 

@@ -272,3 +272,98 @@ class TestWarmEngine:
         assert second.cache is shared
         second.evaluate(make_tiny_workload(), DFStrategy(tile_x=8, tile_y=8))
         assert shared.misses == searched  # second engine searched nothing
+
+
+class TestPrunedMerge:
+    """Merging two caches that were both LRU-pruned via ``max_entries``
+    (e.g. two long-lived cache files harvested into one)."""
+
+    def test_merge_of_two_pruned_caches(self):
+        a = MappingCache(max_entries=2)
+        for key in ("a1", "a2", "a3"):
+            a.put(key, object())
+        assert a.prune() == 1  # keeps a2, a3
+
+        b = MappingCache(max_entries=2)
+        for key in ("b1", "b2", "b3"):
+            b.put(key, object())
+        assert b.prune() == 1  # keeps b2, b3
+
+        assert a.merge(b.snapshot()) == 2
+        assert a.keys() == {"a2", "a3", "b2", "b3"}
+        # a's own bound still applies on the next prune/save, and the
+        # merged keys count as the most recent uses.
+        assert a.prune() == 2
+        assert a.keys() == {"b2", "b3"}
+
+    def test_pruned_merge_survives_save_load(
+        self, searched_cache, tmp_path
+    ):
+        """Disk round trip of the merge of two pruned caches: every
+        surviving entry must still decode."""
+        cache, _ = searched_cache
+        keys = sorted(cache.keys())
+        assert len(keys) >= 2
+        half = len(keys) // 2
+        a = MappingCache(max_entries=max(1, half - 1))
+        a.merge({k: v for k, v in cache.snapshot().items() if k in keys[:half]})
+        a.prune()
+        b = MappingCache(max_entries=max(1, half - 1))
+        b.merge({k: v for k, v in cache.snapshot().items() if k in keys[half:]})
+        b.prune()
+
+        merged = MappingCache(max_entries=len(cache))
+        merged.merge(a.snapshot())
+        merged.merge(b.snapshot())
+        path = tmp_path / "merged.json"
+        merged.save(path)
+        loaded = MappingCache(path)
+        assert loaded.snapshot() == merged.snapshot()
+
+    def test_overlapping_keys_take_the_incoming_entry(self):
+        a = MappingCache(max_entries=2)
+        old, new = object(), object()
+        a.put("shared", old)
+        assert a.merge({"shared": new}) == 0  # refreshed, not new
+        assert a.snapshot()["shared"] is new
+
+
+class TestFreshFileInfo:
+    """`cache_file_info` / `repro cache-info` on empty or fresh files."""
+
+    def test_fresh_save_of_empty_cache_is_ok(self, tmp_path):
+        from repro.mapping.cache import cache_file_info
+
+        path = tmp_path / "fresh.json"
+        MappingCache(path).save()
+        info = cache_file_info(path)
+        assert info["status"] == "ok"
+        assert info["entries"] == 0
+        assert info["stats"] == {"hits": 0, "misses": 0}
+
+    def test_zero_byte_file_is_corrupt_not_crash(self, tmp_path):
+        from repro.mapping.cache import cache_file_info
+
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        assert cache_file_info(path)["status"] == "corrupt"
+        # Loading it is non-fatal too (discard-with-warning contract).
+        with pytest.warns(UserWarning, match="discarding stale"):
+            assert MappingCache().load(path) == 0
+
+    def test_cli_cache_info_on_fresh_file(self, tmp_path, capsys):
+        from repro.cli import run_cache_info
+
+        path = tmp_path / "fresh.json"
+        MappingCache(path).save()
+        assert run_cache_info([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 0" in out and "status:  ok" in out
+
+    def test_cli_cache_info_on_zero_byte_file(self, tmp_path, capsys):
+        from repro.cli import run_cache_info
+
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        assert run_cache_info([str(path)]) == 1
+        assert "corrupt" in capsys.readouterr().out

@@ -6,6 +6,7 @@ import pytest
 
 from repro.cli import (
     DFMODE_ALIASES,
+    _byte_size,
     _fuse_list,
     _mode_list,
     _name_list,
@@ -113,9 +114,34 @@ class TestDseParser:
         assert args.seed == 0 and args.jobs == 1
         assert args.max_evals is None
 
-    def test_requires_workload(self):
-        with pytest.raises(SystemExit):
-            build_dse_parser().parse_args([])
+    def test_requires_exactly_one_workload_option(self):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["dse"])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(
+                [
+                    "dse",
+                    "--workload", "fsrcnn",
+                    "--workloads", "fsrcnn,mccnn",
+                ]
+            )
+
+    def test_byte_size_parsing(self):
+        assert _byte_size("4096") == 4096
+        assert _byte_size("64K") == 64 * 1024
+        assert _byte_size("1.5MiB") == int(1.5 * 1024 * 1024)
+        assert _byte_size("2gb") == 2 * 1024**3
+        assert _byte_size("fit") == "fit"
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _byte_size("huge")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _byte_size("0")
+
+    def test_unknown_scenario_workload_rejected(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["dse", "--workloads", "fsrcnn,nonesuch"])
 
     def test_unknown_accelerator_rejected(self, capsys):
         with pytest.raises(SystemExit):
@@ -165,8 +191,40 @@ class TestDseMain:
         assert summary["objectives"] == ["energy", "latency"]
         assert summary["frontier"]["entries"]
         assert csv_path.read_text().startswith(
-            "accelerator,tile_x,tile_y,mode,fuse_depth,energy,latency"
+            "accelerator,tile_x,tile_y,mode,fuse_depth,energy,latency,violation"
         )
+        assert "hypervolume" in captured  # convergence table is printed
+
+    def test_constrained_scenario_end_to_end(self, tmp_path, capsys):
+        """A 2-workload scenario with a tight memory budget: the run
+        reports the infeasible designs and an all-feasible frontier."""
+        out = tmp_path / "dse.json"
+        code = main(
+            [
+                "dse",
+                "--workloads", "mobilenet_v1:2,fsrcnn",
+                "--strategy", "exhaustive",
+                "--objectives", "energy",
+                "--tilex", "14",
+                "--tiley", "14,112",
+                "--modes", "fully_cached",
+                "--budget", "40",
+                "--lpf-limit", "5",
+                "--memory-budget", "fit",
+                "--show-infeasible",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "mobilenet_v1:2,fsrcnn" in captured
+        assert "constraints: activations fit" in captured
+        assert "infeasible designs" in captured
+        summary = json.loads(out.read_text())
+        assert summary["workload"] == "mobilenet_v1:2,fsrcnn"
+        assert summary["constraints"] == [["memory_budget", None]]
+        assert summary["evaluations"] == 2
+        assert summary["generations"]
 
 
 class TestCacheInfoMain:
@@ -279,3 +337,21 @@ class TestMain:
         assert main(argv) == 0
         second = json.loads(out.read_text())
         assert second == first
+
+
+class TestConstraintOptionValidation:
+    def test_non_finite_caps_rejected(self):
+        """NaN/inf caps must be CLI errors, never silently-disabled
+        constraints (max(0.0, nan) is 0.0 => everything 'feasible')."""
+        for bad in ("nan", "inf", "-1", "0"):
+            with pytest.raises(SystemExit):
+                build_dse_parser().parse_args(
+                    ["--workload", "fsrcnn", "--latency-cap", bad]
+                )
+
+    def test_non_finite_byte_sizes_are_argparse_errors(self):
+        import argparse
+
+        for bad in ("inf", "1e999", "nan"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                _byte_size(bad)
