@@ -15,6 +15,14 @@ from .frontier import (
     frontier_table,
     infeasible_table,
 )
+from .plots import (
+    HAVE_MATPLOTLIB,
+    convergence_series,
+    frontier_series,
+    plot_convergence,
+    plot_dse_summary,
+    plot_frontier,
+)
 from .heatmap import (
     SweepPointLike,
     energy_mj,
@@ -43,6 +51,12 @@ __all__ = [
     "frontier_csv",
     "convergence_table",
     "infeasible_table",
+    "HAVE_MATPLOTLIB",
+    "frontier_series",
+    "convergence_series",
+    "plot_frontier",
+    "plot_convergence",
+    "plot_dse_summary",
     "SweepPointLike",
     "sweep_grid",
     "render_heatmap",

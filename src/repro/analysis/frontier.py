@@ -97,18 +97,27 @@ def infeasible_table(
 def convergence_table(generations: "Sequence[GenerationStats]") -> str:
     """Per-generation convergence: evaluations, frontier size and the
     hypervolume against the run's fixed reference point (monotone
-    non-decreasing within a run; '-' before any design was feasible)."""
+    non-decreasing within a run; '-' before any design was feasible).
+    Runs tracking a reference frontier get an ``epsilon`` column too
+    (additive epsilon vs. that frontier, monotone non-increasing)."""
+    with_epsilon = any(s.epsilon is not None for s in generations)
     header = (
         f"{'gen':>4s} {'proposed':>9s} {'evaluated':>10s} "
         f"{'cached':>7s} {'frontier':>9s} {'hypervolume':>14s}"
     )
+    if with_epsilon:
+        header += f" {'epsilon':>12s}"
     lines = [header]
     for s in generations:
         hv = "-" if s.hypervolume is None else f"{s.hypervolume:.6g}"
-        lines.append(
+        line = (
             f"{s.index:4d} {s.proposed:9d} {s.evaluated:10d} "
             f"{s.cached:7d} {s.frontier_size:9d} {hv:>14s}"
         )
+        if with_epsilon:
+            eps = "-" if s.epsilon is None else f"{s.epsilon:.6g}"
+            line += f" {eps:>12s}"
+        lines.append(line)
     if len(lines) == 1:
         lines.append("(no generations)")
     return "\n".join(lines)

@@ -1,0 +1,198 @@
+"""Matplotlib renderings of DSE results: frontier scatter and
+per-generation convergence curves.
+
+matplotlib is an *optional* dependency: when it is absent every
+``plot_*`` function warns and returns ``None`` instead of raising, so
+callers (``repro dse --plot``) degrade to the text reports.  The data
+extraction lives in pure helpers (:func:`frontier_series`,
+:func:`convergence_series`) that need no plotting backend — they are
+what the renderers consume and what the tests cover everywhere.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import warnings
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from ..dse.pareto import ParetoFrontier
+    from ..dse.runner import GenerationStats
+
+#: Whether the plotting backend is importable on this interpreter.
+#: Checked without importing it: matplotlib only loads inside
+#: :func:`_render`, and rendering goes straight to an Agg canvas — the
+#: process-global pyplot backend is never touched, so importing this
+#: package can't break an interactive session's plots.
+HAVE_MATPLOTLIB = importlib.util.find_spec("matplotlib") is not None
+
+
+def _skip(what: str) -> None:
+    warnings.warn(
+        f"matplotlib is not installed; skipping {what}", stacklevel=3
+    )
+
+
+# ----------------------------------------------------------------------
+# Pure series extraction (no matplotlib required)
+# ----------------------------------------------------------------------
+def frontier_series(frontier: "ParetoFrontier") -> dict:
+    """Plot-ready arrays for a frontier scatter.
+
+    Uses the first two objectives as (x, y); a single-objective frontier
+    plots value against frontier rank.  Feasible and infeasible entries
+    are split so the renderer can mark them differently.
+    """
+    objectives = frontier.objectives
+    two_d = len(objectives) >= 2
+    series: dict = {
+        "x_label": objectives[0],
+        "y_label": objectives[1] if two_d else objectives[0],
+        "feasible": {"x": [], "y": [], "labels": []},
+        "infeasible": {"x": [], "y": [], "labels": []},
+    }
+    if not two_d:
+        series["x_label"] = "frontier rank"
+    for rank, entry in enumerate(frontier.entries):
+        bucket = series["feasible" if entry.feasible else "infeasible"]
+        if two_d:
+            bucket["x"].append(entry.values[0])
+            bucket["y"].append(entry.values[1])
+        else:
+            bucket["x"].append(rank)
+            bucket["y"].append(entry.values[0])
+        bucket["labels"].append(entry.point.describe())
+    return series
+
+
+def convergence_series(generations: "Sequence[GenerationStats]") -> dict:
+    """Plot-ready per-generation arrays: evaluations, frontier size,
+    hypervolume, and epsilon-vs-reference where tracked (None gaps are
+    preserved so the renderer can mask them)."""
+    return {
+        "index": [s.index for s in generations],
+        "evaluated": [s.evaluated for s in generations],
+        "cached": [s.cached for s in generations],
+        "frontier_size": [s.frontier_size for s in generations],
+        "hypervolume": [s.hypervolume for s in generations],
+        "epsilon": [s.epsilon for s in generations],
+        "has_hypervolume": any(s.hypervolume is not None for s in generations),
+        "has_epsilon": any(s.epsilon is not None for s in generations),
+    }
+
+
+def _masked(xs: list, ys: list) -> tuple[list, list]:
+    """Drop positions where the y value is None (untracked gaps)."""
+    pairs = [(x, y) for x, y in zip(xs, ys) if y is not None]
+    return [p[0] for p in pairs], [p[1] for p in pairs]
+
+
+# ----------------------------------------------------------------------
+# Renderers (matplotlib-gated)
+# ----------------------------------------------------------------------
+def plot_frontier(
+    frontier: "ParetoFrontier", path: "str | Path"
+) -> "Path | None":
+    """Scatter the frontier (first two objectives) to an image file;
+    returns the path written, or ``None`` without matplotlib."""
+    if not HAVE_MATPLOTLIB:
+        _skip("the frontier plot")
+        return None
+    return _render(path, [(_draw_frontier, frontier_series(frontier))])
+
+
+def plot_convergence(
+    generations: "Sequence[GenerationStats]", path: "str | Path"
+) -> "Path | None":
+    """Plot hypervolume (and epsilon, when tracked) per generation;
+    returns the path written, or ``None`` without matplotlib."""
+    if not HAVE_MATPLOTLIB:
+        _skip("the convergence plot")
+        return None
+    return _render(path, [(_draw_convergence, convergence_series(generations))])
+
+
+def plot_dse_summary(
+    frontier: "ParetoFrontier",
+    generations: "Sequence[GenerationStats]",
+    path: "str | Path",
+) -> "Path | None":
+    """One figure: frontier scatter beside the convergence curves (the
+    ``repro dse --plot`` backend); ``None`` without matplotlib."""
+    if not HAVE_MATPLOTLIB:
+        _skip("the DSE summary plot")
+        return None
+    return _render(
+        path,
+        [
+            (_draw_frontier, frontier_series(frontier)),
+            (_draw_convergence, convergence_series(generations)),
+        ],
+    )
+
+
+def _render(path: "str | Path", panels: list) -> Path:  # pragma: no cover
+    """Draw one axes per (drawer, series) panel and save the figure
+    through a private Agg canvas (no pyplot, no global backend)."""
+    from matplotlib.backends.backend_agg import FigureCanvasAgg
+    from matplotlib.figure import Figure
+
+    fig = Figure(figsize=(5.5 * len(panels), 4.4))
+    FigureCanvasAgg(fig)
+    axes = fig.subplots(1, len(panels), squeeze=False)
+    for ax, (drawer, series) in zip(axes[0], panels):
+        drawer(ax, series)
+    fig.tight_layout()
+    target = Path(path)
+    fig.savefig(target, dpi=150)
+    return target
+
+
+def _draw_frontier(ax, series: dict) -> None:  # pragma: no cover
+    feasible, infeasible = series["feasible"], series["infeasible"]
+    if feasible["x"]:
+        order = sorted(range(len(feasible["x"])), key=lambda i: feasible["x"][i])
+        ax.plot(
+            [feasible["x"][i] for i in order],
+            [feasible["y"][i] for i in order],
+            marker="o",
+            linestyle="-",
+            label="feasible frontier",
+        )
+    if infeasible["x"]:
+        ax.scatter(
+            infeasible["x"],
+            infeasible["y"],
+            marker="x",
+            color="tab:red",
+            label="infeasible",
+        )
+    ax.set_xlabel(series["x_label"])
+    ax.set_ylabel(series["y_label"])
+    ax.set_title("Pareto frontier")
+    if feasible["x"] or infeasible["x"]:
+        ax.legend()
+
+
+def _draw_convergence(ax, series: dict) -> None:  # pragma: no cover
+    drew = False
+    if series["has_hypervolume"]:
+        xs, ys = _masked(series["index"], series["hypervolume"])
+        ax.plot(xs, ys, marker="o", color="tab:blue", label="hypervolume")
+        ax.set_ylabel("hypervolume")
+        drew = True
+    if series["has_epsilon"]:
+        other = ax.twinx() if drew else ax
+        xs, ys = _masked(series["index"], series["epsilon"])
+        other.plot(
+            xs, ys, marker="s", color="tab:orange", label="epsilon vs reference"
+        )
+        other.set_ylabel("additive epsilon")
+        drew = True
+    if not drew:
+        xs, ys = series["index"], series["frontier_size"]
+        ax.plot(xs, ys, marker="o", label="frontier size")
+        ax.set_ylabel("frontier size")
+    ax.set_xlabel("generation")
+    ax.set_title("Convergence")

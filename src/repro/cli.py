@@ -34,6 +34,18 @@ evaluation above):
 ``repro cache-info``
     Inspect a persistent mapping-cache file (format version, entries,
     size, last session's hit/miss stats).
+``repro serve``
+    Run a standalone live cache server: every run pointed at it with
+    ``--cache-server HOST:PORT`` (classic sweeps and ``dse`` alike)
+    reads and writes one shared mapping table, so workers — across
+    processes *and* machines — share LOMA results while runs are still
+    in flight.  ``--cache FILE`` makes the server persist periodic
+    atomic snapshots in the unchanged mapping-cache format.
+
+Evaluating subcommands also accept ``--backend service``: batches then
+run through a long-lived :class:`~repro.serve.service.EvalService`
+(async job queue, worker shards, in-flight dedup) whose shards share a
+live cache server — results stay bit-identical to serial.
 
 Results are printed and optionally written as JSON (the artifact wrote
 pickle files; JSON keeps them human-readable and diffable).
@@ -64,8 +76,10 @@ from .dse import (
     create_strategy,
     energy_cap,
     latency_cap,
+    load_reference_frontier,
 )
 from .explore import Executor, MappingCache, SweepSpec
+from .serve import CacheClient, CacheServer, CacheServerError
 from .hardware.zoo import ACCELERATOR_FACTORIES, get_accelerator
 from .mapping import OBJECTIVE_NAMES, SearchConfig, validate_objectives
 from .mapping.cache import cache_file_info
@@ -230,6 +244,23 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
         "saved after the run)",
     )
     parser.add_argument(
+        "--cache-server",
+        default=None,
+        metavar="HOST:PORT",
+        help="live mapping-cache server ('repro serve') to read/write "
+        "instead of a local cache; the server owns persistence, so "
+        "this excludes --cache",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "serial", "process", "service"),
+        default="auto",
+        help="evaluation backend: 'auto' picks serial/process from "
+        "--jobs; 'service' runs batches through a long-lived sharded "
+        "evaluation service whose workers share cache hits live "
+        "(results are identical on every backend)",
+    )
+    parser.add_argument(
         "--lpf-limit",
         type=int,
         default=6,
@@ -248,6 +279,44 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
         help="seed for randomized search paths (results are "
         "deterministic given a seed, whatever --jobs is)",
     )
+
+
+def _resolve_cache(args) -> "MappingCache | CacheClient":
+    """The run's mapping cache: a live server client when
+    ``--cache-server`` is given, a (possibly disk-backed) local cache
+    otherwise.  The server owns its own persistence, so combining the
+    two is rejected."""
+    if args.cache_server is not None:
+        if args.cache is not None:
+            raise SystemExit(
+                "--cache and --cache-server are mutually exclusive: the "
+                "server owns the persistent file (run 'repro serve "
+                "--cache FILE')"
+            )
+        try:
+            return CacheClient(args.cache_server)
+        except (ValueError, CacheServerError) as exc:
+            raise SystemExit(str(exc))
+    return MappingCache(args.cache) if args.cache else MappingCache()
+
+
+def _backend(args) -> "str | None":
+    return None if args.backend == "auto" else args.backend
+
+
+def _finish_cache(args, cache) -> None:
+    """Post-run cache reporting/persistence: save a local file cache,
+    or report (and leave persistence to) the live server."""
+    if args.cache_server is not None:
+        print(
+            f"cache server {args.cache_server}: "
+            f"{cache.server_stats()} (this run: {cache.hits} hits / "
+            f"{cache.misses} misses)"
+        )
+        cache.close()
+    elif args.cache:
+        cache.save()
+        print(f"mapping cache: {cache.stats} -> {args.cache}")
 
 
 # ----------------------------------------------------------------------
@@ -355,10 +424,10 @@ def run_evaluate(argv: Sequence[str]) -> int:
     workload = get_workload(args.workload)
     mode = _resolve_mode(args.mode)
     config = SearchConfig(lpf_limit=args.lpf_limit, budget=args.budget)
-    cache = MappingCache(args.cache) if args.cache else MappingCache()
+    cache = _resolve_cache(args)
 
     tiles = [(tx, ty) for tx in args.tilex for ty in args.tiley]
-    if len(tiles) == 1:
+    if len(tiles) == 1 and args.backend in ("auto", "serial"):
         engine = DepthFirstEngine(accel, config, cache=cache)
         result = engine.evaluate(
             workload, DFStrategy(tile_x=tiles[0][0], tile_y=tiles[0][1], mode=mode)
@@ -367,8 +436,13 @@ def run_evaluate(argv: Sequence[str]) -> int:
         summary = result_summary(accel, result)
     else:
         spec = SweepSpec.tile_grid(accel, workload, tiles, (mode,))
-        executor = Executor(jobs=args.jobs, search_config=config, cache=cache)
-        results = executor.run(spec)
+        with Executor(
+            jobs=args.jobs,
+            search_config=config,
+            cache=cache,
+            backend=_backend(args),
+        ) as executor:
+            results = executor.run(spec)
         for r in results:
             print(
                 f"{r.strategy.describe():28s} "
@@ -383,9 +457,7 @@ def run_evaluate(argv: Sequence[str]) -> int:
             "best_strategy": best.strategy.describe(),
         }
 
-    if args.cache:
-        cache.save()
-        print(f"mapping cache: {cache.stats} -> {args.cache}")
+    _finish_cache(args, cache)
     if args.output:
         with open(args.output, "w") as f:
             json.dump(summary, f, indent=2)
@@ -516,9 +588,24 @@ def build_dse_parser() -> argparse.ArgumentParser:
         help="JSON checkpoint: resumed if present, saved every generation",
     )
     parser.add_argument(
+        "--reference",
+        default=None,
+        metavar="FRONTIER.json",
+        help="reference frontier (a frontier checkpoint or a previous "
+        "--output file): per-generation additive epsilon against it is "
+        "tracked alongside the hypervolume",
+    )
+    parser.add_argument(
         "--csv",
         default=None,
         help="write the frontier as CSV to this file",
+    )
+    parser.add_argument(
+        "--plot",
+        default=None,
+        metavar="OUT.png",
+        help="write a frontier + convergence figure to this image file "
+        "(skipped with a note when matplotlib is not installed)",
     )
     parser.add_argument(
         "--output",
@@ -583,27 +670,40 @@ def run_dse(argv: Sequence[str]) -> int:
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
+    reference = None
+    if args.reference is not None:
+        try:
+            reference = load_reference_frontier(args.reference)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+
     config = SearchConfig(lpf_limit=args.lpf_limit, budget=args.budget)
-    cache = MappingCache(args.cache) if args.cache else MappingCache()
-    executor = Executor(jobs=args.jobs, search_config=config, cache=cache)
+    cache = _resolve_cache(args)
     strategy = create_strategy(
         args.strategy,
         population=args.population,
         generations=args.generations,
         samples=args.samples,
     )
-    runner = DSERunner(
-        space,
-        workload,
-        objectives=args.objectives,
-        executor=executor,
-        constraints=constraints,
-        max_evals=args.max_evals,
-        checkpoint=args.checkpoint,
-        seed=args.seed,
-    )
     try:
-        result = runner.run(strategy)
+        with Executor(
+            jobs=args.jobs,
+            search_config=config,
+            cache=cache,
+            backend=_backend(args),
+        ) as executor:
+            runner = DSERunner(
+                space,
+                workload,
+                objectives=args.objectives,
+                executor=executor,
+                constraints=constraints,
+                max_evals=args.max_evals,
+                checkpoint=args.checkpoint,
+                reference=reference,
+                seed=args.seed,
+            )
+            result = runner.run(strategy)
     except ValueError as exc:
         raise SystemExit(str(exc))
 
@@ -632,6 +732,14 @@ def run_dse(argv: Sequence[str]) -> int:
         with open(args.csv, "w") as f:
             f.write(frontier_csv(result.frontier))
         print(f"wrote {args.csv}")
+    if args.plot:
+        from .analysis import plot_dse_summary
+
+        written = plot_dse_summary(result.frontier, result.generations, args.plot)
+        if written is None:
+            print(f"matplotlib is not installed; skipping --plot {args.plot}")
+        else:
+            print(f"wrote {written}")
     if args.output:
         summary = {
             "workload": workload_label,
@@ -654,9 +762,102 @@ def run_dse(argv: Sequence[str]) -> int:
         with open(args.output, "w") as f:
             json.dump(summary, f, indent=2)
         print(f"wrote {args.output}")
+    _finish_cache(args, cache)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro serve — standalone live cache server
+# ----------------------------------------------------------------------
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run a standalone live mapping-cache server: point "
+        "any evaluation at it with --cache-server HOST:PORT and all "
+        "workers (across processes and machines) share LOMA search "
+        "results while runs are in flight.",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: loopback only)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port; 0 picks a free port (printed on startup)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        help="persistent mapping-cache JSON file: pre-loaded on start, "
+        "snapshotted periodically and on shutdown (atomic, merge-on-"
+        "save, unchanged cache format)",
+    )
+    parser.add_argument(
+        "--snapshot-interval",
+        type=_positive_float,
+        default=30.0,
+        metavar="SECONDS",
+        help="seconds between periodic snapshots (needs --cache)",
+    )
+    parser.add_argument(
+        "--max-entries",
+        type=_positive_int,
+        default=None,
+        help="LRU capacity bound applied at snapshot time",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after this many seconds (default: serve until "
+        "interrupted); used by smoke tests and batch jobs",
+    )
+    return parser
+
+
+def run_serve(argv: Sequence[str]) -> int:
+    import threading
+
+    args = build_serve_parser().parse_args(argv)
+    cache = MappingCache(args.cache, max_entries=args.max_entries)
+    server = CacheServer(
+        cache=cache,
+        host=args.host,
+        port=args.port,
+        snapshot_path=args.cache,
+        snapshot_interval=args.snapshot_interval if args.cache else None,
+    )
+    server.start()
+    # The address line is the startup contract: wrappers parse it to
+    # learn the picked port, so print and flush it first.
+    print(f"cache server listening on {server.describe()}", flush=True)
+    print(
+        f"{len(cache)} entr{'y' if len(cache) == 1 else 'ies'} loaded"
+        + (f" from {args.cache}" if args.cache else ""),
+        flush=True,
+    )
+    try:
+        # Serve until the timeout elapses, the server is shut down
+        # remotely (a client's 'shutdown' op), or Ctrl-C.
+        deadline = threading.Event()
+        step = 0.2
+        waited = 0.0
+        while server.running and not deadline.wait(step):
+            waited += step
+            if args.timeout is not None and waited >= args.timeout:
+                break
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.stop()
+    stats = dict(cache.stats)
+    print(f"cache server stopped: {stats}")
     if args.cache:
-        cache.save()
-        print(f"mapping cache: {cache.stats} -> {args.cache}")
+        print(f"final snapshot: {args.cache}")
     return 0
 
 
@@ -695,6 +896,7 @@ def run_cache_info(argv: Sequence[str]) -> int:
 # ----------------------------------------------------------------------
 SUBCOMMANDS = {
     "dse": run_dse,
+    "serve": run_serve,
     "cache-info": run_cache_info,
 }
 

@@ -60,7 +60,12 @@ from .pareto import (
     dominates,
     nondominated_ranks,
 )
-from .runner import DSEResult, DSERunner, GenerationStats
+from .runner import (
+    DSEResult,
+    DSERunner,
+    GenerationStats,
+    load_reference_frontier,
+)
 from .scenario import Scenario, WeightedWorkload
 from .search import (
     ExhaustiveSearch,
@@ -77,6 +82,7 @@ __all__ = [
     "DSEResult",
     "DSERunner",
     "GenerationStats",
+    "load_reference_frontier",
     "FrontierEntry",
     "ParetoFrontier",
     "dominates",

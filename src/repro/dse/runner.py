@@ -25,7 +25,10 @@ The runner owns the loop glue that every search strategy shares:
   design costs one cost-model evaluation per scenario member);
 * **convergence** — per-generation stats including the frontier
   hypervolume against a reference point fixed after the first
-  evaluations (monotone non-decreasing within a run);
+  evaluations (monotone non-decreasing within a run) and, when a
+  *reference frontier* is supplied, the additive epsilon of the current
+  feasible frontier against it (monotone non-increasing: how far, in
+  objective units, the run still is from covering the reference);
 * **checkpointing** — evaluated designs and generation stats persist to
   JSON after every generation (stamped with the workload/scenario,
   objectives, space, constraints and search config so a mismatched
@@ -46,7 +49,7 @@ from ..explore.executor import Executor
 from ..explore.spec import EvalJob
 from ..mapping.cost import resolve_objective
 from .constraints import Constraint
-from .metrics import reference_point
+from .metrics import additive_epsilon, reference_point
 from .pareto import FrontierEntry, ParetoFrontier
 from .scenario import Scenario, WeightedWorkload
 from .search import SearchStrategy, create_strategy
@@ -58,7 +61,38 @@ if TYPE_CHECKING:
 #: On-disk checkpoint format; bump when the encoding changes.
 #: 2: entries carry violations; generation stats and the hypervolume
 #: reference are persisted; the stamp covers constraints and scenarios.
-CHECKPOINT_FORMAT_VERSION = 2
+#: 3: generation stats carry the epsilon-vs-reference-frontier metric.
+CHECKPOINT_FORMAT_VERSION = 3
+
+#: Formats :meth:`DSERunner._resume` still reads: v2 differs from v3
+#: only by the absent (optional) epsilon field, so rejecting it would
+#: throw away paid-for evaluations for no reason.
+READABLE_CHECKPOINT_FORMATS = (2, CHECKPOINT_FORMAT_VERSION)
+
+
+def load_reference_frontier(path: str | Path) -> ParetoFrontier:
+    """Load a reference frontier for epsilon convergence tracking.
+
+    Accepts either a bare frontier file (:meth:`ParetoFrontier.save`)
+    or a ``repro dse --output`` summary, whose ``"frontier"`` field is
+    the same encoding — so any previous run's output doubles as the
+    reference for the next.
+    """
+    source = Path(path)
+    try:
+        data = json.loads(source.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"{source}: not a frontier file: {exc}") from exc
+    if isinstance(data, dict) and isinstance(data.get("frontier"), dict):
+        data = data["frontier"]
+    try:
+        return ParetoFrontier.from_json(data)
+    except (KeyError, TypeError, AttributeError, ValueError) as exc:
+        raise ValueError(
+            f"{source}: not a frontier file (expected a "
+            f"ParetoFrontier checkpoint or a 'repro dse --output' "
+            f"summary): {exc}"
+        ) from exc
 
 
 @dataclass(frozen=True)
@@ -73,6 +107,9 @@ class GenerationStats:
     #: Feasible-frontier hypervolume against the run's fixed reference
     #: point (None until any design has been evaluated).
     hypervolume: float | None = None
+    #: Additive epsilon of the feasible frontier vs. the run's reference
+    #: frontier (None without a reference, or before any feasible design).
+    epsilon: float | None = None
 
     def to_json(self) -> dict:
         return {
@@ -82,6 +119,7 @@ class GenerationStats:
             "cached": self.cached,
             "frontier_size": self.frontier_size,
             "hypervolume": self.hypervolume,
+            "epsilon": self.epsilon,
         }
 
     @classmethod
@@ -96,6 +134,11 @@ class GenerationStats:
                 None
                 if data.get("hypervolume") is None
                 else float(data["hypervolume"])
+            ),
+            epsilon=(
+                None
+                if data.get("epsilon") is None
+                else float(data["epsilon"])
             ),
         )
 
@@ -171,6 +214,12 @@ class DSERunner:
         Optional JSON path; loaded (and validated against space,
         workload, objectives and constraints) if it exists, rewritten
         after every generation.
+    reference:
+        Optional reference frontier (a :class:`ParetoFrontier` tracking
+        the same objectives, or raw objective-value rows): each
+        generation then also records the additive epsilon of the
+        current feasible frontier against it — how far, per objective,
+        the run still is from covering the reference set.
     seed:
         Seed of the single rng all strategy randomness flows through.
     """
@@ -184,6 +233,7 @@ class DSERunner:
         constraints: Sequence[Constraint] = (),
         max_evals: int | None = None,
         checkpoint: str | Path | None = None,
+        reference: "ParetoFrontier | Sequence[Sequence[float]] | None" = None,
         seed: int = 0,
     ) -> None:
         if max_evals is not None and max_evals < 1:
@@ -196,6 +246,7 @@ class DSERunner:
         self.constraints = tuple(constraints)
         self.max_evals = max_evals
         self.checkpoint = Path(checkpoint) if checkpoint is not None else None
+        self._reference_values = self._resolve_reference(reference)
         self.seed = seed
         self._members: tuple[WeightedWorkload, ...] = (
             workload.members
@@ -209,6 +260,43 @@ class DSERunner:
         if isinstance(wl, Scenario):
             return wl.name
         return wl if isinstance(wl, str) else wl.name
+
+    def _resolve_reference(
+        self,
+        reference: "ParetoFrontier | Sequence[Sequence[float]] | None",
+    ) -> "list[tuple[float, ...]] | None":
+        """Normalize the reference frontier into objective-value rows
+        (feasible entries only for a ParetoFrontier), validating arity."""
+        if reference is None:
+            return None
+        if isinstance(reference, ParetoFrontier):
+            if reference.objectives != self.objectives:
+                raise ValueError(
+                    f"reference frontier tracks {reference.objectives}, "
+                    f"this run optimizes {self.objectives}"
+                )
+            rows = [e.values for e in reference.feasible_entries]
+        else:
+            rows = [tuple(float(v) for v in row) for row in reference]
+        for row in rows:
+            if len(row) != len(self.objectives):
+                raise ValueError(
+                    f"reference row arity {len(row)} != "
+                    f"{len(self.objectives)} objectives"
+                )
+        if not rows:
+            raise ValueError("the reference frontier has no feasible entries")
+        return rows
+
+    def _frontier_epsilon(self, frontier: ParetoFrontier) -> float | None:
+        """Additive epsilon of the current feasible frontier vs. the
+        reference (None without a reference or any feasible design)."""
+        if self._reference_values is None:
+            return None
+        values = [e.values for e in frontier.feasible_entries]
+        if not values:
+            return None
+        return additive_epsilon(values, self._reference_values)
 
     def _workload_token(self):
         """Checkpoint identity of the workload axis: a plain name for a
@@ -331,6 +419,7 @@ class DSERunner:
                         if hv_reference is None
                         else frontier.hypervolume(hv_reference)
                     ),
+                    epsilon=self._frontier_epsilon(frontier),
                 )
             )
             self._save_checkpoint(
@@ -371,10 +460,11 @@ class DSERunner:
             raise ValueError(
                 f"{self.checkpoint}: not a DSE checkpoint (expected an object)"
             )
-        if data.get("format") != CHECKPOINT_FORMAT_VERSION:
+        if data.get("format") not in READABLE_CHECKPOINT_FORMATS:
             raise ValueError(
                 f"{self.checkpoint}: unsupported DSE checkpoint format "
-                f"{data.get('format')!r} (expected {CHECKPOINT_FORMAT_VERSION})"
+                f"{data.get('format')!r} (expected one of "
+                f"{READABLE_CHECKPOINT_FORMATS})"
             )
         for field_name, expected in self._checkpoint_stamp().items():
             if data.get(field_name) != expected:

@@ -24,10 +24,11 @@ Quick parallel sweep::
 """
 
 from ..mapping.cache import MappingCache
-from .executor import EvalResult, Executor
+from .executor import BACKENDS, EvalResult, Executor
 from .spec import DEFAULT_MODES, EvalJob, SweepSpec
 
 __all__ = [
+    "BACKENDS",
     "DEFAULT_MODES",
     "EvalJob",
     "EvalResult",

@@ -76,9 +76,16 @@ def _ref_key(ref) -> "str | int":
 class _JobRunner:
     """Evaluates jobs against per-accelerator engines sharing one cache.
 
-    Used directly by the serial backend and (as process-global state) by
-    each worker of the parallel backend.
+    Used directly by the serial backend, as process-global state by each
+    worker of the parallel backend, and per shard by the long-lived
+    evaluation service.  Object references memoize by ``id()``, which a
+    service shard sees fresh for every unpickled job — so both memos are
+    capacity-bounded (oldest out) to keep a long-lived runner's memory
+    flat; zoo-name references always re-hit their entry.
     """
+
+    #: Per-memo capacity (engines and workloads each).
+    MEMO_BOUND = 64
 
     def __init__(
         self,
@@ -92,6 +99,11 @@ class _JobRunner:
         self._engines: dict[str | int, DepthFirstEngine] = {}
         self._workloads: dict[str | int, object] = {}
 
+    @classmethod
+    def _bound(cls, memo: dict) -> None:
+        while len(memo) > cls.MEMO_BOUND:
+            del memo[next(iter(memo))]
+
     def engine_for(self, job: EvalJob) -> DepthFirstEngine:
         key = _ref_key(job.accelerator)
         engine = self._engines.get(key)
@@ -103,6 +115,7 @@ class _JobRunner:
                 cache=self.cache,
             )
             self._engines[key] = engine
+            self._bound(self._engines)
         return engine
 
     def workload_for(self, job: EvalJob):
@@ -111,6 +124,7 @@ class _JobRunner:
         if workload is None:
             workload = _resolve_workload(job.workload)
             self._workloads[key] = workload
+            self._bound(self._workloads)
         return workload
 
     def evaluate(self, job: EvalJob) -> "ScheduleResult | StackResult":
@@ -159,20 +173,37 @@ def _worker_run_shard(shard: "list[tuple[int, EvalJob]]"):
     return results, runner.cache.delta(baseline), stats
 
 
+#: Executor backends; ``None`` auto-selects serial/process from ``jobs``.
+BACKENDS = ("serial", "process", "service")
+
+
 class Executor:
-    """Runs sweep jobs with a serial or process-pool backend.
+    """Runs sweep jobs with a serial, process-pool or service backend.
 
     Parameters
     ----------
     jobs:
-        Worker processes.  ``1`` (default) evaluates in-process; ``0``
-        or ``None`` means one worker per CPU.
+        Worker processes (service: shards).  ``1`` (default) evaluates
+        in-process; ``0`` or ``None`` means one worker per CPU.
     search_config, policy:
         Engine construction knobs, shared by every evaluation.
     cache:
         A :class:`MappingCache` handle shared across the run (and, if
         disk-backed, across runs).  A private in-memory cache is created
-        when omitted.
+        when omitted.  A :class:`~repro.serve.cache_server.CacheClient`
+        is accepted anywhere a cache is: every backend then reads and
+        writes the remote server's live table.
+    backend:
+        ``None`` (default) auto-selects: serial for ``jobs=1``, the
+        process pool otherwise.  ``"service"`` runs batches through a
+        long-lived :class:`~repro.serve.service.EvalService` whose
+        ``jobs`` shards share one live cache server — hits propagate
+        *between* workers mid-run, and the service (with its warm
+        shards) persists across ``run()`` calls until :meth:`close`.
+    max_pending:
+        Service backend only: in-flight bound (backpressure).
+
+    Every backend returns bit-identical results for the same job list.
     """
 
     def __init__(
@@ -181,15 +212,25 @@ class Executor:
         search_config: SearchConfig | None = None,
         policy=None,
         cache: MappingCache | None = None,
+        backend: str | None = None,
+        max_pending: int | None = None,
     ) -> None:
         if jobs is None or jobs == 0:
             jobs = os.cpu_count() or 1
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if backend is not None and backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
         self.jobs = jobs
         self.search_config = search_config
         self.policy = policy
         self.cache = cache if cache is not None else MappingCache()
+        self.backend = backend
+        self.max_pending = max_pending
+        self._service = None
+        self._service_client = None
 
     # ------------------------------------------------------------------
     def run(self, spec: "SweepSpec | Iterable[EvalJob]") -> list[EvalResult]:
@@ -198,9 +239,64 @@ class Executor:
         jobs = list(spec.jobs if isinstance(spec, SweepSpec) else spec)
         if not jobs:
             return []
-        if self.jobs == 1 or len(jobs) == 1:
+        backend = self.backend
+        if backend is None:
+            backend = "serial" if self.jobs == 1 or len(jobs) == 1 else "process"
+        if backend == "service":
+            return self._run_service(jobs)
+        if backend == "serial" or self.jobs == 1 or len(jobs) == 1:
             return self._run_serial(jobs)
         return self._run_parallel(jobs)
+
+    # ------------------------------------------------------------------
+    # Service backend lifecycle
+    # ------------------------------------------------------------------
+    def _run_service(self, jobs: Sequence[EvalJob]) -> list[EvalResult]:
+        if self._service is None:
+            from ..serve.cache_server import CacheClient
+            from ..serve.service import EvalService, ServiceClient
+
+            if isinstance(self.cache, CacheClient):
+                # The cache already lives behind a server: shards talk
+                # to it directly instead of starting an embedded one.
+                service = EvalService(
+                    shards=self.jobs,
+                    search_config=self.search_config,
+                    policy=self.policy,
+                    cache_address=self.cache.address,
+                    max_pending=self.max_pending,
+                )
+            else:
+                service = EvalService(
+                    shards=self.jobs,
+                    search_config=self.search_config,
+                    policy=self.policy,
+                    cache=self.cache,
+                    max_pending=self.max_pending,
+                )
+            self._service = service.start()
+            self._service_client = ServiceClient(self._service)
+        return self._service_client.run(jobs)
+
+    @property
+    def service(self):
+        """The live :class:`EvalService` of the service backend
+        (``None`` until the first ``run()``, or on other backends)."""
+        return self._service
+
+    def close(self) -> None:
+        """Stop the service backend's shards and embedded cache server
+        (idempotent; other backends hold no long-lived state)."""
+        service, self._service = self._service, None
+        self._service_client = None
+        if service is not None:
+            service.stop()
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _run_serial(self, jobs: Sequence[EvalJob]) -> list[EvalResult]:

@@ -19,10 +19,17 @@ logical key is stable across processes and runs.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
 import warnings
 from pathlib import Path
 from typing import Hashable, Iterable, Mapping
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from .cost import CostResult, Traffic
 from .loma import SearchResult
@@ -86,6 +93,31 @@ def decode_search_result(data: Mapping) -> SearchResult:
     return SearchResult(
         mapping=mapping, cost=cost, evaluated=int(data.get("evaluated", 0))
     )
+
+
+@contextlib.contextmanager
+def _save_lock(target: Path):
+    """Exclusive inter-process lock for the read-merge-write of
+    :meth:`MappingCache.save`: an ``flock`` on a persistent ``.lock``
+    sibling (the target itself cannot carry the lock — ``os.replace``
+    swaps its inode out from under any holder).  The lock file stays
+    behind deliberately: unlinking it would reopen the very race it
+    closes.  On platforms without ``fcntl`` saving proceeds unlocked
+    (merge-on-save still narrows the window, best-effort)."""
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    fd = os.open(
+        target.with_name(target.name + ".lock"),
+        os.O_CREAT | os.O_RDWR,
+        0o644,
+    )
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        yield
+    finally:
+        fcntl.flock(fd, fcntl.LOCK_UN)
+        os.close(fd)
 
 
 class MappingCache:
@@ -205,28 +237,75 @@ class MappingCache:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: str | Path | None = None) -> Path:
+    def save(self, path: str | Path | None = None, merge: bool = True) -> Path:
         """Write all entries as JSON; returns the path written.
 
-        When ``max_entries`` is set, the least-recently-used overflow is
-        pruned first.  The payload also records this session's hit/miss
-        counters so ``repro cache-info`` can report them later.
+        The write is crash- and concurrency-safe: the payload lands in a
+        process-unique temp file first and is moved into place with
+        ``os.replace``, so readers never observe a torn file.  With
+        ``merge`` (the default), entries already on disk that this cache
+        does not know are adopted before writing, and the whole
+        read-merge-write runs under an exclusive inter-process lock (a
+        ``.lock`` sibling file) — two processes saving to the same path
+        therefore never lose each other's results (this cache's own
+        entry wins when both hold the same key).  Adopted entries rank
+        as least-recently-used, so they are the first to go when
+        ``max_entries`` pruning kicks in.  The payload also records
+        this session's hit/miss counters so ``repro cache-info`` can
+        report them later.
         """
         target = Path(path) if path is not None else self.path
         if target is None:
             raise ValueError("MappingCache has no backing path; pass one")
-        self.prune()
-        payload = {
-            "format": FORMAT_VERSION,
-            "stats": {"hits": self.hits, "misses": self.misses},
-            "entries": {
-                key: encode_search_result(result)
-                for key, result in self._entries.items()
-            },
-        }
         target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(json.dumps(payload))
+        with contextlib.ExitStack() as stack:
+            if merge:
+                stack.enter_context(_save_lock(target))
+                if target.exists():
+                    on_disk = self._read_entries(target)
+                    disk_only = {
+                        key: result
+                        for key, result in on_disk.items()
+                        if key not in self._entries
+                    }
+                    if disk_only:
+                        disk_only.update(self._entries)
+                        self._entries = disk_only
+            self.prune()
+            payload = {
+                "format": FORMAT_VERSION,
+                "stats": {"hits": self.hits, "misses": self.misses},
+                "entries": {
+                    key: encode_search_result(result)
+                    for key, result in self._entries.items()
+                },
+            }
+            scratch = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+            try:
+                scratch.write_text(json.dumps(payload))
+                os.replace(scratch, target)
+            finally:
+                # A failed replace (or an exception between the two
+                # calls) must not leave temp litter next to the file.
+                if scratch.exists():
+                    scratch.unlink()
         return target
+
+    @staticmethod
+    def _read_entries(path: Path) -> dict[str, SearchResult]:
+        """Best-effort decode of a cache file's entries (for the
+        merge-on-save read); anything unusable reads as empty."""
+        try:
+            payload = json.loads(path.read_text())
+            if not isinstance(payload, dict) or payload.get("format") != FORMAT_VERSION:
+                return {}
+            return {
+                key: decode_search_result(data)
+                for key, data in payload["entries"].items()
+            }
+        except (OSError, json.JSONDecodeError, KeyError, TypeError,
+                AttributeError, ValueError):
+            return {}
 
     def load(
         self, path: str | Path | None = None, strict: bool = False

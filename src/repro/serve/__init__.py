@@ -1,0 +1,58 @@
+"""Evaluation service: a live shared-cache server and async sharded
+job execution on top of the exploration runtime.
+
+The batch runtime (PR 1) shares mapping-cache hits only between runs or
+at batch edges; this subsystem turns it into a long-lived service:
+
+* :class:`CacheServer` / :class:`CacheClient` — one live mapping-cache
+  table served over TCP (JSON lines); every worker of a run reads and
+  writes it, so hits propagate *during* the run.  ``repro serve`` runs
+  a standalone server; ``--cache-server HOST:PORT`` points executors at
+  it.  Periodic snapshots keep the persistent JSON cache format
+  unchanged.
+* :class:`EvalService` — an async job queue over N worker shards with
+  in-flight dedup (identical jobs coalesce into one evaluation) and
+  optional backpressure (:class:`ServiceOverloaded`).
+* :class:`ServiceClient` — the executor-facing adapter;
+  ``Executor(jobs=N, backend="service")`` runs every batch through it
+  with results bit-identical to serial.
+
+Quick start::
+
+    from repro.explore import Executor, SweepSpec
+
+    spec = SweepSpec.tile_grid("meta_proto_like_df", "fsrcnn",
+                               [(4, 4), (16, 18), (60, 72)])
+    with Executor(jobs=4, backend="service") as executor:
+        results = executor.run(spec)   # workers share cache hits live
+"""
+
+from .cache_server import (
+    CacheClient,
+    CacheServer,
+    CacheServerError,
+    format_address,
+    parse_address,
+)
+from .service import (
+    EvalService,
+    ServiceClient,
+    ServiceError,
+    ServiceFuture,
+    ServiceOverloaded,
+    job_key,
+)
+
+__all__ = [
+    "CacheClient",
+    "CacheServer",
+    "CacheServerError",
+    "EvalService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceFuture",
+    "ServiceOverloaded",
+    "format_address",
+    "job_key",
+    "parse_address",
+]

@@ -1,0 +1,432 @@
+"""Async evaluation service: a job queue fanned out to worker shards
+that share one live cache server.
+
+Where the process backend of :class:`~repro.explore.executor.Executor`
+is a *batch* machine (fork workers, run one shard list each, harvest,
+tear down), :class:`EvalService` is a *long-lived* one:
+
+* **shards** — N worker processes, each pulling from its own queue
+  (jobs are assigned round-robin in submission order, so the placement
+  is deterministic); workers stay warm across batches, keeping their
+  per-accelerator engines and local read caches;
+* **dedup / coalescing** — identical in-flight jobs resolve to the same
+  :class:`ServiceFuture`: the evaluation runs once and every submitter
+  gets the result (results are deterministic, so coalescing can never
+  change an answer);
+* **backpressure** — an optional bound on in-flight jobs; a blocking
+  submit waits for a slot, a non-blocking one raises
+  :class:`ServiceOverloaded` so callers can shed load;
+* **shared cache** — every worker's mapping cache is a
+  :class:`~repro.serve.cache_server.CacheClient`, wired either to an
+  embedded :class:`CacheServer` fronting the caller's own
+  :class:`MappingCache` (hits land in it live — no harvest step) or to
+  an external server (``repro serve``), which is the hook for sharding
+  across machines.
+
+:class:`ServiceClient` adapts the service to the executor contract:
+``run(jobs)`` returns results in job order, bit-identical to a serial
+run of the same jobs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_module
+import threading
+import traceback
+from typing import TYPE_CHECKING, Sequence
+
+from ..mapping.cache import MappingCache
+from .cache_server import CacheClient, CacheServer, parse_address
+
+if TYPE_CHECKING:
+    from ..explore.executor import EvalResult
+    from ..explore.spec import EvalJob
+    from ..mapping.loma import SearchConfig
+
+
+class ServiceError(RuntimeError):
+    """An evaluation failed inside a worker shard (or a shard died)."""
+
+
+class ServiceOverloaded(RuntimeError):
+    """The service's in-flight bound is reached and the submit did not
+    (or could not) wait for a slot."""
+
+
+def job_key(job: "EvalJob") -> tuple:
+    """Coalescing identity of a job: everything that determines its
+    result.  ``tag`` is display metadata, so jobs differing only by tag
+    still coalesce; object references fall back to identity, like the
+    executor's per-object engine keying."""
+    return (
+        job.accelerator if isinstance(job.accelerator, str) else id(job.accelerator),
+        job.workload if isinstance(job.workload, str) else id(job.workload),
+        job.strategy,
+        job.kind,
+        job.stack_layers,
+        job.stack_index,
+        job.input_locations,
+    )
+
+
+class ServiceFuture:
+    """Pending result of one submitted (possibly coalesced) job."""
+
+    def __init__(self, job: "EvalJob", key: tuple) -> None:
+        self.job = job
+        self.key = key
+        self._done = threading.Event()
+        self._result = None
+        self._error: str | None = None
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._done.wait(timeout)
+
+    def result(self, timeout: float | None = None):
+        """The evaluation result (blocks); raises :class:`ServiceError`
+        if the evaluation failed, ``TimeoutError`` on timeout."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"evaluation of {self.job.describe()} still pending"
+            )
+        if self._error is not None:
+            raise ServiceError(self._error)
+        return self._result
+
+    # Internal: called by the collector thread only.
+    def _resolve(self, result, error: str | None) -> None:
+        self._result = result
+        self._error = error
+        self._done.set()
+
+
+# ----------------------------------------------------------------------
+# Worker-process main (module-level: must be importable after fork/spawn)
+# ----------------------------------------------------------------------
+def _service_worker_main(
+    shard_index: int,
+    job_queue,
+    result_queue,
+    search_config,
+    policy,
+    cache_address,
+) -> None:
+    """Pull (job_id, job) items until the ``None`` sentinel; evaluate
+    each against a runner whose cache is a live server client."""
+    from ..explore.executor import _JobRunner
+
+    cache = (
+        CacheClient(cache_address) if cache_address is not None else MappingCache()
+    )
+    runner = _JobRunner(search_config, policy, cache)
+    try:
+        while True:
+            item = job_queue.get()
+            if item is None:
+                break
+            job_id, job = item
+            try:
+                result = runner.evaluate(job)
+            except Exception as exc:  # noqa: BLE001 - shipped to the parent
+                detail = "".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip()
+                result_queue.put((job_id, None, f"shard {shard_index}: {detail}"))
+                continue
+            result_queue.put((job_id, result, None))
+    finally:
+        if isinstance(cache, CacheClient):
+            cache.close()
+
+
+class EvalService:
+    """A pool of evaluation shards behind a deduplicating job queue.
+
+    Parameters
+    ----------
+    shards:
+        Worker processes.  ``0`` is allowed and means "accept jobs but
+        evaluate nothing" — useful to observe queueing/backpressure
+        behaviour in isolation (tests); real runs want >= 1.
+    search_config, policy:
+        Engine knobs, shared by every evaluation (as in ``Executor``).
+    cache:
+        The :class:`MappingCache` the embedded server fronts; hits and
+        new entries are live in this handle during the run.  Ignored
+        when ``cache_address`` is given.
+    cache_address:
+        ``"host:port"`` of an external ``repro serve`` cache server;
+        workers then share *that* table (multi-machine mode) and no
+        embedded server is started.
+    max_pending:
+        Bound on in-flight jobs (backpressure); ``None`` = unbounded.
+    """
+
+    def __init__(
+        self,
+        shards: int = 1,
+        search_config: "SearchConfig | None" = None,
+        policy=None,
+        cache: MappingCache | None = None,
+        cache_address: "str | tuple[str, int] | None" = None,
+        max_pending: int | None = None,
+    ) -> None:
+        if shards < 0:
+            raise ValueError(f"shards must be >= 0, got {shards}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.shards = shards
+        self.search_config = search_config
+        self.policy = policy
+        self.cache = cache if cache is not None else MappingCache()
+        self.cache_address = (
+            parse_address(cache_address) if cache_address is not None else None
+        )
+        self.max_pending = max_pending
+        self._server: CacheServer | None = None
+        self._workers: list[mp.Process] = []
+        self._job_queues: list = []
+        self._result_queue = None
+        self._collector: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+        self._slots = (
+            threading.Semaphore(max_pending) if max_pending is not None else None
+        )
+        self._inflight: dict[tuple, ServiceFuture] = {}
+        self._pending: dict[int, ServiceFuture] = {}
+        self._next_id = 0
+        self._next_shard = 0
+        self.submitted = 0
+        self.coalesced = 0
+        self.completed = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "EvalService":
+        if self.running:
+            return self
+        if self.cache_address is None:
+            self._server = CacheServer(cache=self.cache).start()
+            address = self._server.address
+        else:
+            address = self.cache_address
+        self._stopping.clear()
+        if self.max_pending is not None:
+            # Fresh slots every start: a stop() with jobs in flight
+            # error-resolves their futures without releasing, so a
+            # reused semaphore would leak capacity across restarts.
+            self._slots = threading.Semaphore(self.max_pending)
+        context = mp.get_context()
+        self._result_queue = context.Queue()
+        self._job_queues = [
+            context.Queue() for _ in range(max(1, self.shards))
+        ]
+        self._workers = [
+            context.Process(
+                target=_service_worker_main,
+                args=(
+                    index,
+                    self._job_queues[index],
+                    self._result_queue,
+                    self.search_config,
+                    self.policy,
+                    address,
+                ),
+                daemon=True,
+                name=f"eval-shard-{index}",
+            )
+            for index in range(self.shards)
+        ]
+        for worker in self._workers:
+            worker.start()
+        self._collector = threading.Thread(
+            target=self._collect, name="eval-service-collector", daemon=True
+        )
+        self._collector.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain nothing, stop everything: sentinel the shards, join
+        them, stop the collector and the embedded server."""
+        if not self.running:
+            return
+        for q in self._job_queues:
+            q.put(None)
+        for worker in self._workers:
+            worker.join(timeout=10.0)
+            if worker.is_alive():  # pragma: no cover - stuck-worker safety
+                worker.terminate()
+                worker.join(timeout=5.0)
+        self._workers = []
+        self._stopping.set()
+        if self._collector is not None:
+            self._collector.join(timeout=5.0)
+            self._collector = None
+        for q in self._job_queues:
+            q.close()
+        self._job_queues = []
+        if self._result_queue is not None:
+            self._result_queue.close()
+            self._result_queue = None
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
+        # Fail anything still pending so no caller blocks forever.
+        with self._lock:
+            leftover = list(self._pending.values())
+            self._pending.clear()
+            self._inflight.clear()
+        for future in leftover:
+            future._resolve(None, "service stopped before the job completed")
+
+    @property
+    def running(self) -> bool:
+        return self._collector is not None
+
+    @property
+    def server_address(self) -> "tuple[str, int] | None":
+        """Address of the cache server the shards share (embedded or
+        external); ``None`` before :meth:`start` in embedded mode."""
+        if self._server is not None:
+            return self._server.address
+        return self.cache_address
+
+    def __enter__(self) -> "EvalService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        job: "EvalJob",
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> ServiceFuture:
+        """Queue one evaluation; returns its future.
+
+        An identical in-flight job coalesces: the same future is
+        returned and no new work is queued.  With ``max_pending`` set,
+        a fresh job needs a free slot — ``block=False`` (or a timeout)
+        raises :class:`ServiceOverloaded` instead of waiting forever.
+        """
+        if not self.running:
+            raise RuntimeError("EvalService.submit() before start()")
+        key = job_key(job)
+        with self._lock:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self.coalesced += 1
+                return existing
+        if self._slots is not None:
+            if not self._slots.acquire(blocking=block, timeout=timeout):
+                raise ServiceOverloaded(
+                    f"{self.max_pending} evaluations already in flight"
+                )
+        with self._lock:
+            # Re-check: another submitter may have queued the same job
+            # while this one waited for a slot.
+            existing = self._inflight.get(key)
+            if existing is not None:
+                if self._slots is not None:
+                    self._slots.release()
+                self.coalesced += 1
+                return existing
+            future = ServiceFuture(job, key)
+            job_id = self._next_id
+            self._next_id += 1
+            self._inflight[key] = future
+            self._pending[job_id] = future
+            shard = self._next_shard
+            self._next_shard = (self._next_shard + 1) % len(self._job_queues)
+            self.submitted += 1
+        self._job_queues[shard].put((job_id, job))
+        return future
+
+    def gather(self, futures: Sequence[ServiceFuture]) -> list:
+        """Results for ``futures`` in order, watching shard liveness so
+        a dead worker surfaces as :class:`ServiceError`, not a hang."""
+        results = []
+        for future in futures:
+            while not future.wait(0.5):
+                dead = [w.name for w in self._workers if not w.is_alive()]
+                if dead and not future.done():
+                    raise ServiceError(
+                        f"worker shard(s) died: {', '.join(sorted(dead))}"
+                    )
+            results.append(future.result())
+        return results
+
+    def map(self, jobs: "Sequence[EvalJob]") -> list:
+        """Submit every job and return their results in job order."""
+        return self.gather([self.submit(job) for job in jobs])
+
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        """Collector thread: resolve futures as shards report back."""
+        while not self._stopping.is_set():
+            try:
+                job_id, result, error = self._result_queue.get(timeout=0.2)
+            except queue_module.Empty:
+                continue
+            except (OSError, ValueError):  # pragma: no cover - queue closed
+                break
+            with self._lock:
+                future = self._pending.pop(job_id, None)
+                if future is not None:
+                    self._inflight.pop(future.key, None)
+                    if error is None:
+                        self.completed += 1
+                    else:
+                        self.errors += 1
+            if future is not None:
+                if self._slots is not None:
+                    self._slots.release()
+                future._resolve(result, error)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Service counters plus the shared cache server's view."""
+        with self._lock:
+            data = {
+                "shards": self.shards,
+                "max_pending": self.max_pending,
+                "submitted": self.submitted,
+                "coalesced": self.coalesced,
+                "completed": self.completed,
+                "errors": self.errors,
+                "in_flight": len(self._pending),
+            }
+        if self._server is not None:
+            data["cache"] = dict(self._server.cache.stats)
+            data["cache"]["requests"] = dict(self._server.requests)
+        return data
+
+
+class ServiceClient:
+    """Adapts an :class:`EvalService` to the executor result contract:
+    ``run(jobs)`` returns one :class:`EvalResult` per job, in job order,
+    identical to what a serial executor would produce."""
+
+    def __init__(self, service: EvalService) -> None:
+        self.service = service
+
+    def run(self, jobs: "Sequence[EvalJob]") -> "list[EvalResult]":
+        from ..explore.executor import EvalResult
+
+        futures = [self.service.submit(job) for job in jobs]
+        results = self.service.gather(futures)
+        return [
+            EvalResult(job=job, result=result, index=index)
+            for index, (job, result) in enumerate(zip(jobs, results))
+        ]

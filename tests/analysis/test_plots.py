@@ -1,0 +1,150 @@
+"""Plot tests: the pure series extraction everywhere, the matplotlib
+renderers only where the backend exists (graceful skip otherwise)."""
+
+import warnings
+
+import pytest
+
+from repro.analysis import (
+    HAVE_MATPLOTLIB,
+    convergence_series,
+    frontier_series,
+    plot_convergence,
+    plot_dse_summary,
+    plot_frontier,
+)
+from repro.core.strategy import OverlapMode
+from repro.dse import DesignPoint, GenerationStats, ParetoFrontier
+
+
+def make_point(tile: int) -> DesignPoint:
+    return DesignPoint(
+        accelerator="meta_proto_like_df",
+        tile_x=tile,
+        tile_y=tile,
+        mode=OverlapMode.FULLY_CACHED,
+    )
+
+
+@pytest.fixture
+def frontier_2d():
+    frontier = ParetoFrontier(("energy", "latency"))
+    frontier.offer(make_point(4), (10.0, 1.0))
+    frontier.offer(make_point(8), (5.0, 2.0))
+    return frontier
+
+
+@pytest.fixture
+def generations():
+    return [
+        GenerationStats(
+            index=0, proposed=4, evaluated=4, cached=0, frontier_size=2,
+            hypervolume=None, epsilon=None,
+        ),
+        GenerationStats(
+            index=1, proposed=4, evaluated=2, cached=2, frontier_size=3,
+            hypervolume=12.5, epsilon=3.0,
+        ),
+        GenerationStats(
+            index=2, proposed=4, evaluated=1, cached=3, frontier_size=3,
+            hypervolume=14.0, epsilon=1.5,
+        ),
+    ]
+
+
+class TestFrontierSeries:
+    def test_two_objectives(self, frontier_2d):
+        series = frontier_series(frontier_2d)
+        assert series["x_label"] == "energy"
+        assert series["y_label"] == "latency"
+        assert sorted(
+            zip(series["feasible"]["x"], series["feasible"]["y"])
+        ) == [(5.0, 2.0), (10.0, 1.0)]
+        assert series["infeasible"]["x"] == []
+        assert len(series["feasible"]["labels"]) == 2
+
+    def test_all_infeasible_frontier_splits_out(self):
+        """Infeasible entries survive on the frontier only while no
+        feasible design exists; the series marks them separately."""
+        frontier = ParetoFrontier(("energy", "latency"))
+        frontier.offer(make_point(4), (10.0, 1.0), violation=1.0)
+        frontier.offer(make_point(8), (5.0, 2.0), violation=1.0)
+        series = frontier_series(frontier)
+        assert series["feasible"]["x"] == []
+        assert sorted(
+            zip(series["infeasible"]["x"], series["infeasible"]["y"])
+        ) == [(5.0, 2.0), (10.0, 1.0)]
+
+    def test_single_objective_uses_rank_axis(self):
+        frontier = ParetoFrontier(("energy",))
+        frontier.offer(make_point(4), (3.0,))
+        series = frontier_series(frontier)
+        assert series["x_label"] == "frontier rank"
+        assert series["y_label"] == "energy"
+        assert series["feasible"]["x"] == [0]
+        assert series["feasible"]["y"] == [3.0]
+
+    def test_empty_frontier(self):
+        series = frontier_series(ParetoFrontier(("energy", "latency")))
+        assert series["feasible"]["x"] == []
+        assert series["infeasible"]["x"] == []
+
+
+class TestConvergenceSeries:
+    def test_arrays_align_with_generations(self, generations):
+        series = convergence_series(generations)
+        assert series["index"] == [0, 1, 2]
+        assert series["hypervolume"] == [None, 12.5, 14.0]
+        assert series["epsilon"] == [None, 3.0, 1.5]
+        assert series["has_hypervolume"] and series["has_epsilon"]
+
+    def test_untracked_metrics_flagged(self):
+        stats = [
+            GenerationStats(
+                index=0, proposed=1, evaluated=1, cached=0, frontier_size=1
+            )
+        ]
+        series = convergence_series(stats)
+        assert not series["has_hypervolume"]
+        assert not series["has_epsilon"]
+
+    def test_empty(self):
+        series = convergence_series([])
+        assert series["index"] == []
+        assert not series["has_epsilon"]
+
+
+@pytest.mark.skipif(
+    HAVE_MATPLOTLIB, reason="covers the matplotlib-absent degradation"
+)
+class TestGracefulSkip:
+    def test_all_plots_warn_and_return_none(
+        self, frontier_2d, generations, tmp_path
+    ):
+        target = tmp_path / "plot.png"
+        for call in (
+            lambda: plot_frontier(frontier_2d, target),
+            lambda: plot_convergence(generations, target),
+            lambda: plot_dse_summary(frontier_2d, generations, target),
+        ):
+            with pytest.warns(UserWarning, match="matplotlib is not installed"):
+                assert call() is None
+        assert not target.exists()
+
+
+@pytest.mark.skipif(
+    not HAVE_MATPLOTLIB, reason="needs the optional matplotlib backend"
+)
+class TestRendering:
+    def test_files_are_written(self, frontier_2d, generations, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no skip-warnings expected
+            assert plot_frontier(
+                frontier_2d, tmp_path / "frontier.png"
+            ).exists()
+            assert plot_convergence(
+                generations, tmp_path / "conv.png"
+            ).exists()
+            assert plot_dse_summary(
+                frontier_2d, generations, tmp_path / "summary.png"
+            ).exists()

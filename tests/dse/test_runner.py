@@ -481,3 +481,159 @@ class TestConvergenceTracking:
             resumed.generations[-1].hypervolume
             == first.generations[-1].hypervolume
         )
+
+
+class TestEpsilonVsReference:
+    """--reference FRONTIER.json: per-generation additive epsilon
+    against a stored reference frontier, alongside hypervolume."""
+
+    def run_exhaustive(self, fast_config, reference=None, objectives=("energy", "latency")):
+        runner = DSERunner(
+            SPACE,
+            make_tiny_workload(),
+            objectives,
+            executor(fast_config),
+            reference=reference,
+            seed=0,
+        )
+        return runner.run(ExhaustiveSearch())
+
+    def test_no_reference_tracks_no_epsilon(self, fast_config):
+        result = self.run_exhaustive(fast_config)
+        assert all(s.epsilon is None for s in result.generations)
+
+    def test_epsilon_against_own_final_frontier_reaches_zero(self, fast_config):
+        baseline = self.run_exhaustive(fast_config)
+        tracked = self.run_exhaustive(fast_config, reference=baseline.frontier)
+        epsilons = [s.epsilon for s in tracked.generations]
+        assert epsilons[-1] == 0.0  # the run covers its own reference
+        observed = [e for e in epsilons if e is not None]
+        # Monotone non-increasing: the frontier only gets closer to a
+        # fixed reference set.
+        assert observed == sorted(observed, reverse=True)
+
+    def test_raw_value_rows_accepted(self, fast_config):
+        reference = [(0.0, 0.0)]  # unreachably good reference point
+        result = self.run_exhaustive(fast_config, reference=reference)
+        assert result.generations[-1].epsilon > 0.0
+
+    def test_objective_mismatch_rejected(self, fast_config):
+        baseline = self.run_exhaustive(fast_config)
+        with pytest.raises(ValueError, match="reference frontier tracks"):
+            self.run_exhaustive(
+                fast_config,
+                reference=baseline.frontier,
+                objectives=("energy",),
+            )
+
+    def test_arity_mismatch_rejected(self, fast_config):
+        with pytest.raises(ValueError, match="arity"):
+            DSERunner(
+                SPACE,
+                make_tiny_workload(),
+                ("energy", "latency"),
+                executor(fast_config),
+                reference=[(1.0,)],
+            )
+
+    def test_empty_reference_rejected(self, fast_config):
+        from repro.dse import ParetoFrontier
+
+        with pytest.raises(ValueError, match="no feasible entries"):
+            DSERunner(
+                SPACE,
+                make_tiny_workload(),
+                ("energy", "latency"),
+                executor(fast_config),
+                reference=ParetoFrontier(("energy", "latency")),
+            )
+
+    def test_epsilon_survives_checkpoint_roundtrip(self, fast_config, tmp_path):
+        from repro.dse import GenerationStats
+
+        stats = GenerationStats(
+            index=0, proposed=2, evaluated=2, cached=0, frontier_size=1,
+            hypervolume=4.0, epsilon=0.25,
+        )
+        clone = GenerationStats.from_json(json.loads(json.dumps(stats.to_json())))
+        assert clone == stats
+
+
+class TestLoadReferenceFrontier:
+    def make_frontier(self):
+        from repro.dse import ParetoFrontier
+
+        frontier = ParetoFrontier(("energy", "latency"))
+        frontier.offer(
+            DesignPoint(
+                accelerator="meta_proto_like_df",
+                tile_x=4,
+                tile_y=4,
+                mode=OverlapMode.FULLY_CACHED,
+            ),
+            (2.0, 3.0),
+        )
+        return frontier
+
+    def test_loads_bare_frontier_file(self, tmp_path):
+        from repro.dse import load_reference_frontier
+
+        path = tmp_path / "front.json"
+        self.make_frontier().save(path)
+        loaded = load_reference_frontier(path)
+        assert loaded.to_json() == self.make_frontier().to_json()
+
+    def test_loads_dse_output_summary(self, tmp_path):
+        from repro.dse import load_reference_frontier
+
+        path = tmp_path / "summary.json"
+        path.write_text(
+            json.dumps({"workload": "x", "frontier": self.make_frontier().to_json()})
+        )
+        assert len(load_reference_frontier(path)) == 1
+
+    def test_rejects_non_frontier_files(self, tmp_path):
+        from repro.dse import load_reference_frontier
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json{")
+        with pytest.raises(ValueError, match="not a frontier file"):
+            load_reference_frontier(bad)
+        bad.write_text(json.dumps({"something": "else"}))
+        with pytest.raises(ValueError, match="not a frontier file"):
+            load_reference_frontier(bad)
+        with pytest.raises(ValueError, match="not a frontier file"):
+            load_reference_frontier(tmp_path / "missing.json")
+
+
+class TestCheckpointBackCompat:
+    def test_v2_checkpoint_resumes_losslessly(self, fast_config, tmp_path):
+        """A pre-epsilon (format 2) checkpoint differs from v3 only by
+        the optional epsilon field — rejecting it would throw away
+        paid-for evaluations, so it must resume."""
+        path = tmp_path / "dse.json"
+
+        def runner():
+            return DSERunner(
+                SPACE,
+                make_tiny_workload(),
+                ("energy", "latency"),
+                executor(fast_config),
+                checkpoint=path,
+                seed=0,
+            )
+
+        first = runner().run(ExhaustiveSearch())
+        assert first.evaluations == SPACE.size
+
+        # Rewrite the checkpoint as its format-2 ancestor: same
+        # payload, no epsilon in the generation stats.
+        data = json.loads(path.read_text())
+        data["format"] = 2
+        for stats in data["generations"]:
+            del stats["epsilon"]
+        path.write_text(json.dumps(data))
+
+        resumed = runner().run(ExhaustiveSearch())
+        assert resumed.evaluations == 0  # nothing re-paid
+        assert resumed.frontier.to_json() == first.frontier.to_json()

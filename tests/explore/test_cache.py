@@ -367,3 +367,114 @@ class TestFreshFileInfo:
         path.write_text("")
         assert run_cache_info([str(path)]) == 1
         assert "corrupt" in capsys.readouterr().out
+
+
+def _saver_main(path, me: int, per_proc: int, barrier) -> None:
+    """Child-process body of the concurrent-save stress (module level:
+    must be picklable)."""
+    from ..serve.test_cache_server import make_result
+
+    cache = MappingCache()
+    for i in range(per_proc):
+        cache.put(f"p{me}/k{i}", make_result(me * 100 + i))
+    barrier.wait(timeout=30)
+    cache.save(path)
+
+
+class TestConcurrentSave:
+    """Crash-safe persistence: atomic replace + merge-on-save, so two
+    processes saving to one path never lose each other's entries."""
+
+    @staticmethod
+    def filled(entries: dict) -> MappingCache:
+        cache = MappingCache()
+        cache.merge(entries)
+        return cache
+
+    @staticmethod
+    def result(seed: int):
+        from ..serve.test_cache_server import make_result
+
+        return make_result(seed)
+
+    def test_two_savers_union(self, searched_cache, tmp_path):
+        full, _ = searched_cache
+        keys = sorted(full.keys())
+        assert len(keys) >= 4
+        snapshot = full.snapshot()
+        half_a = {k: snapshot[k] for k in keys[: len(keys) // 2]}
+        half_b = {k: snapshot[k] for k in keys[len(keys) // 2 :]}
+        path = tmp_path / "shared.json"
+        self.filled(half_a).save(path)
+        self.filled(half_b).save(path)  # must not clobber half_a
+        assert MappingCache(path).keys() == set(keys)
+
+    def test_own_entry_wins_on_conflict(self, tmp_path):
+        path = tmp_path / "conflict.json"
+        old, new = self.result(1), self.result(2)
+        self.filled({"k": old, "only_disk": old}).save(path)
+        mine = self.filled({"k": new})
+        mine.save(path)
+        assert mine.snapshot()["k"] == new  # not overwritten by disk
+        assert mine.keys() == {"k", "only_disk"}  # but disk-only adopted
+        assert MappingCache(path).snapshot()["k"] == new
+
+    def test_merge_opt_out(self, searched_cache, tmp_path):
+        full, _ = searched_cache
+        path = tmp_path / "plain.json"
+        full.save(path)
+        fresh = MappingCache()
+        fresh.save(path, merge=False)
+        assert json.loads(path.read_text())["entries"] == {}
+
+    def test_adopted_entries_are_oldest_for_pruning(self, tmp_path):
+        path = tmp_path / "lru.json"
+        self.filled({"disk1": self.result(1), "disk2": self.result(2)}).save(path)
+        mine = MappingCache(max_entries=2)
+        mine.put("mine1", self.result(3))
+        mine.put("mine2", self.result(4))
+        mine.save(path)
+        # The bound keeps this cache's own (recently used) entries and
+        # evicts the adopted disk ones first.
+        assert mine.keys() == {"mine1", "mine2"}
+
+    def test_unusable_existing_file_is_ignored(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("not json{")
+        cache = self.filled({"k": self.result(1)})
+        cache.save(path)  # no warning channel needed: merge reads best-effort
+        assert MappingCache(path).keys() == {"k"}
+
+    def test_no_temp_litter(self, searched_cache, tmp_path):
+        full, _ = searched_cache
+        path = tmp_path / "clean.json"
+        full.save(path)
+        full.save(path)
+        # Only the cache file and its persistent inter-process lock
+        # remain — never a *.tmp.
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "clean.json",
+            "clean.json.lock",
+        ]
+
+    def test_parallel_process_savers_lose_nothing(self, tmp_path):
+        """The acceptance property, for real: several processes saving
+        disjoint entries to one path at the same time — the final file
+        holds the union (flock serializes the read-merge-write)."""
+        import multiprocessing as mp
+
+        path = tmp_path / "contended.json"
+        n_procs, per_proc = 4, 6
+        barrier = mp.Barrier(n_procs)
+        procs = [
+            mp.Process(target=_saver_main, args=(path, me, per_proc, barrier))
+            for me in range(n_procs)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        assert MappingCache(path).keys() == {
+            f"p{me}/k{i}" for me in range(n_procs) for i in range(per_proc)
+        }

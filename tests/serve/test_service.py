@@ -1,0 +1,291 @@
+"""EvalService tests: queueing, dedup/coalescing, backpressure, error
+propagation, and the executor's service backend."""
+
+import time
+
+import pytest
+
+from repro.core.strategy import DFStrategy, OverlapMode
+from repro.explore import EvalJob, Executor, MappingCache, SweepSpec
+from repro.serve import (
+    CacheClient,
+    CacheServer,
+    EvalService,
+    ServiceError,
+    ServiceOverloaded,
+    job_key,
+)
+
+from ..conftest import make_tiny_workload
+
+TILES = ((4, 4), (16, 16))
+MODES = (OverlapMode.FULLY_CACHED, OverlapMode.FULLY_RECOMPUTE)
+
+
+def tiny_job(tile: int = 8, tag: str = "") -> EvalJob:
+    return EvalJob(
+        accelerator="meta_proto_like_df",
+        workload="fsrcnn",
+        strategy=DFStrategy(tile_x=tile, tile_y=tile),
+        tag=tag,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return make_tiny_workload()
+
+
+@pytest.fixture(scope="module")
+def grid_spec(tiny):
+    return SweepSpec.tile_grid("meta_proto_like_df", tiny, TILES, MODES)
+
+
+@pytest.fixture(scope="module")
+def serial_results(grid_spec, fast_config):
+    return Executor(jobs=1, search_config=fast_config).run(grid_spec)
+
+
+class TestJobKey:
+    def test_tag_does_not_split_identical_work(self):
+        assert job_key(tiny_job(tag="a")) == job_key(tiny_job(tag="b"))
+
+    def test_different_strategies_differ(self):
+        assert job_key(tiny_job(4)) != job_key(tiny_job(8))
+
+    def test_object_refs_key_by_identity(self, tiny):
+        job = EvalJob(
+            accelerator="meta_proto_like_df",
+            workload=tiny,
+            strategy=DFStrategy(tile_x=4, tile_y=4),
+        )
+        assert job_key(job) == job_key(job)
+        other = EvalJob(
+            accelerator="meta_proto_like_df",
+            workload=make_tiny_workload(),
+            strategy=DFStrategy(tile_x=4, tile_y=4),
+        )
+        assert job_key(job) != job_key(other)
+
+
+class TestLifecycle:
+    def test_submit_before_start_raises(self):
+        with pytest.raises(RuntimeError, match="start"):
+            EvalService(shards=0).submit(tiny_job())
+
+    def test_start_stop_idempotent(self):
+        service = EvalService(shards=0)
+        assert service.start() is service
+        assert service.start() is service
+        assert service.running
+        service.stop()
+        service.stop()
+        assert not service.running
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            EvalService(shards=-1)
+        with pytest.raises(ValueError, match="max_pending"):
+            EvalService(max_pending=0)
+
+    def test_embedded_server_address_published(self):
+        with EvalService(shards=0) as service:
+            host, port = service.server_address
+            assert port > 0
+
+    def test_stop_fails_leftover_futures(self):
+        """Stopping with jobs still queued must resolve their futures
+        (as errors), never leave a caller blocked forever."""
+        service = EvalService(shards=0).start()
+        future = service.submit(tiny_job())
+        service.stop()
+        with pytest.raises(ServiceError, match="service stopped"):
+            future.result(timeout=1.0)
+
+    def test_restart_regains_full_backpressure_capacity(self):
+        """Jobs in flight at stop() never release their slots, so a
+        restarted service must get a fresh semaphore — not inherit the
+        leak."""
+        service = EvalService(shards=0, max_pending=2)
+        for _ in range(2):
+            service.start()
+            service.submit(tiny_job(4))
+            service.submit(tiny_job(8))
+            with pytest.raises(ServiceOverloaded):
+                service.submit(tiny_job(16), block=False)
+            service.stop()
+
+
+class TestDedupAndBackpressure:
+    """shards=0 accepts jobs without evaluating them, so the queue's
+    dedup and backpressure behaviour is observable in isolation."""
+
+    def test_identical_inflight_jobs_coalesce(self):
+        with EvalService(shards=0) as service:
+            first = service.submit(tiny_job(tag="x"))
+            second = service.submit(tiny_job(tag="y"))
+            assert second is first
+            assert service.submitted == 1
+            assert service.coalesced == 1
+
+    def test_distinct_jobs_do_not_coalesce(self):
+        with EvalService(shards=0) as service:
+            assert service.submit(tiny_job(4)) is not service.submit(tiny_job(8))
+            assert service.submitted == 2
+
+    def test_nonblocking_submit_overload(self):
+        with EvalService(shards=0, max_pending=2) as service:
+            service.submit(tiny_job(4))
+            service.submit(tiny_job(8))
+            with pytest.raises(ServiceOverloaded, match="2 evaluations"):
+                service.submit(tiny_job(16), block=False)
+
+    def test_blocking_submit_times_out(self):
+        with EvalService(shards=0, max_pending=1) as service:
+            service.submit(tiny_job(4))
+            with pytest.raises(ServiceOverloaded):
+                service.submit(tiny_job(8), timeout=0.05)
+
+    def test_coalesced_submit_needs_no_slot(self):
+        with EvalService(shards=0, max_pending=1) as service:
+            first = service.submit(tiny_job(4))
+            # The bound is saturated, but an identical job rides along.
+            assert service.submit(tiny_job(4), block=False) is first
+
+    def test_pending_future_timeout(self):
+        with EvalService(shards=0) as service:
+            future = service.submit(tiny_job())
+            assert not future.done()
+            with pytest.raises(TimeoutError, match="still pending"):
+                future.result(timeout=0.05)
+
+    def test_stats_shape(self):
+        with EvalService(shards=0, max_pending=5) as service:
+            service.submit(tiny_job())
+            stats = service.stats()
+        assert stats["submitted"] == 1
+        assert stats["in_flight"] == 1
+        assert stats["max_pending"] == 5
+        assert "cache" in stats
+
+
+class TestEvaluation:
+    def test_map_matches_serial_in_order(
+        self, grid_spec, fast_config, serial_results
+    ):
+        with EvalService(shards=2, search_config=fast_config) as service:
+            results = service.map(list(grid_spec))
+        assert len(results) == len(serial_results)
+        for served, serial in zip(results, serial_results):
+            assert served.total == serial.result.total
+
+    def test_errors_propagate_and_service_survives(self, fast_config):
+        bad = EvalJob(
+            accelerator="no_such_accelerator",
+            workload="fsrcnn",
+            strategy=DFStrategy(tile_x=4, tile_y=4),
+        )
+        with EvalService(shards=1, search_config=fast_config) as service:
+            with pytest.raises(ServiceError, match="shard 0"):
+                service.submit(bad).result(timeout=60)
+            assert service.errors == 1
+            # The shard is still alive and evaluating.
+            good = service.submit(tiny_job())
+            assert good.result(timeout=600) is not None
+            assert service.stats()["completed"] == 1
+
+
+class TestShardDeath:
+    def test_dead_shard_surfaces_as_error_not_hang(self, fast_config):
+        """gather() watches shard liveness: a killed worker turns into
+        a ServiceError for the waiter instead of an eternal block."""
+        with EvalService(shards=1, search_config=fast_config) as service:
+            # Let the shard come up, then kill it out from under us.
+            worker = service._workers[0]
+            for _ in range(100):
+                if worker.is_alive():
+                    break
+                time.sleep(0.05)
+            worker.terminate()
+            worker.join(timeout=10)
+            future = service.submit(tiny_job())
+            with pytest.raises(ServiceError, match="died"):
+                service.gather([future])
+
+
+class TestExecutorServiceBackend:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            Executor(backend="threads")
+
+    def test_service_backend_identical_to_serial(
+        self, grid_spec, fast_config, serial_results
+    ):
+        with Executor(jobs=2, backend="service", search_config=fast_config) as ex:
+            served = ex.run(grid_spec)
+        assert [r.index for r in served] == [r.index for r in serial_results]
+        for s, p in zip(serial_results, served):
+            assert s.job == p.job
+            assert s.result.total == p.result.total
+
+    def test_service_persists_across_runs_and_harvests_live(
+        self, grid_spec, fast_config
+    ):
+        cache = MappingCache()
+        with Executor(
+            jobs=2, backend="service", search_config=fast_config, cache=cache
+        ) as ex:
+            assert ex.service is None  # lazy: nothing started yet
+            first = ex.run(grid_spec)
+            service = ex.service
+            assert service is not None
+            assert len(cache) > 0  # entries landed live, no harvest step
+            again = ex.run(grid_spec)
+            assert ex.service is service  # same warm service, same shards
+            for a, b in zip(first, again):
+                assert a.result.total == b.result.total
+        assert ex.service is None  # context exit stopped it
+
+    def test_explicit_serial_backend(self, grid_spec, fast_config, serial_results):
+        results = Executor(
+            jobs=4, backend="serial", search_config=fast_config
+        ).run(grid_spec)
+        for s, p in zip(serial_results, results):
+            assert s.result.total == p.result.total
+
+    def test_cache_client_routes_shards_to_external_server(
+        self, grid_spec, fast_config
+    ):
+        """Executor(cache=CacheClient, backend='service'): the shards
+        connect straight to the external server — its table fills, and
+        no embedded server is started."""
+        shared = MappingCache()
+        with CacheServer(cache=shared) as srv:
+            client = CacheClient(srv.address)
+            with Executor(
+                jobs=2,
+                backend="service",
+                search_config=fast_config,
+                cache=client,
+            ) as ex:
+                ex.run(grid_spec)
+                assert ex.service._server is None
+                assert ex.service.server_address == srv.address
+            assert len(shared) > 0
+
+    def test_process_backend_through_cache_client(self, fast_config, tiny):
+        """The classic process pool pre-warms from and harvests back to
+        a *remote* cache when its handle is a CacheClient."""
+        spec = SweepSpec.tile_grid(
+            "meta_proto_like_df", tiny, ((4, 4), (16, 16)), MODES[:1]
+        )
+        shared = MappingCache()
+        with CacheServer(cache=shared) as srv:
+            client = CacheClient(srv.address)
+            results = Executor(
+                jobs=2, search_config=fast_config, cache=client
+            ).run(spec)
+            assert len(shared) > 0  # harvest merged into the server
+        serial = Executor(jobs=1, search_config=fast_config).run(spec)
+        for s, p in zip(serial, results):
+            assert s.result.total == p.result.total

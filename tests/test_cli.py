@@ -355,3 +355,199 @@ class TestConstraintOptionValidation:
         for bad in ("inf", "1e999", "nan"):
             with pytest.raises(argparse.ArgumentTypeError):
                 _byte_size(bad)
+
+
+class TestServeParser:
+    def test_defaults(self):
+        from repro.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args([])
+        assert args.host == "127.0.0.1" and args.port == 0
+        assert args.cache is None and args.timeout is None
+        assert args.snapshot_interval == 30.0
+
+    def test_rejects_bad_interval(self):
+        from repro.cli import build_serve_parser
+
+        with pytest.raises(SystemExit):
+            build_serve_parser().parse_args(["--snapshot-interval", "0"])
+
+
+class TestServeMain:
+    def test_serve_with_timeout_and_persistence(self, tmp_path, capsys):
+        cache_file = tmp_path / "served.json"
+        code = main(
+            ["serve", "--port", "0", "--timeout", "0.3", "--cache", str(cache_file)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache server listening on 127.0.0.1:" in out
+        assert "0 entries loaded" in out
+        assert "cache server stopped" in out
+        assert cache_file.exists()  # final snapshot written
+
+    def test_remote_shutdown_ends_serve_after_final_snapshot(
+        self, tmp_path, capsys
+    ):
+        """A client 'shutdown' op stops a foreground server promptly —
+        and the server's exit still waits for the final snapshot, so
+        entries sent just before shutdown are on disk when it returns."""
+        import threading
+
+        from repro.mapping.cache import MappingCache
+        from repro.serve import CacheClient
+
+        from .serve.test_cache_server import make_result
+
+        cache_file = tmp_path / "served.json"
+        done = []
+
+        def run_server():
+            done.append(
+                main(
+                    [
+                        "serve",
+                        "--port", "0",
+                        "--timeout", "30",
+                        "--cache", str(cache_file),
+                    ]
+                )
+            )
+
+        thread = threading.Thread(target=run_server)
+        thread.start()
+        address = None
+        for _ in range(100):
+            out = capsys.readouterr().out
+            for line in out.splitlines():
+                if "listening on" in line:
+                    address = line.rsplit(" ", 1)[-1]
+            if address:
+                break
+            threading.Event().wait(0.05)
+        assert address is not None
+        client = CacheClient(address)
+        client.put("last-second", make_result(1))
+        client.shutdown_server()
+        thread.join(timeout=10)
+        assert done == [0]
+        assert MappingCache(cache_file).get("last-second") == make_result(1)
+
+
+class TestCacheServerOptions:
+    def test_cache_and_cache_server_conflict(self):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(
+                [
+                    "--accelerator", "meta_proto_like_df",
+                    "--workload", "fsrcnn",
+                    "--cache", "x.json",
+                    "--cache-server", "127.0.0.1:1",
+                ]
+            )
+
+    def test_bad_address_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(
+                [
+                    "--accelerator", "meta_proto_like_df",
+                    "--workload", "fsrcnn",
+                    "--cache-server", "nonsense",
+                ]
+            )
+
+    def test_unreachable_server_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="unreachable"):
+            main(
+                [
+                    "--accelerator", "meta_proto_like_df",
+                    "--workload", "fsrcnn",
+                    "--cache-server", "127.0.0.1:9",  # discard port: nothing listens
+                ]
+            )
+
+    def test_sweep_through_live_server(self, capsys):
+        """A classic sweep with --cache-server: the shared table fills
+        and the CLI reports the server's stats."""
+        from repro.mapping.cache import MappingCache
+        from repro.serve import CacheServer
+
+        shared = MappingCache()
+        with CacheServer(cache=shared) as server:
+            code = main(
+                [
+                    "--accelerator", "meta_proto_like_df",
+                    "--workload", "fsrcnn",
+                    "--tilex", "4,16",
+                    "--tiley", "4",
+                    "--budget", "40",
+                    "--lpf-limit", "4",
+                    "--cache-server", server.describe(),
+                ]
+            )
+        assert code == 0
+        assert len(shared) > 0
+        out = capsys.readouterr().out
+        assert "cache server 127.0.0.1:" in out
+        assert "best (energy)" in out
+
+
+class TestDseServiceAndReference:
+    DSE_ARGS = [
+        "dse",
+        "--workload", "mobilenet_v1",
+        "--strategy", "exhaustive",
+        "--objectives", "energy,latency",
+        "--tilex", "14,28",
+        "--tiley", "14",
+        "--modes", "fully_cached",
+        "--budget", "40",
+        "--lpf-limit", "5",
+    ]
+
+    def test_dse_through_service_backend_matches_serial(self, tmp_path, capsys):
+        serial_out = tmp_path / "serial.json"
+        service_out = tmp_path / "service.json"
+        assert main(self.DSE_ARGS + ["--output", str(serial_out)]) == 0
+        assert (
+            main(
+                self.DSE_ARGS
+                + [
+                    "--backend", "service",
+                    "--jobs", "2",
+                    "--output", str(service_out),
+                ]
+            )
+            == 0
+        )
+        serial = json.loads(serial_out.read_text())
+        served = json.loads(service_out.read_text())
+        assert served["frontier"] == serial["frontier"]
+        assert served["generations"] == serial["generations"]
+
+    def test_reference_tracking_prints_epsilon(self, tmp_path, capsys):
+        reference = tmp_path / "ref.json"
+        assert main(self.DSE_ARGS + ["--output", str(reference)]) == 0
+        capsys.readouterr()
+        assert main(self.DSE_ARGS + ["--reference", str(reference)]) == 0
+        out = capsys.readouterr().out
+        assert "epsilon" in out
+
+    def test_bad_reference_exits_cleanly(self, tmp_path):
+        bad = tmp_path / "ref.json"
+        bad.write_text("{}")
+        with pytest.raises(SystemExit, match="not a frontier file"):
+            main(self.DSE_ARGS + ["--reference", str(bad)])
+
+    def test_plot_skips_gracefully_without_matplotlib(self, tmp_path, capsys):
+        from repro.analysis import HAVE_MATPLOTLIB
+
+        plot = tmp_path / "plot.png"
+        code = main(self.DSE_ARGS + ["--plot", str(plot)])
+        assert code == 0
+        out = capsys.readouterr().out
+        if HAVE_MATPLOTLIB:
+            assert plot.exists() and f"wrote {plot}" in out
+        else:
+            assert not plot.exists()
+            assert "skipping --plot" in out
