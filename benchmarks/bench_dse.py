@@ -197,6 +197,104 @@ def test_dse_genetic_frontier_across_zoo(benchmark):
     write_output("dse_frontier_resnet18.csv", frontier_csv(serial.frontier))
 
 
+def test_dse_partition_genes_smoke(benchmark):
+    """The PR-5 acceptance smoke: explicit stack-partition genes.
+
+    Three checks:
+
+    * a **degenerate** run whose partition axis is constrained to the
+      weights-fit rule reproduces the fuse-depth-only frontier
+      bit-identically;
+    * the **full cut-subset space** yields bit-identical frontiers on
+      the serial, process and service backends;
+    * the searched partition frontier **covers** (dominates or ties)
+      the fuse-depth-only frontier — whether the domination is strict
+      (the fuse-only frontier cannot cover it back) is reported in the
+      benchmark output.  Under the fully-recompute mode, splitting
+      mccnn's tail off the fused stack buys latency the fuse-depth cap
+      cannot reach, so the set-level domination is strict.
+    """
+    from repro.dse import PartitionAxis, workload_segments
+    from repro.dse.metrics import additive_epsilon
+
+    config = _config()
+    cache = MappingCache()
+    segments = len(workload_segments("mccnn"))
+    grid = dict(
+        accelerators=("meta_proto_like_df",),
+        tile_x=TILE_X[:2],
+        tile_y=TILE_Y[:2],
+        modes=(OverlapMode.FULLY_RECOMPUTE,),
+    )
+    fuse_space = DesignSpace(**grid)
+    partition_space = DesignSpace(
+        **grid, partitions=PartitionAxis(segments=segments)
+    )
+
+    def run(space, jobs=1, backend=None):
+        with Executor(
+            jobs=jobs, search_config=config, cache=cache, backend=backend
+        ) as executor:
+            runner = DSERunner(
+                space,
+                "mccnn",
+                objectives=("energy", "latency"),
+                executor=executor,
+                seed=0,
+            )
+            return runner.run(ExhaustiveSearch())
+
+    fuse = benchmark.pedantic(
+        lambda: run(fuse_space), rounds=1, iterations=1
+    )
+
+    # Degenerate equivalence: constrained to the weights-fit rule, the
+    # partition-gened DSE *is* today's fuse-depth DSE.
+    degenerate = run(
+        DesignSpace(
+            **grid,
+            partitions=PartitionAxis(segments=segments, candidates=(None,)),
+        )
+    )
+    assert [(e.point, e.values) for e in degenerate.frontier.entries] == [
+        (e.point, e.values) for e in fuse.frontier.entries
+    ]
+
+    # Backend identity: serial == process == service, bit for bit.
+    serial = run(partition_space)
+    parallel = run(partition_space, jobs=2)
+    service = run(partition_space, jobs=2, backend="service")
+    for other in (parallel, service):
+        assert [(e.point, e.values) for e in serial.frontier.entries] == [
+            (e.point, e.values) for e in other.frontier.entries
+        ]
+        assert serial.evaluations == other.evaluations
+
+    # Coverage: the partition space contains every auto point, so its
+    # exhaustive frontier can never be worse than the fuse-depth one.
+    # Strictness is set-level: the partition frontier covers the
+    # fuse-only one (epsilon <= 0) *and* holds points the fuse-only
+    # frontier cannot cover back (reverse epsilon > 0).
+    partition_values = [e.values for e in serial.frontier.entries]
+    fuse_values = [e.values for e in fuse.frontier.entries]
+    epsilon = additive_epsilon(partition_values, fuse_values)
+    reverse = additive_epsilon(fuse_values, partition_values)
+    assert epsilon <= 0.0
+    strict = reverse > 0.0
+    write_output(
+        "dse_partition_frontier.txt",
+        f"mccnn partition-genes DSE ({segments} branch-free segments, "
+        f"{partition_space.size} designs vs {fuse_space.size} fuse-only):\n"
+        f"  searched partition frontier "
+        f"{'STRICTLY DOMINATES' if strict else 'ties'} the fuse-depth-only "
+        f"frontier (epsilon {epsilon:.6g}, reverse epsilon "
+        f"{reverse:.6g})\n\n"
+        + frontier_table(serial.frontier)
+        + "\n\nfuse-depth-only frontier:\n"
+        + frontier_table(fuse.frontier),
+    )
+
+
 def test_dse_constrained_scenario_smoke(benchmark):
     """The PR-3 acceptance smoke: a 3-workload scenario under an
     on-chip memory-budget constraint produces an all-feasible frontier

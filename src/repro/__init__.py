@@ -54,6 +54,7 @@ from .dse import (
     MemoryBudgetConstraint,
     ObjectiveCapConstraint,
     ParetoFrontier,
+    PartitionAxis,
     RandomSearch,
     Scenario,
 )
@@ -109,6 +110,7 @@ __all__ = [
     "DSEResult",
     "DSERunner",
     "ParetoFrontier",
+    "PartitionAxis",
     "ExhaustiveSearch",
     "RandomSearch",
     "GeneticSearch",

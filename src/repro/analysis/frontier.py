@@ -20,6 +20,8 @@ import csv
 import io
 from typing import TYPE_CHECKING, Sequence
 
+from ..dse.partition import partition_label
+
 if TYPE_CHECKING:
     from ..dse.pareto import FrontierEntry, ParetoFrontier
     from ..dse.runner import GenerationStats
@@ -125,12 +127,14 @@ def convergence_table(generations: "Sequence[GenerationStats]") -> str:
 
 def frontier_csv(frontier: "ParetoFrontier") -> str:
     """CSV rendering of a Pareto frontier (raw objective values, not
-    display-scaled): design axes first, then one column per objective,
-    then the total constraint violation."""
+    display-scaled): design axes first — including the winning stack
+    partition, as cut positions over the workload's branch-free
+    segments — then one column per objective, then the total constraint
+    violation."""
     buffer = io.StringIO()
     writer = csv.writer(buffer, lineterminator="\n")
     writer.writerow(
-        ["accelerator", "tile_x", "tile_y", "mode", "fuse_depth"]
+        ["accelerator", "tile_x", "tile_y", "mode", "fuse_depth", "partition"]
         + list(frontier.objectives)
         + ["violation"]
     )
@@ -143,6 +147,7 @@ def frontier_csv(frontier: "ParetoFrontier") -> str:
                 p.tile_y,
                 p.mode.value,
                 "" if p.fuse_depth is None else p.fuse_depth,
+                partition_label(p.partition),
             ]
             + [repr(v) for v in entry.values]
             + [repr(entry.violation)]

@@ -23,9 +23,13 @@ evaluation above):
 
 ``repro dse``
     Multi-objective design-space exploration: Pareto-frontier search
-    over tile sizes, overlap modes, fuse depths and accelerators with
-    exhaustive, random or genetic strategies (deterministic per
-    ``--seed``, parallel via ``--jobs``).  ``--workloads a,b:2,c``
+    over tile sizes, overlap modes, stack partitions and accelerators
+    with exhaustive, random or genetic strategies (deterministic per
+    ``--seed``, parallel via ``--jobs``).  The stack-partition axis is
+    the ``--fuse-depths`` cap grid by default; ``--partition-genes``
+    searches every explicit partition of the workload's branch-free
+    segments instead (``--stacks 'auto;1;1,3'`` pins a candidate
+    list).  ``--workloads a,b:2,c``
     searches a weighted multi-workload scenario; ``--memory-budget``,
     ``--latency-cap`` and ``--energy-cap`` add feasibility constraints
     (infeasible designs are listed by ``--show-infeasible``); the
@@ -72,11 +76,13 @@ from .dse import (
     DesignSpace,
     DSERunner,
     MemoryBudgetConstraint,
+    PartitionAxis,
     Scenario,
     create_strategy,
     energy_cap,
     latency_cap,
     load_reference_frontier,
+    workload_segments,
 )
 from .explore import Executor, MappingCache, SweepSpec
 from .serve import CacheClient, CacheServer, CacheServerError
@@ -225,6 +231,41 @@ def _fuse_list(text: str) -> tuple[int | None, ...]:
     if not values:
         raise argparse.ArgumentTypeError(f"empty fuse-depth list: {text!r}")
     return tuple(values)
+
+
+def _partition_list(text: str) -> "tuple[tuple[int, ...] | None, ...]":
+    """Parse explicit stack-partition candidates: semicolon-separated
+    cut-position lists (``'1,3'``), with ``'auto'`` for the weights-fit
+    rule and ``'all'`` for no cuts (one fully fused stack); e.g.
+    ``'auto;1;1,3;all'``."""
+    candidates: "list[tuple[int, ...] | None]" = []
+    for part in text.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        if part == "auto":
+            candidates.append(None)
+            continue
+        if part == "all":
+            candidates.append(())
+            continue
+        try:
+            cuts = tuple(
+                int(p) for p in part.split(",") if p.strip()
+            )
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"bad partition cuts {part!r}: use 'auto', 'all', or "
+                "comma-separated cut positions like '1,3'"
+            )
+        if not cuts or any(c < 1 for c in cuts):
+            raise argparse.ArgumentTypeError(
+                f"partition cut positions must be >= 1: {part!r}"
+            )
+        candidates.append(tuple(sorted(set(cuts))))
+    if not candidates:
+        raise argparse.ArgumentTypeError(f"empty partition list: {text!r}")
+    return tuple(candidates)
 
 
 def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
@@ -532,6 +573,25 @@ def build_dse_parser() -> argparse.ArgumentParser:
         "(e.g. 'auto,1,2,4')",
     )
     parser.add_argument(
+        "--partition-genes",
+        action="store_true",
+        help="search explicit stack partitions (axis 3) as genes: every "
+        "subset of cut positions over the workload's branch-free "
+        "segments, plus the automatic weights-fit rule; replaces the "
+        "--fuse-depths axis",
+    )
+    parser.add_argument(
+        "--stacks",
+        type=_partition_list,
+        default=None,
+        metavar="CUTS[;CUTS...]",
+        help="explicit stack-partition candidates instead of the full "
+        "--partition-genes space: semicolon-separated cut-position "
+        "lists over the workload's branch-free segments, 'auto' for "
+        "the weights-fit rule, 'all' for one fully fused stack (e.g. "
+        "'auto;1;1,3')",
+    )
+    parser.add_argument(
         "--population",
         type=_positive_int,
         default=16,
@@ -660,6 +720,49 @@ def run_dse(argv: Sequence[str]) -> int:
     if args.energy_cap is not None:
         constraints.append(energy_cap(args.energy_cap))
 
+    partitions = None
+    member_segments = None
+    if args.partition_genes or args.stacks is not None:
+        if args.partition_genes and args.stacks is not None:
+            raise SystemExit(
+                "--partition-genes and --stacks are mutually exclusive: "
+                "the first searches every cut subset, the second a fixed "
+                "candidate list"
+            )
+        if args.fuse_depths != (None,):
+            raise SystemExit(
+                "--fuse-depths and partition genes are mutually "
+                "exclusive: the partition axis replaces the fuse-depth cap"
+            )
+        names = (
+            workload.workload_names()
+            if isinstance(workload, Scenario)
+            else (workload,)
+        )
+        # The genome is sized for the largest member; smaller members
+        # ignore out-of-range cuts when their partitions decode.  The
+        # tables also feed the runner, which decodes genomes per member.
+        tables = {name: workload_segments(name) for name in names}
+        member_segments = tuple(tables[name] for name in names)
+        segments = max(len(table) for table in tables.values())
+        try:
+            if args.stacks is not None:
+                partitions = PartitionAxis(
+                    segments=segments, candidates=args.stacks
+                )
+            else:
+                partitions = PartitionAxis(segments=segments)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        print(
+            "partition genes: "
+            + ", ".join(
+                f"{name}: {len(table)} segments"
+                for name, table in tables.items()
+            )
+            + f"; axis = {partitions.describe()}"
+        )
+
     try:
         space = DesignSpace(
             accelerators=accelerators,
@@ -667,6 +770,7 @@ def run_dse(argv: Sequence[str]) -> int:
             tile_y=args.tiley,
             modes=args.modes,
             fuse_depths=args.fuse_depths,
+            partitions=partitions,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -701,6 +805,7 @@ def run_dse(argv: Sequence[str]) -> int:
                 max_evals=args.max_evals,
                 checkpoint=args.checkpoint,
                 reference=reference,
+                member_segments=member_segments,
                 seed=args.seed,
             )
             result = runner.run(strategy)

@@ -64,18 +64,18 @@ def branch_free_segments(workload: WorkloadGraph) -> list[list[LayerSpec]]:
             (position[c.name] for c in consumers), default=position[layer.name]
         )
 
+    # A cut is legal at position i iff no *earlier* layer's output is
+    # still needed after i, i.e. the running max of last_use over
+    # layers[:i] does not exceed i.  One pass, O(n).
     segments: list[list[LayerSpec]] = []
     current: list[LayerSpec] = []
+    crossing_until = -1
     for i, layer in enumerate(layers):
         current.append(layer)
-        crossing = any(
-            position[l.name] <= i < last_use[l.name]
-            for l in layers[: i + 1]
-            if l.name != layer.name
-        )
-        if not crossing:
+        if crossing_until <= i:
             segments.append(current)
             current = []
+        crossing_until = max(crossing_until, last_use[layer.name])
     if current:
         segments.append(current)
     return segments
@@ -84,6 +84,63 @@ def branch_free_segments(workload: WorkloadGraph) -> list[list[LayerSpec]]:
 def _make_stack(workload: WorkloadGraph, index: int, layers: list[LayerSpec]) -> Stack:
     sub = workload.subgraph(l.name for l in layers)
     return Stack(index=index, workload=sub, layers=tuple(layers))
+
+
+def _validate_explicit(
+    explicit: tuple[tuple[str, ...], ...], expected: list[str]
+) -> None:
+    """Validate an explicit partition up front: every layer exactly
+    once, and every stack a contiguous schedule-order run.  Out-of-order
+    or interleaved stacks otherwise fail lazily ("stack N has K sinks")
+    or silently mis-tile, so the error here names the offending stack."""
+    covered = [name for stack in explicit for name in stack]
+    if sorted(covered) != sorted(expected):
+        raise ValueError(
+            "explicit stacks must cover every layer exactly once; "
+            f"got {covered} vs {expected}"
+        )
+    position = 0
+    for index, names in enumerate(explicit):
+        run = tuple(expected[position : position + len(names)])
+        if tuple(names) != run:
+            raise ValueError(
+                f"explicit stack {index} {tuple(names)!r} is not contiguous "
+                f"in schedule order; expected the next run {run!r}"
+            )
+        position += len(names)
+
+
+def _single_sink(workload: WorkloadGraph, layers: list[LayerSpec]) -> bool:
+    """Whether ``layers`` form a stack with exactly one sink (a layer
+    whose output no other member consumes)."""
+    names = {l.name for l in layers}
+    sinks = sum(
+        1
+        for l in layers
+        if not any(s.name in names for s in workload.successors(l.name))
+    )
+    return sinks == 1
+
+
+def _chunk_segment(
+    workload: WorkloadGraph, segment: list[LayerSpec], max_layers: int
+) -> list[list[LayerSpec]]:
+    """Split an atomic branch region into stacks of at most
+    ``max_layers`` layers (the fuse-depth cap).  A naive slice can
+    strand two live branch outputs in one chunk (two sinks), which the
+    output tiling cannot schedule, so a chunk shrinks until it has a
+    single sink — a single layer always does, so this terminates."""
+    chunks: list[list[LayerSpec]] = []
+    position = 0
+    while position < len(segment):
+        take = min(max_layers, len(segment) - position)
+        while take > 1 and not _single_sink(
+            workload, segment[position : position + take]
+        ):
+            take -= 1
+        chunks.append(segment[position : position + take])
+        position += take
+    return chunks
 
 
 def partition_stacks(
@@ -107,13 +164,7 @@ def partition_stacks(
             _make_stack(workload, i, [layer]) for i, layer in enumerate(layers)
         ]
     if explicit is not None:
-        covered = [name for stack in explicit for name in stack]
-        expected = [l.name for l in layers]
-        if sorted(covered) != sorted(expected):
-            raise ValueError(
-                "explicit stacks must cover every layer exactly once; "
-                f"got {covered} vs {expected}"
-            )
+        _validate_explicit(explicit, [l.name for l in layers])
         return [
             _make_stack(workload, i, [workload.layer(n) for n in names])
             for i, names in enumerate(explicit)
@@ -136,11 +187,20 @@ def partition_stacks(
     max_layers = fuse_depth if fuse_depth is not None else 1 << 30
     for segment in branch_free_segments(workload):
         seg_bytes = sum(l.weight_bytes for l in segment)
-        if seg_bytes > capacity or len(segment) > max_layers:
-            # The atomic region alone does not fit: single-layer stacks.
+        if seg_bytes > capacity:
+            # The atomic region alone does not fit: single-layer stacks
+            # (the paper's capacity-overflow rule).
             flush()
             for layer in segment:
                 stacks.append(_make_stack(workload, len(stacks), [layer]))
+            continue
+        if len(segment) > max_layers:
+            # The region fits but exceeds the manual fuse-depth cap:
+            # honour the cap with cap-sized chunks rather than falling
+            # all the way back to per-layer stacks.
+            flush()
+            for chunk in _chunk_segment(workload, segment, max_layers):
+                stacks.append(_make_stack(workload, len(stacks), chunk))
             continue
         if current and (
             current_bytes + seg_bytes > capacity

@@ -9,6 +9,9 @@ incremental Pareto frontier instead of a single argmin:
 
 * :class:`DesignSpace` / :class:`DesignPoint` — the joint space and its
   gene encoding (:mod:`repro.dse.space`);
+* :class:`PartitionAxis` — explicit stack-partition genes: segment-
+  relative cut positions searched as first-class axis-3 values, beyond
+  the scalar ``fuse_depth`` cap (:mod:`repro.dse.partition`);
 * :class:`Constraint` implementations — feasibility filters (on-chip
   memory budgets, latency/energy caps) ranked by Deb's constrained
   dominance (:mod:`repro.dse.constraints`);
@@ -60,6 +63,7 @@ from .pareto import (
     dominates,
     nondominated_ranks,
 )
+from .partition import PartitionAxis, decode_cuts, workload_segments
 from .runner import (
     DSEResult,
     DSERunner,
@@ -79,6 +83,9 @@ from .space import DesignPoint, DesignSpace
 __all__ = [
     "DesignPoint",
     "DesignSpace",
+    "PartitionAxis",
+    "decode_cuts",
+    "workload_segments",
     "DSEResult",
     "DSERunner",
     "GenerationStats",

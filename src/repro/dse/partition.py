@@ -1,0 +1,319 @@
+"""Explicit stack-partition genes: the paper's third design axis as a
+searchable encoding.
+
+DeFiNES' axis 3 is the *stack partition* itself, not just the scalar
+``fuse_depth`` cap the earlier DSE searched.  This module encodes a
+partition as **cut positions over the workload's branch-free segments**
+(:func:`~repro.core.stacks.branch_free_segments`): segments stay
+atomic, so *every* genome decodes to a valid, schedule-order-contiguous
+:attr:`~repro.core.strategy.DFStrategy.stacks` partition by
+construction — no infeasible genomes to repair away.
+
+Cut position ``c`` (``1 <= c <= segments - 1``) places a stack boundary
+before segment ``c``; the empty cut tuple ``()`` fuses the whole
+network into one stack, and the distinguished value ``None`` selects
+the automatic weights-fit rule (so the searched space strictly contains
+the classic ``fuse_depths=(None,)`` space).
+
+Partitions are **workload-specific** — different networks have
+different segment tables — so the genome stores *segment-relative* cuts
+and decoding happens per workload (:func:`decode_cuts`): a scenario's
+genome is sized for its largest member and cuts beyond a smaller
+member's segment count are ignored for that member.
+
+:class:`PartitionAxis` is the design space's first *variable-length*
+axis: in its full form the genome grows one binary gene per candidate
+cut position (crossover then recombines partitions cut-by-cut); with an
+explicit ``candidates`` list it degenerates to a plain grid axis like
+the ``fuse_depths`` tuple it generalizes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+from ..core.stacks import branch_free_segments
+
+if TYPE_CHECKING:
+    from ..workloads.graph import WorkloadGraph
+
+#: One partition value: cut positions (sorted, unique), or None for the
+#: automatic weights-fit rule.
+PartitionValue = "tuple[int, ...] | None"
+
+
+def partition_label(partition: "tuple[int, ...] | None") -> str:
+    """The one shared rendering of a partition value: empty for the
+    automatic weights-fit rule, ``all`` for the cut-free partition
+    (every segment fused into one stack), else pipe-separated cut
+    positions (``1|3``).  Report tables and CSV cells both use it."""
+    if partition is None:
+        return ""
+    if not partition:
+        return "all"
+    return "|".join(str(cut) for cut in partition)
+
+
+def workload_segments(
+    workload: "str | WorkloadGraph",
+) -> tuple[tuple[str, ...], ...]:
+    """The branch-free segment table of a workload: layer names per
+    segment, in schedule order.  Accepts a zoo name or a graph object
+    (the same references :class:`~repro.explore.spec.EvalJob` ships)."""
+    if isinstance(workload, str):
+        from ..workloads.zoo import get_workload
+
+        workload = get_workload(workload)
+    return tuple(
+        tuple(layer.name for layer in segment)
+        for segment in branch_free_segments(workload)
+    )
+
+
+def decode_cuts(
+    cuts: tuple[int, ...],
+    segments: tuple[tuple[str, ...], ...],
+) -> tuple[tuple[str, ...], ...]:
+    """Decode segment-relative cut positions into explicit stacks for
+    one workload.
+
+    Cut ``c`` opens a new stack before segment ``c``; cuts at or beyond
+    the workload's segment count are ignored (the genome is sized for
+    the scenario's largest member, smaller members simply have fewer
+    cut points).  The result is always a valid ``DFStrategy.stacks``
+    partition: schedule-order contiguous, every layer exactly once.
+    """
+    count = len(segments)
+    boundaries = [0] + [c for c in cuts if 1 <= c < count] + [count]
+    return tuple(
+        tuple(name for segment in segments[lo:hi] for name in segment)
+        for lo, hi in zip(boundaries, boundaries[1:])
+    )
+
+
+def validate_cuts(cuts: tuple[int, ...], segments: int) -> tuple[int, ...]:
+    """Validate one cut tuple against a segment count: integer cut
+    positions, strictly increasing, within ``1..segments - 1``."""
+    cuts = tuple(int(c) for c in cuts)
+    if list(cuts) != sorted(set(cuts)):
+        raise ValueError(
+            f"cut positions must be strictly increasing, got {cuts}"
+        )
+    if cuts and (cuts[0] < 1 or cuts[-1] > segments - 1):
+        raise ValueError(
+            f"cut positions must be within 1..{segments - 1} "
+            f"(between {segments} branch-free segments), got {cuts}"
+        )
+    return cuts
+
+
+@dataclass(frozen=True)
+class PartitionAxis:
+    """The stack-partition axis of a :class:`~repro.dse.space.DesignSpace`.
+
+    Parameters
+    ----------
+    segments:
+        Number of branch-free segments the genome is sized for (the
+        maximum across a scenario's members; see
+        :func:`workload_segments`).
+    include_auto:
+        Whether the automatic weights-fit rule (``None``) is also a
+        candidate (default), so the searched space strictly contains
+        the classic automatic-partition space.  Ignored when
+        ``candidates`` is given.
+    candidates:
+        Optional explicit candidate list (cut tuples, ``None`` for
+        auto): the axis then degenerates to a plain grid — one index
+        gene, like the ``fuse_depths`` tuple — instead of the full
+        ``2^(segments-1)`` cut-subset space with one binary gene per
+        cut position.
+    """
+
+    segments: int
+    include_auto: bool = True
+    candidates: "tuple[tuple[int, ...] | None, ...] | None" = None
+
+    def __post_init__(self) -> None:
+        if self.segments < 1:
+            raise ValueError(
+                f"a partition axis needs >= 1 segment, got {self.segments}"
+            )
+        if self.candidates is not None:
+            if not self.candidates:
+                raise ValueError("the candidates list is empty")
+            normalized = []
+            seen = set()
+            for candidate in self.candidates:
+                if candidate is not None:
+                    candidate = validate_cuts(candidate, self.segments)
+                if candidate in seen:
+                    raise ValueError(
+                        f"duplicate partition candidate {candidate!r}"
+                    )
+                seen.add(candidate)
+                normalized.append(candidate)
+            object.__setattr__(self, "candidates", tuple(normalized))
+
+    # ------------------------------------------------------------------
+    # Value enumeration (shared with DesignSpace.point_at/enumerate)
+    # ------------------------------------------------------------------
+    @property
+    def _auto_offset(self) -> int:
+        return 1 if self.include_auto else 0
+
+    @property
+    def size(self) -> int:
+        """Number of candidate partitions on this axis."""
+        if self.candidates is not None:
+            return len(self.candidates)
+        return self._auto_offset + (1 << (self.segments - 1))
+
+    def value_at(self, index: int) -> "PartitionValue":
+        """The ``index``-th partition in deterministic order: the
+        candidates list, or (auto first, then) bitmask order over the
+        cut positions."""
+        if not 0 <= index < self.size:
+            raise IndexError(index)
+        if self.candidates is not None:
+            return self.candidates[index]
+        if self.include_auto and index == 0:
+            return None
+        mask = index - self._auto_offset
+        return tuple(
+            bit + 1 for bit in range(self.segments - 1) if mask >> bit & 1
+        )
+
+    def index_of(self, value: "PartitionValue") -> int:
+        """Inverse of :meth:`value_at`; ``ValueError`` if outside."""
+        if self.candidates is not None:
+            try:
+                return self.candidates.index(value)
+            except ValueError:
+                raise ValueError(
+                    f"partition {value!r} is not a candidate of this axis"
+                ) from None
+        if value is None:
+            if not self.include_auto:
+                raise ValueError(
+                    "the automatic partition is not on this axis "
+                    "(include_auto=False)"
+                )
+            return 0
+        cuts = validate_cuts(value, self.segments)
+        return self._auto_offset + sum(1 << (c - 1) for c in cuts)
+
+    def contains(self, value: "PartitionValue") -> bool:
+        try:
+            self.index_of(value)
+        except ValueError:
+            return False
+        return True
+
+    def values(self) -> "Iterator[PartitionValue]":
+        for index in range(self.size):
+            yield self.value_at(index)
+
+    # ------------------------------------------------------------------
+    # Gene plumbing (the variable-length part of the genome)
+    # ------------------------------------------------------------------
+    def gene_cardinalities(self) -> tuple[int, ...]:
+        """Per-slot cardinality of this axis' genes: one index gene in
+        candidates mode, else one binary auto gene (when included) plus
+        one binary gene per cut position."""
+        if self.candidates is not None:
+            return (len(self.candidates),)
+        return (2,) * (self._auto_offset + self.segments - 1)
+
+    def encode(self, value: "PartitionValue") -> tuple[int, ...]:
+        """The gene slots of one partition value."""
+        if self.candidates is not None:
+            return (self.index_of(value),)
+        if value is None:
+            self.index_of(value)  # raises when auto is excluded
+            return (1,) + (0,) * (self.segments - 1)
+        cuts = set(validate_cuts(value, self.segments))
+        bits = tuple(
+            1 if bit + 1 in cuts else 0 for bit in range(self.segments - 1)
+        )
+        return ((0,) if self.include_auto else ()) + bits
+
+    def decode(self, genes: tuple[int, ...]) -> "PartitionValue":
+        """Inverse of :meth:`encode` (length-checked)."""
+        expected = len(self.gene_cardinalities())
+        if len(genes) != expected:
+            raise ValueError(
+                f"expected {expected} partition gene(s), got {len(genes)}"
+            )
+        if self.candidates is not None:
+            return self.candidates[genes[0]]
+        if self.include_auto:
+            auto, bits = genes[0], genes[1:]
+            if auto:
+                return None
+        else:
+            bits = genes
+        return tuple(bit + 1 for bit, flag in enumerate(bits) if flag)
+
+    def mutate_slot(self, slot: int, value: int, rng: random.Random) -> int:
+        """Partition-aware mutation: cut/auto genes *flip* (a fresh
+        uniform draw would leave them unchanged half the time); a
+        candidates-mode index gene redraws uniformly like any grid
+        axis."""
+        if self.candidates is not None:
+            return rng.randrange(len(self.candidates))
+        return 1 - value
+
+    def repair(self, genes: tuple[int, ...]) -> tuple[int, ...]:
+        """Canonicalize a genome tail after crossover/mutation: when
+        the auto gene is set, the cut genes are dormant — zero them so
+        equivalent genomes share one canonical form.  (Validity never
+        needs repair: every bit pattern decodes to a legal partition.)"""
+        if self.candidates is None and self.include_auto and genes[0]:
+            return (1,) + (0,) * (self.segments - 1)
+        return tuple(genes)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        if self.candidates is not None:
+            return (
+                f"{len(self.candidates)} explicit partition(s) over "
+                f"{self.segments} branch-free segments"
+            )
+        return (
+            f"all partitions over {self.segments} branch-free segments "
+            f"({self.size} incl. auto)" if self.include_auto else
+            f"all partitions over {self.segments} branch-free segments "
+            f"({self.size})"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "segments": self.segments,
+            "include_auto": self.include_auto,
+            "candidates": (
+                None
+                if self.candidates is None
+                else [
+                    None if c is None else list(c) for c in self.candidates
+                ]
+            ),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "PartitionAxis":
+        raw = data.get("candidates")
+        return cls(
+            segments=int(data["segments"]),
+            include_auto=bool(data.get("include_auto", True)),
+            candidates=(
+                None
+                if raw is None
+                else tuple(
+                    None if c is None else tuple(int(v) for v in c)
+                    for c in raw
+                )
+            ),
+        )

@@ -51,6 +51,7 @@ from ..mapping.cost import resolve_objective
 from .constraints import Constraint
 from .metrics import additive_epsilon, reference_point
 from .pareto import FrontierEntry, ParetoFrontier
+from .partition import workload_segments
 from .scenario import Scenario, WeightedWorkload
 from .search import SearchStrategy, create_strategy
 from .space import DesignPoint, DesignSpace
@@ -62,12 +63,20 @@ if TYPE_CHECKING:
 #: 2: entries carry violations; generation stats and the hypervolume
 #: reference are persisted; the stamp covers constraints and scenarios.
 #: 3: generation stats carry the epsilon-vs-reference-frontier metric.
-CHECKPOINT_FORMAT_VERSION = 3
+#: 4: design points (and the space stamp) may carry explicit
+#: stack-partition genes ("partition" / "partitions" keys, present only
+#: when used, so pre-partition runs still write byte-compatible bodies).
+CHECKPOINT_FORMAT_VERSION = 4
 
-#: Formats :meth:`DSERunner._resume` still reads: v2 differs from v3
-#: only by the absent (optional) epsilon field, so rejecting it would
-#: throw away paid-for evaluations for no reason.
-READABLE_CHECKPOINT_FORMATS = (2, CHECKPOINT_FORMAT_VERSION)
+#: Formats :meth:`DSERunner._resume` still reads: v2 and v3 differ from
+#: v4 only by optional fields (epsilon, partition genes), so rejecting
+#: them would throw away paid-for evaluations for no reason.  One
+#: exception, gated in :meth:`DSERunner._resume`: pre-v4 runs whose
+#: space caps stacks at >= 2 layers were evaluated under the old
+#: fuse-depth rule (over-cap segments exploded per layer; they now
+#: split into cap-sized chunks), so those cached values would silently
+#: mix two cost models.
+READABLE_CHECKPOINT_FORMATS = (2, 3, CHECKPOINT_FORMAT_VERSION)
 
 
 def load_reference_frontier(path: str | Path) -> ParetoFrontier:
@@ -220,6 +229,13 @@ class DSERunner:
         generation then also records the additive epsilon of the
         current feasible frontier against it — how far, per objective,
         the run still is from covering the reference set.
+    member_segments:
+        Optional pre-resolved branch-free segment tables, one per
+        scenario member (single workloads count as a one-member
+        scenario), for partition-gened spaces — callers that already
+        built the tables (the CLI sizes the axis from them) pass them
+        here instead of paying the graph construction twice.  Resolved
+        automatically when omitted.
     seed:
         Seed of the single rng all strategy randomness flows through.
     """
@@ -234,6 +250,9 @@ class DSERunner:
         max_evals: int | None = None,
         checkpoint: str | Path | None = None,
         reference: "ParetoFrontier | Sequence[Sequence[float]] | None" = None,
+        member_segments: (
+            "Sequence[tuple[tuple[str, ...], ...]] | None"
+        ) = None,
         seed: int = 0,
     ) -> None:
         if max_evals is not None and max_evals < 1:
@@ -253,6 +272,26 @@ class DSERunner:
             if isinstance(workload, Scenario)
             else (WeightedWorkload(workload=workload),)
         )
+        # Partition genes are segment-relative and workload-specific:
+        # resolve each member's branch-free segment table once, so every
+        # batch decodes the same genome per workload (a scenario's
+        # genome is sized for its largest member; smaller members ignore
+        # out-of-range cuts).
+        if space.partitions is None:
+            self._member_segments = None
+        elif member_segments is not None:
+            if len(member_segments) != len(self._members):
+                raise ValueError(
+                    f"{len(member_segments)} segment table(s) for "
+                    f"{len(self._members)} scenario member(s)"
+                )
+            self._member_segments = tuple(member_segments)
+        else:
+            self._member_segments = (
+                workload.segment_tables()
+                if isinstance(workload, Scenario)
+                else (workload_segments(workload),)
+            )
 
     @property
     def workload_name(self) -> str:
@@ -319,22 +358,32 @@ class DSERunner:
             "config": None if config is None else list(config.cache_token()),
         }
 
+    def _member_strategy(self, point: DesignPoint, member_index: int):
+        """The DF strategy ``point`` means for one scenario member
+        (identical for every member unless the point carries partition
+        genes, which decode against the member's segment table)."""
+        if point.partition is None or self._member_segments is None:
+            return point.strategy()
+        return point.strategy(segments=self._member_segments[member_index])
+
     # ------------------------------------------------------------------
     def _evaluate_fresh(
         self, fresh: Sequence[DesignPoint]
     ) -> list[tuple[tuple[float, ...], float]]:
         """Evaluate a batch of designs (one job per design x scenario
-        member), returning per-design (aggregate values, violation)."""
+        member), returning per-design (aggregate values, violation).
+        Partition genes decode per member: the same segment-relative
+        cuts become each workload's own explicit stacks."""
         members = self._members
         jobs = [
             EvalJob(
                 accelerator=point.accelerator,
                 workload=member.workload,
-                strategy=point.strategy(),
+                strategy=self._member_strategy(point, index),
                 tag="dse",
             )
             for point in fresh
-            for member in members
+            for index, member in enumerate(members)
         ]
         results = self.executor.run(jobs)
         total_weight = sum(m.weight for m in members)
@@ -465,6 +514,20 @@ class DSERunner:
                 f"{self.checkpoint}: unsupported DSE checkpoint format "
                 f"{data.get('format')!r} (expected one of "
                 f"{READABLE_CHECKPOINT_FORMATS})"
+            )
+        if data.get("format") != CHECKPOINT_FORMAT_VERSION and any(
+            depth is not None and depth > 1 for depth in self.space.fuse_depths
+        ):
+            # Depths of None (no cap) and 1 (per-layer) evaluate
+            # identically under both rules, so only capped grids are
+            # stale.
+            raise ValueError(
+                f"{self.checkpoint}: format {data.get('format')} "
+                "checkpoints predate the fuse-depth chunking rule "
+                "(over-cap segments now split into cap-sized chunks "
+                "instead of per-layer stacks), so its fuse-capped "
+                "evaluations are stale; delete the checkpoint to "
+                "re-evaluate"
             )
         for field_name, expected in self._checkpoint_stamp().items():
             if data.get(field_name) != expected:

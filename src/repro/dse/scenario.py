@@ -16,6 +16,7 @@ aggregated as the worst case across workloads.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
@@ -112,13 +113,30 @@ class Scenario:
     @classmethod
     def parse(cls, spec: str) -> "Scenario":
         """Parse a CLI scenario spec: comma-separated zoo names with
-        optional ``:weight`` suffixes, e.g. ``resnet18:3,fsrcnn,mccnn``."""
+        optional ``:weight`` suffixes, e.g. ``resnet18:3,fsrcnn,mccnn``.
+
+        Malformed members are rejected up front with the offending part
+        named: empty names (``":2"``), trailing colons (``"resnet18:"``
+        would otherwise silently mean weight 1.0), and weights that are
+        not positive finite numbers.
+        """
         members: list[WeightedWorkload] = []
         for part in spec.split(","):
             part = part.strip()
             if not part:
                 continue
-            name, _, raw_weight = part.partition(":")
+            name, sep, raw_weight = part.partition(":")
+            name = name.strip()
+            raw_weight = raw_weight.strip()
+            if not name:
+                raise ValueError(
+                    f"scenario member {part!r} has no workload name"
+                )
+            if sep and not raw_weight:
+                raise ValueError(
+                    f"scenario member {part!r} ends in ':' without a "
+                    "weight; drop the colon for the default weight 1.0"
+                )
             if raw_weight:
                 try:
                     weight = float(raw_weight)
@@ -126,9 +144,23 @@ class Scenario:
                     raise ValueError(
                         f"bad scenario weight {raw_weight!r} in {part!r}"
                     ) from None
+                # NaN fails the > 0 comparison too.
+                if not (weight > 0.0 and math.isfinite(weight)):
+                    raise ValueError(
+                        f"scenario weight must be a positive finite "
+                        f"number, got {raw_weight!r} in {part!r}"
+                    )
             else:
                 weight = 1.0
             members.append(WeightedWorkload(workload=name, weight=weight))
         if not members:
             raise ValueError(f"empty scenario spec: {spec!r}")
         return cls(members=tuple(members))
+
+    def segment_tables(self) -> tuple[tuple[tuple[str, ...], ...], ...]:
+        """Per-member branch-free segment tables (layer names per
+        segment, schedule order) — the decoding context for
+        segment-relative partition genes, which are workload-specific."""
+        from .partition import workload_segments
+
+        return tuple(workload_segments(m.workload) for m in self.members)

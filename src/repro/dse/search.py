@@ -93,11 +93,18 @@ class RandomSearch(SearchStrategy):
 class GeneticSearch(SearchStrategy):
     """NSGA-II-flavoured evolutionary search over strategy genes.
 
-    Genes are the per-axis indices of a design point.  Each generation
-    breeds ``population`` offspring by binary tournament on
-    (non-dominated rank, crowding distance), uniform crossover, and
-    per-gene uniform mutation; survivors are the best ``population`` of
-    the merged parent+offspring pool.
+    Genes are the slots of :meth:`DesignSpace.genes`: per-axis indices
+    for the grid axes, plus — on partition-gened spaces — one binary
+    gene per candidate cut position, so uniform crossover recombines
+    stack partitions *cut by cut* and mutation flips individual cuts
+    (the space's :meth:`~DesignSpace.mutate_gene` rule).  Each
+    generation breeds ``population`` offspring by binary tournament on
+    (non-dominated rank, crowding distance), uniform crossover and
+    per-gene mutation, then canonicalizes every child through
+    :meth:`DesignSpace.repair_genome` (every genome decodes to a valid
+    stack partition by construction; repair only normalizes dormant
+    genes).  Survivors are the best ``population`` of the merged
+    parent+offspring pool.
     """
 
     name = "genetic"
@@ -191,14 +198,13 @@ class GeneticSearch(SearchStrategy):
             )
         else:
             child = mother
-        axes = list(self.space.axes().values())
         child = tuple(
-            self.rng.randrange(len(axes[i]))
+            self.space.mutate_gene(i, gene, self.rng)
             if self.rng.random() < self.mutation_rate
             else gene
             for i, gene in enumerate(child)
         )
-        return self.space.point(child)
+        return self.space.point(self.space.repair_genome(child))
 
 
 def create_strategy(name: str, **options) -> SearchStrategy:

@@ -2,8 +2,9 @@
 
 A :class:`DesignPoint` is one coordinate in the joint space of the
 paper's three scheduling axes — tile size (axis 1), overlap storing mode
-(axis 2) and fuse depth / stack partition (axis 3) — crossed with the
-hardware axis of case study 3 (which accelerator runs the workload).
+(axis 2) and the stack partition (axis 3, as a ``fuse_depth`` cap or an
+explicit segment-relative partition) — crossed with the hardware axis of
+case study 3 (which accelerator runs the workload).
 
 A :class:`DesignSpace` declares the candidate values per axis.  It is
 the single source of truth for
@@ -11,8 +12,12 @@ the single source of truth for
 * **enumeration** — grid order reuses the classic sweep enumeration
   (:func:`~repro.core.optimizer.grid_strategies`), so an exhaustive DSE
   visits exactly the points of the paper's case-study sweeps;
-* **genes** — every point maps to a tuple of per-axis indices, the
-  representation the genetic searcher crosses over and mutates;
+* **genes** — every point maps to a tuple of genes, the representation
+  the genetic searcher crosses over and mutates.  Four index genes
+  cover the accelerator/tile/mode axes; the *stack axis* contributes
+  the rest: one index gene for a ``fuse_depths`` grid (the degenerate,
+  fixed-length special case) or a variable-length run of binary cut
+  genes for a :class:`~repro.dse.partition.PartitionAxis`;
 * **sampling** — :meth:`DesignSpace.point_at` turns linear indices into
   points so searchers draw without replacement
   (``rng.sample(range(space.size), k)``); :meth:`DesignSpace.sample` is
@@ -28,20 +33,66 @@ from dataclasses import dataclass
 from typing import Iterator, Mapping, Sequence
 
 from ..core.strategy import DFStrategy, OverlapMode
+from .partition import PartitionAxis, decode_cuts, partition_label
 
 
 @dataclass(frozen=True)
 class DesignPoint:
-    """One candidate design: an accelerator plus a DF strategy choice."""
+    """One candidate design: an accelerator plus a DF strategy choice.
+
+    The stack-partition axis appears as exactly one of ``fuse_depth``
+    (the scalar cap on the automatic weights-fit rule) or ``partition``
+    (segment-relative cut positions; ``()`` fuses everything, ``None``
+    on both fields is the plain automatic rule).
+    """
 
     accelerator: str
     tile_x: int
     tile_y: int
     mode: OverlapMode
     fuse_depth: int | None = None
+    partition: tuple[int, ...] | None = None
 
-    def strategy(self) -> DFStrategy:
-        """The DF strategy this point evaluates."""
+    def __post_init__(self) -> None:
+        if self.fuse_depth is not None and self.partition is not None:
+            raise ValueError(
+                "give either a fuse_depth cap or an explicit partition, "
+                "not both"
+            )
+        if self.partition is not None:
+            object.__setattr__(
+                self, "partition", tuple(int(c) for c in self.partition)
+            )
+            if list(self.partition) != sorted(set(self.partition)) or (
+                self.partition and self.partition[0] < 1
+            ):
+                raise ValueError(
+                    "partition cuts must be strictly increasing positions "
+                    f">= 1, got {self.partition}"
+                )
+
+    def strategy(
+        self, segments: "tuple[tuple[str, ...], ...] | None" = None
+    ) -> DFStrategy:
+        """The DF strategy this point evaluates.
+
+        Partitioned points are workload-specific: ``segments`` (the
+        workload's branch-free segment table, see
+        :func:`~repro.dse.partition.workload_segments`) is required to
+        decode the segment-relative cuts into explicit stacks.
+        """
+        if self.partition is not None:
+            if segments is None:
+                raise ValueError(
+                    "a partitioned design point needs the workload's "
+                    "branch-free segment table to decode its stacks"
+                )
+            return DFStrategy(
+                tile_x=self.tile_x,
+                tile_y=self.tile_y,
+                mode=self.mode,
+                stacks=decode_cuts(self.partition, segments),
+            )
         return DFStrategy(
             tile_x=self.tile_x,
             tile_y=self.tile_y,
@@ -57,11 +108,13 @@ class DesignPoint:
             self.tile_y,
             self.mode.value,
             self.fuse_depth,
+            self.partition,
         )
 
     def sort_key(self) -> tuple:
         """Totally ordered variant of :meth:`key` (``fuse_depth=None``
-        mixes with ints, which plain tuple comparison cannot order)."""
+        mixes with ints and ``partition=None`` with tuples, which plain
+        tuple comparison cannot order)."""
         return (
             self.accelerator,
             self.tile_x,
@@ -69,25 +122,35 @@ class DesignPoint:
             self.mode.value,
             self.fuse_depth is not None,
             self.fuse_depth or 0,
+            self.partition is not None,
+            self.partition or (),
         )
 
     def describe(self) -> str:
         base = f"{self.accelerator} {self.mode.value} {self.tile_x}x{self.tile_y}"
         if self.fuse_depth is not None:
             base += f" fuse<={self.fuse_depth}"
+        if self.partition is not None:
+            base += f" cuts=[{partition_label(self.partition)}]"
         return base
 
     def to_json(self) -> dict:
-        return {
+        data = {
             "accelerator": self.accelerator,
             "tile_x": self.tile_x,
             "tile_y": self.tile_y,
             "mode": self.mode.value,
             "fuse_depth": self.fuse_depth,
         }
+        # Only partitioned points carry the key, so pre-partition
+        # encodings (checkpoint formats <= 3) stay byte-compatible.
+        if self.partition is not None:
+            data["partition"] = list(self.partition)
+        return data
 
     @classmethod
     def from_json(cls, data: Mapping) -> "DesignPoint":
+        raw_partition = data.get("partition")
         return cls(
             accelerator=data["accelerator"],
             tile_x=int(data["tile_x"]),
@@ -96,16 +159,58 @@ class DesignPoint:
             fuse_depth=(
                 None if data.get("fuse_depth") is None else int(data["fuse_depth"])
             ),
+            partition=(
+                None
+                if raw_partition is None
+                else tuple(int(c) for c in raw_partition)
+            ),
         )
+
+
+class _FuseDepthAxis:
+    """The classic ``fuse_depths`` grid through the stack-axis
+    interface: the degenerate, fixed-length special case of the
+    variable-length partition axis (one index gene)."""
+
+    def __init__(self, depths: tuple) -> None:
+        self.depths = depths
+
+    @property
+    def size(self) -> int:
+        return len(self.depths)
+
+    def value_at(self, index: int):
+        return self.depths[index]
+
+    def gene_cardinalities(self) -> tuple[int, ...]:
+        return (len(self.depths),)
+
+    def encode(self, value) -> tuple[int, ...]:
+        return (self.depths.index(value),)
+
+    def decode(self, genes: tuple[int, ...]):
+        if len(genes) != 1:
+            raise ValueError(f"expected 1 fuse-depth gene, got {len(genes)}")
+        return self.depths[genes[0]]
+
+    def mutate_slot(self, slot: int, value: int, rng) -> int:
+        return rng.randrange(len(self.depths))
+
+    def repair(self, genes: tuple[int, ...]) -> tuple[int, ...]:
+        return tuple(genes)
 
 
 @dataclass(frozen=True)
 class DesignSpace:
     """Candidate values per axis of the joint design space.
 
-    Axis order — accelerators, tile_x, tile_y, modes, fuse_depths — is
-    also the gene order of the genetic searcher.  ``fuse_depths`` may
-    contain ``None``, the automatic weights-fit stack partition.
+    Axis order — accelerators, tile_x, tile_y, modes, then the stack
+    axis — is also the gene order of the genetic searcher.  The stack
+    axis is either the ``fuse_depths`` grid (which may contain ``None``,
+    the automatic weights-fit stack partition) or, when ``partitions``
+    is given, a :class:`~repro.dse.partition.PartitionAxis` of explicit
+    segment-relative stack partitions (``fuse_depths`` must then stay at
+    its ``(None,)`` default — the partition axis replaces it).
     """
 
     accelerators: tuple[str, ...]
@@ -113,6 +218,7 @@ class DesignSpace:
     tile_y: tuple[int, ...]
     modes: tuple[OverlapMode, ...] = tuple(OverlapMode)
     fuse_depths: tuple[int | None, ...] = (None,)
+    partitions: PartitionAxis | None = None
 
     def __post_init__(self) -> None:
         for label, axis in self.axes().items():
@@ -120,50 +226,127 @@ class DesignSpace:
                 raise ValueError(f"design-space axis {label!r} is empty")
             if len(set(axis)) != len(axis):
                 raise ValueError(f"design-space axis {label!r} has duplicates")
+        if self.partitions is not None and tuple(self.fuse_depths) != (None,):
+            raise ValueError(
+                "give either explicit partition genes or a fuse-depth "
+                "grid, not both (the partition axis replaces fuse_depths)"
+            )
 
     # ------------------------------------------------------------------
     def axes(self) -> dict[str, tuple]:
-        """The axes in gene order, keyed by name."""
-        return {
+        """The fixed-cardinality grid axes in gene order, keyed by name.
+        The stack axis joins them as the ``fuse_depths`` grid only in
+        its degenerate form; a partition axis is reached through
+        :attr:`stack_axis` instead (its full value set is exponential
+        in the segment count and never materialized)."""
+        axes = {
             "accelerators": self.accelerators,
             "tile_x": self.tile_x,
             "tile_y": self.tile_y,
             "modes": self.modes,
-            "fuse_depths": self.fuse_depths,
         }
+        if self.partitions is None:
+            axes["fuse_depths"] = self.fuse_depths
+        return axes
+
+    @property
+    def stack_axis(self):
+        """The axis-3 handle: the partition axis, or the fuse-depth
+        grid wrapped in the same interface."""
+        return (
+            self.partitions
+            if self.partitions is not None
+            else _FuseDepthAxis(self.fuse_depths)
+        )
 
     @property
     def size(self) -> int:
         """Number of distinct design points."""
-        total = 1
-        for axis in self.axes().values():
-            total *= len(axis)
-        return total
+        return (
+            len(self.accelerators)
+            * len(self.tile_x)
+            * len(self.tile_y)
+            * len(self.modes)
+            * self.stack_axis.size
+        )
 
     def __len__(self) -> int:
         return self.size
 
     def __contains__(self, point: DesignPoint) -> bool:
+        if self.partitions is not None:
+            stack_ok = point.fuse_depth is None and self.partitions.contains(
+                point.partition
+            )
+        else:
+            stack_ok = point.partition is None and (
+                point.fuse_depth in self.fuse_depths
+            )
         return (
             point.accelerator in self.accelerators
             and point.tile_x in self.tile_x
             and point.tile_y in self.tile_y
             and point.mode in self.modes
-            and point.fuse_depth in self.fuse_depths
+            and stack_ok
         )
 
     # ------------------------------------------------------------------
     # Genes <-> points
     # ------------------------------------------------------------------
-    def point(self, genes: Sequence[int]) -> DesignPoint:
-        """The design point at per-axis indices ``genes``."""
-        accel_i, tx_i, ty_i, mode_i, fuse_i = genes
+    def _point_with_stack_value(
+        self, accelerator: str, tile_x: int, tile_y: int, mode: OverlapMode, value
+    ) -> DesignPoint:
+        if self.partitions is not None:
+            return DesignPoint(
+                accelerator=accelerator,
+                tile_x=tile_x,
+                tile_y=tile_y,
+                mode=mode,
+                partition=value,
+            )
         return DesignPoint(
-            accelerator=self.accelerators[accel_i],
-            tile_x=self.tile_x[tx_i],
-            tile_y=self.tile_y[ty_i],
-            mode=self.modes[mode_i],
-            fuse_depth=self.fuse_depths[fuse_i],
+            accelerator=accelerator,
+            tile_x=tile_x,
+            tile_y=tile_y,
+            mode=mode,
+            fuse_depth=value,
+        )
+
+    def _stack_value(self, point: DesignPoint):
+        if self.partitions is not None:
+            if point.fuse_depth is not None:
+                raise ValueError(
+                    f"{point.describe()} carries a fuse_depth cap, but "
+                    "this space searches explicit partitions"
+                )
+            return point.partition
+        if point.partition is not None:
+            raise ValueError(
+                f"{point.describe()} carries an explicit partition, but "
+                "this space searches fuse depths"
+            )
+        return point.fuse_depth
+
+    def gene_cardinalities(self) -> tuple[int, ...]:
+        """Per-slot cardinality of the genome: the four index genes,
+        then the stack axis' slots (variable-length for partitions)."""
+        return (
+            len(self.accelerators),
+            len(self.tile_x),
+            len(self.tile_y),
+            len(self.modes),
+        ) + self.stack_axis.gene_cardinalities()
+
+    def point(self, genes: Sequence[int]) -> DesignPoint:
+        """The design point encoded by ``genes``."""
+        accel_i, tx_i, ty_i, mode_i = genes[:4]
+        value = self.stack_axis.decode(tuple(genes[4:]))
+        return self._point_with_stack_value(
+            self.accelerators[accel_i],
+            self.tile_x[tx_i],
+            self.tile_y[ty_i],
+            self.modes[mode_i],
+            value,
         )
 
     def genes(self, point: DesignPoint) -> tuple[int, ...]:
@@ -173,48 +356,85 @@ class DesignSpace:
             self.tile_x.index(point.tile_x),
             self.tile_y.index(point.tile_y),
             self.modes.index(point.mode),
-            self.fuse_depths.index(point.fuse_depth),
-        )
+        ) + self.stack_axis.encode(self._stack_value(point))
+
+    def mutate_gene(self, slot: int, value: int, rng) -> int:
+        """Redraw one gene slot: index genes uniformly, stack-axis genes
+        through the axis' own rule (binary cut genes flip)."""
+        cards = self.gene_cardinalities()
+        if slot < 4:
+            return rng.randrange(cards[slot])
+        return self.stack_axis.mutate_slot(slot - 4, value, rng)
+
+    def repair_genome(self, genes: Sequence[int]) -> tuple[int, ...]:
+        """Canonicalize a bred genome (identity for grid-only spaces;
+        partition axes zero dormant cut genes under the auto flag)."""
+        return tuple(genes[:4]) + self.stack_axis.repair(tuple(genes[4:]))
 
     def point_at(self, index: int) -> DesignPoint:
         """The ``index``-th point of :meth:`enumerate` (for sampling
         without replacement over linear indices)."""
         if not 0 <= index < self.size:
             raise IndexError(index)
-        # Linear order matches enumerate(): accelerator-major, then fuse
-        # depth, then the classic mode-major tile grid.
+        # Linear order matches enumerate(): accelerator-major, then the
+        # stack axis, then the classic mode-major tile grid.
+        axis = self.stack_axis
         tiles = len(self.tile_x) * len(self.tile_y)
-        per_fuse = len(self.modes) * tiles
-        per_accel = len(self.fuse_depths) * per_fuse
+        per_stack = len(self.modes) * tiles
+        per_accel = axis.size * per_stack
         accel_i, rest = divmod(index, per_accel)
-        fuse_i, rest = divmod(rest, per_fuse)
+        stack_i, rest = divmod(rest, per_stack)
         mode_i, rest = divmod(rest, tiles)
         tx_i, ty_i = divmod(rest, len(self.tile_y))
-        return self.point((accel_i, tx_i, ty_i, mode_i, fuse_i))
+        return self._point_with_stack_value(
+            self.accelerators[accel_i],
+            self.tile_x[tx_i],
+            self.tile_y[ty_i],
+            self.modes[mode_i],
+            axis.value_at(stack_i),
+        )
 
     # ------------------------------------------------------------------
     def enumerate(self) -> Iterator[DesignPoint]:
         """Every point in deterministic grid order: accelerator-major,
-        then fuse depth, then the classic sweep (mode-major) tile order
-        shared with :func:`~repro.core.optimizer.grid_strategies`."""
+        then the stack axis (fuse depth or partition), then the classic
+        sweep (mode-major) tile order shared with
+        :func:`~repro.core.optimizer.grid_strategies`."""
         from ..core.optimizer import grid_strategies
 
         tiles = tuple((tx, ty) for tx in self.tile_x for ty in self.tile_y)
+        axis = self.stack_axis
         for accelerator in self.accelerators:
-            for fuse_depth in self.fuse_depths:
-                for strategy in grid_strategies(tiles, self.modes, fuse_depth):
-                    yield DesignPoint(
-                        accelerator=accelerator,
-                        tile_x=strategy.tile_x,
-                        tile_y=strategy.tile_y,
-                        mode=strategy.mode,
-                        fuse_depth=strategy.fuse_depth,
-                    )
+            for value in (axis.value_at(i) for i in range(axis.size)):
+                if self.partitions is None:
+                    for strategy in grid_strategies(tiles, self.modes, value):
+                        yield DesignPoint(
+                            accelerator=accelerator,
+                            tile_x=strategy.tile_x,
+                            tile_y=strategy.tile_y,
+                            mode=strategy.mode,
+                            fuse_depth=strategy.fuse_depth,
+                        )
+                else:
+                    for mode in self.modes:
+                        for tx, ty in tiles:
+                            yield DesignPoint(
+                                accelerator=accelerator,
+                                tile_x=tx,
+                                tile_y=ty,
+                                mode=mode,
+                                partition=value,
+                            )
 
     def sample(self, rng) -> DesignPoint:
         """One uniform draw (deterministic given the ``rng`` state)."""
-        return self.point(
-            tuple(rng.randrange(len(axis)) for axis in self.axes().values())
+        axis = self.stack_axis
+        return self._point_with_stack_value(
+            self.accelerators[rng.randrange(len(self.accelerators))],
+            self.tile_x[rng.randrange(len(self.tile_x))],
+            self.tile_y[rng.randrange(len(self.tile_y))],
+            self.modes[rng.randrange(len(self.modes))],
+            axis.value_at(rng.randrange(axis.size)),
         )
 
     def sample_points(self, rng, count: int) -> list[DesignPoint]:
@@ -247,16 +467,22 @@ class DesignSpace:
 
     # ------------------------------------------------------------------
     def to_json(self) -> dict:
-        return {
+        data = {
             "accelerators": list(self.accelerators),
             "tile_x": list(self.tile_x),
             "tile_y": list(self.tile_y),
             "modes": [m.value for m in self.modes],
             "fuse_depths": list(self.fuse_depths),
         }
+        # Only partition-gened spaces carry the key, so pre-partition
+        # checkpoint stamps (formats <= 3) keep matching byte-for-byte.
+        if self.partitions is not None:
+            data["partitions"] = self.partitions.to_json()
+        return data
 
     @classmethod
     def from_json(cls, data: Mapping) -> "DesignSpace":
+        raw_partitions = data.get("partitions")
         return cls(
             accelerators=tuple(data["accelerators"]),
             tile_x=tuple(int(v) for v in data["tile_x"]),
@@ -264,5 +490,10 @@ class DesignSpace:
             modes=tuple(OverlapMode(m) for m in data["modes"]),
             fuse_depths=tuple(
                 None if v is None else int(v) for v in data["fuse_depths"]
+            ),
+            partitions=(
+                None
+                if raw_partitions is None
+                else PartitionAxis.from_json(raw_partitions)
             ),
         )

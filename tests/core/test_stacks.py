@@ -3,9 +3,36 @@
 import pytest
 
 from repro.core.stacks import branch_free_segments, partition_stacks
-from repro.workloads.zoo import resnet18
+from repro.workloads.zoo import WORKLOAD_FACTORIES, get_workload, resnet18
 
 from ..conftest import make_branchy_workload, make_tiny_workload
+
+
+def quadratic_reference_segments(workload):
+    """The original O(n^2) branch-free segmentation, kept verbatim as
+    the property-test oracle for the O(n) production rewrite."""
+    layers = workload.topological_layers()
+    position = {l.name: i for i, l in enumerate(layers)}
+    last_use = {}
+    for layer in layers:
+        consumers = workload.successors(layer.name)
+        last_use[layer.name] = max(
+            (position[c.name] for c in consumers), default=position[layer.name]
+        )
+    segments, current = [], []
+    for i, layer in enumerate(layers):
+        current.append(layer)
+        crossing = any(
+            position[l.name] <= i < last_use[l.name]
+            for l in layers[: i + 1]
+            if l.name != layer.name
+        )
+        if not crossing:
+            segments.append(current)
+            current = []
+    if current:
+        segments.append(current)
+    return segments
 
 
 class TestSegments:
@@ -76,6 +103,183 @@ class TestExplicitPartition:
     def test_per_layer(self, tiny_workload, meta_df):
         stacks = partition_stacks(tiny_workload, meta_df, per_layer=True)
         assert [s.layer_names for s in stacks] == [("L1",), ("L2",), ("L3",)]
+
+
+class TestExplicitContiguity:
+    """Out-of-order or non-contiguous explicit stacks used to fail only
+    lazily ("stack N has K sinks") or silently mis-tile; they must be
+    rejected up front, naming the offending stack."""
+
+    def test_out_of_order_stacks_rejected(self, tiny_workload, meta_df):
+        with pytest.raises(ValueError, match="explicit stack 0"):
+            partition_stacks(
+                tiny_workload, meta_df, explicit=(("L3",), ("L1", "L2"))
+            )
+
+    def test_out_of_order_within_stack_rejected(self, tiny_workload, meta_df):
+        with pytest.raises(ValueError, match="not contiguous"):
+            partition_stacks(
+                tiny_workload, meta_df, explicit=(("L2", "L1"), ("L3",))
+            )
+
+    def test_interleaved_stacks_name_the_offender(
+        self, branchy_workload, meta_df
+    ):
+        # entry/c2 and c1/join interleave: stack 0 is not a schedule run.
+        with pytest.raises(ValueError, match="explicit stack 0 .*'entry', 'c2'"):
+            partition_stacks(
+                branchy_workload,
+                meta_df,
+                explicit=(("entry", "c2"), ("c1", "join"), ("exit",)),
+            )
+
+    def test_coverage_still_checked_first(self, tiny_workload, meta_df):
+        with pytest.raises(ValueError, match="cover every layer"):
+            partition_stacks(
+                tiny_workload, meta_df, explicit=(("L1", "L1"), ("L2", "L3"))
+            )
+
+    def test_valid_contiguous_partition_still_accepted(
+        self, branchy_workload, meta_df
+    ):
+        stacks = partition_stacks(
+            branchy_workload,
+            meta_df,
+            explicit=(("entry",), ("c1", "c2", "join"), ("exit",)),
+        )
+        assert [s.layer_names for s in stacks] == [
+            ("entry",), ("c1", "c2", "join"), ("exit",)
+        ]
+
+
+class TestFuseCapChunking:
+    """A branch-free segment longer than the fuse-depth cap splits into
+    cap-sized chunks; only *capacity* overflow keeps the paper's
+    per-layer fallback."""
+
+    def test_depth_cap_chunks_instead_of_per_layer(self, meta_df):
+        wl = resnet18()
+        capacity = meta_df.top_weight_buffer().instance.size_bytes
+        stacks = partition_stacks(wl, meta_df, fuse_depth=2)
+        assert all(len(s.layers) <= 2 for s in stacks)
+        # The early residual blocks (3-4 layer segments, weights fit)
+        # must now yield at least one multi-layer chunk, not explode.
+        s1 = [s for s in stacks if any("s1b1" in n for n in s.layer_names)]
+        assert any(len(s.layers) == 2 for s in s1)
+        for s in stacks:
+            assert s.weight_bytes <= capacity or len(s.layers) == 1
+
+    def test_capacity_overflow_keeps_per_layer_rule(self, meta_df):
+        # s4 blocks exceed the 1MB weight buffer: per-layer, even though
+        # a 2-layer chunk would satisfy the depth cap.
+        wl = resnet18()
+        stacks = partition_stacks(wl, meta_df, fuse_depth=2)
+        s4 = [s for s in stacks if any("s4b2" in n for n in s.layer_names)]
+        assert s4 and all(len(s.layers) == 1 for s in s4)
+
+    def test_chunks_cover_segment_in_order_with_single_sinks(self, meta_df):
+        wl = resnet18()
+        stacks = partition_stacks(wl, meta_df, fuse_depth=3)
+        flat = [n for s in stacks for n in s.layer_names]
+        assert flat == [l.name for l in wl.topological_layers()]
+        for s in stacks:
+            s.sink  # raises if a chunk stranded two live outputs
+
+    def test_diamond_chunk_shrinks_to_keep_single_sink(self, meta_df):
+        """Parallel branches falling in one naive chunk must shrink it:
+        a cap-2 slice [a, b] of a diamond holds two sinks, so the chunk
+        shrinks to [a] and the rest becomes [b, join]."""
+        from repro import WorkloadBuilder
+
+        builder = WorkloadBuilder("diamond", channels=8, x=16, y=16)
+        t = builder.input()
+        entry = builder.conv("entry", t, k=8, f=3, pad=1)
+        a = builder.conv("a", entry, k=8, f=3, pad=1)
+        b = builder.conv("b", entry, k=8, f=3, pad=1)
+        builder.add("join", a, b)
+        wl = builder.build()
+
+        stacks = partition_stacks(wl, meta_df, fuse_depth=2)
+        assert all(len(s.layers) <= 2 for s in stacks)
+        names = [s.layer_names for s in stacks]
+        assert ("a", "b") not in names  # the two-sink slice was shrunk
+        assert ("b", "join") in names
+        for s in stacks:
+            s.sink  # raises if a chunk stranded two live outputs
+        flat = [n for s in stacks for n in s.layer_names]
+        assert flat == [l.name for l in wl.topological_layers()]
+
+
+class TestSegmentsLinearTimeEquivalence:
+    """The O(n) running-max segmentation must reproduce the original
+    O(n^2) rule exactly — checked across the whole workload zoo."""
+
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_FACTORIES))
+    def test_zoo_segmentation_identical(self, name):
+        wl = get_workload(name)
+        got = [
+            [l.name for l in seg] for seg in branch_free_segments(wl)
+        ]
+        want = [
+            [l.name for l in seg]
+            for seg in quadratic_reference_segments(wl)
+        ]
+        assert got == want
+
+    def test_synthetic_workloads_identical(self):
+        for wl in (make_tiny_workload(), make_branchy_workload()):
+            got = [[l.name for l in s] for s in branch_free_segments(wl)]
+            want = [
+                [l.name for l in s] for s in quadratic_reference_segments(wl)
+            ]
+            assert got == want
+
+
+class TestPartitionInvariants:
+    """Property suite for partition_stacks across the zoo: coverage,
+    schedule order, explicit == auto replay, single sink per stack."""
+
+    ZOO_DEPTHS = [(name, depth)
+                  for name in sorted(WORKLOAD_FACTORIES)
+                  for depth in (None, 1, 2, 4)]
+
+    @pytest.mark.parametrize("name,depth", ZOO_DEPTHS)
+    def test_every_layer_covered_once_in_schedule_order(
+        self, name, depth, meta_df
+    ):
+        wl = get_workload(name)
+        stacks = partition_stacks(wl, meta_df, fuse_depth=depth)
+        flat = [n for s in stacks for n in s.layer_names]
+        assert flat == [l.name for l in wl.topological_layers()]
+
+    @pytest.mark.parametrize("name,depth", ZOO_DEPTHS)
+    def test_single_sink_per_stack(self, name, depth, meta_df):
+        wl = get_workload(name)
+        for stack in partition_stacks(wl, meta_df, fuse_depth=depth):
+            assert stack.sink.name == stack.layer_names[-1]
+
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_FACTORIES))
+    def test_explicit_replay_of_auto_rule_is_identical(self, name, meta_df):
+        """Replaying the weights-fit rule's own partition explicitly
+        must reproduce it stack for stack."""
+        wl = get_workload(name)
+        auto = partition_stacks(wl, meta_df)
+        explicit = partition_stacks(
+            wl, meta_df, explicit=tuple(s.layer_names for s in auto)
+        )
+        assert [s.layer_names for s in explicit] == [
+            s.layer_names for s in auto
+        ]
+        assert [s.index for s in explicit] == [s.index for s in auto]
+
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_FACTORIES))
+    def test_stacks_respect_weight_capacity_or_are_single_layer(
+        self, name, meta_df
+    ):
+        wl = get_workload(name)
+        capacity = meta_df.top_weight_buffer().instance.size_bytes
+        for stack in partition_stacks(wl, meta_df):
+            assert len(stack.layers) == 1 or stack.weight_bytes <= capacity
 
 
 class TestStack:

@@ -1,0 +1,200 @@
+"""Unit tests for explicit stack-partition genes (PartitionAxis,
+segment tables, per-workload cut decoding)."""
+
+import json
+import random
+
+import pytest
+
+from repro.dse.partition import (
+    PartitionAxis,
+    decode_cuts,
+    validate_cuts,
+    workload_segments,
+)
+
+from ..conftest import make_branchy_workload, make_tiny_workload
+
+
+class TestWorkloadSegments:
+    def test_zoo_name_and_object_agree(self):
+        from repro.workloads.zoo import get_workload
+
+        by_name = workload_segments("resnet18")
+        by_object = workload_segments(get_workload("resnet18"))
+        assert by_name == by_object
+        assert len(by_name) == 12  # resnet18's branch-free segments
+
+    def test_segments_are_layer_name_runs(self):
+        table = workload_segments(make_tiny_workload())
+        assert table == (("L1",), ("L2",), ("L3",))
+
+    def test_branch_regions_stay_atomic(self):
+        table = workload_segments(make_branchy_workload())
+        assert ("c1", "c2", "join") in table
+
+
+class TestDecodeCuts:
+    SEGMENTS = (("L1",), ("L2",), ("L3",))
+
+    def test_no_cuts_fuses_everything(self):
+        assert decode_cuts((), self.SEGMENTS) == (("L1", "L2", "L3"),)
+
+    def test_cuts_split_between_segments(self):
+        assert decode_cuts((1,), self.SEGMENTS) == (("L1",), ("L2", "L3"))
+        assert decode_cuts((1, 2), self.SEGMENTS) == (
+            ("L1",), ("L2",), ("L3",)
+        )
+
+    def test_out_of_range_cuts_ignored(self):
+        """A scenario genome is sized for its largest member: cuts
+        beyond a smaller member's segment count are simply dropped."""
+        assert decode_cuts((1, 7), self.SEGMENTS) == (("L1",), ("L2", "L3"))
+        assert decode_cuts((9,), self.SEGMENTS) == (("L1", "L2", "L3"),)
+
+    def test_multi_layer_segments_stay_atomic(self):
+        segments = (("entry",), ("c1", "c2", "join"), ("exit",))
+        assert decode_cuts((2,), segments) == (
+            ("entry", "c1", "c2", "join"), ("exit",)
+        )
+
+    def test_decoded_partition_is_valid_for_partition_stacks(self, meta_df):
+        """The invariant the encoding is built on: every decode is a
+        legal explicit partition."""
+        from repro.core.stacks import partition_stacks
+
+        wl = make_branchy_workload()
+        table = workload_segments(wl)
+        count = len(table)
+        for mask in range(1 << (count - 1)):
+            cuts = tuple(b + 1 for b in range(count - 1) if mask >> b & 1)
+            stacks = partition_stacks(
+                wl, meta_df, explicit=decode_cuts(cuts, table)
+            )
+            flat = [n for s in stacks for n in s.layer_names]
+            assert flat == [l.name for l in wl.topological_layers()]
+
+
+class TestValidateCuts:
+    def test_accepts_sorted_unique_in_range(self):
+        assert validate_cuts((1, 3), 5) == (1, 3)
+        assert validate_cuts((), 5) == ()
+
+    def test_rejects_unsorted_duplicate_and_out_of_range(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            validate_cuts((3, 1), 5)
+        with pytest.raises(ValueError, match="strictly increasing"):
+            validate_cuts((2, 2), 5)
+        with pytest.raises(ValueError, match="within 1..4"):
+            validate_cuts((5,), 5)
+        with pytest.raises(ValueError, match="within"):
+            validate_cuts((0,), 5)
+
+
+class TestFullAxis:
+    def test_size_counts_auto_plus_cut_subsets(self):
+        assert PartitionAxis(segments=4).size == 1 + 8
+        assert PartitionAxis(segments=4, include_auto=False).size == 8
+        assert PartitionAxis(segments=1).size == 2  # auto and ()
+
+    def test_value_at_index_of_round_trip(self):
+        axis = PartitionAxis(segments=4)
+        values = list(axis.values())
+        assert values[0] is None
+        assert values[1] == ()
+        assert len(values) == axis.size
+        assert len(set(values)) == axis.size
+        for index, value in enumerate(values):
+            assert axis.index_of(value) == index
+        with pytest.raises(IndexError):
+            axis.value_at(axis.size)
+
+    def test_contains(self):
+        axis = PartitionAxis(segments=4)
+        assert axis.contains(None) and axis.contains((1, 3))
+        assert not axis.contains((4,))  # out of range
+        assert not axis.contains((2, 1))  # unsorted
+        assert not PartitionAxis(segments=4, include_auto=False).contains(None)
+
+    def test_gene_encode_decode_round_trip(self):
+        axis = PartitionAxis(segments=4)
+        assert axis.gene_cardinalities() == (2, 2, 2, 2)
+        for value in axis.values():
+            genes = axis.encode(value)
+            assert len(genes) == 4
+            assert axis.decode(genes) == value
+
+    def test_auto_encodes_with_zeroed_cut_genes(self):
+        axis = PartitionAxis(segments=4)
+        assert axis.encode(None) == (1, 0, 0, 0)
+        assert axis.decode((1, 1, 0, 1)) is None  # dormant bits ignored
+        assert axis.repair((1, 1, 0, 1)) == (1, 0, 0, 0)
+        assert axis.repair((0, 1, 0, 1)) == (0, 1, 0, 1)
+
+    def test_without_auto_genes_are_pure_cut_bits(self):
+        axis = PartitionAxis(segments=4, include_auto=False)
+        assert axis.gene_cardinalities() == (2, 2, 2)
+        assert axis.encode((1, 3)) == (1, 0, 1)
+        assert axis.decode((1, 0, 1)) == (1, 3)
+        with pytest.raises(ValueError):
+            axis.encode(None)
+
+    def test_mutation_flips_binary_genes(self):
+        axis = PartitionAxis(segments=4)
+        rng = random.Random(0)
+        assert axis.mutate_slot(1, 0, rng) == 1
+        assert axis.mutate_slot(1, 1, rng) == 0
+
+    def test_decode_length_checked(self):
+        with pytest.raises(ValueError, match="partition gene"):
+            PartitionAxis(segments=4).decode((1, 0))
+
+
+class TestCandidatesAxis:
+    def test_degenerates_to_a_grid(self):
+        axis = PartitionAxis(segments=4, candidates=(None, (1,), (1, 3)))
+        assert axis.size == 3
+        assert axis.gene_cardinalities() == (3,)
+        assert [axis.value_at(i) for i in range(3)] == [None, (1,), (1, 3)]
+        assert axis.encode((1, 3)) == (2,)
+        assert axis.decode((2,)) == (1, 3)
+        assert axis.contains((1,)) and not axis.contains((2,))
+
+    def test_candidates_validated(self):
+        with pytest.raises(ValueError, match="empty"):
+            PartitionAxis(segments=4, candidates=())
+        with pytest.raises(ValueError, match="duplicate"):
+            PartitionAxis(segments=4, candidates=((1,), (1,)))
+        with pytest.raises(ValueError, match="within"):
+            PartitionAxis(segments=4, candidates=((9,),))
+
+    def test_mutation_redraws_index(self):
+        axis = PartitionAxis(segments=4, candidates=(None, (1,), (2,)))
+        rng = random.Random(0)
+        assert all(
+            0 <= axis.mutate_slot(0, 1, rng) < 3 for _ in range(10)
+        )
+
+    def test_segment_count_validated(self):
+        with pytest.raises(ValueError, match=">= 1 segment"):
+            PartitionAxis(segments=0)
+
+
+class TestAxisJson:
+    @pytest.mark.parametrize(
+        "axis",
+        [
+            PartitionAxis(segments=4),
+            PartitionAxis(segments=4, include_auto=False),
+            PartitionAxis(segments=6, candidates=(None, (), (1, 3))),
+        ],
+    )
+    def test_round_trip(self, axis):
+        clone = PartitionAxis.from_json(json.loads(json.dumps(axis.to_json())))
+        assert clone == axis
+
+    def test_describe_mentions_segments(self):
+        assert "4 branch-free segments" in PartitionAxis(segments=4).describe()
+        assert "explicit partition" in PartitionAxis(
+            segments=4, candidates=(None,)
+        ).describe()

@@ -56,5 +56,27 @@ class TestFrontierCsv:
     def test_header_names_axes_then_objectives(self):
         header = frontier_csv(sample_frontier()).splitlines()[0]
         assert header == (
-            "accelerator,tile_x,tile_y,mode,fuse_depth,energy,latency,violation"
+            "accelerator,tile_x,tile_y,mode,fuse_depth,partition,"
+            "energy,latency,violation"
         )
+
+    def test_partition_column_renders_winning_cuts(self):
+        frontier = ParetoFrontier(("energy",))
+        frontier.offer(
+            DesignPoint(
+                "meta_proto_like_df", 4, 4, OverlapMode.FULLY_CACHED,
+                partition=(1, 3),
+            ),
+            (1.0e9,),
+        )
+        frontier.offer(
+            DesignPoint(
+                "meta_proto_like_df", 8, 4, OverlapMode.FULLY_CACHED,
+                partition=(),
+            ),
+            (1.0e9,),
+        )
+        rows = list(csv.DictReader(io.StringIO(frontier_csv(frontier))))
+        cells = {r["tile_x"]: r["partition"] for r in rows}
+        assert cells == {"4": "1|3", "8": "all"}
+        assert "cuts=[1|3]" in frontier_table(frontier)

@@ -608,9 +608,9 @@ class TestLoadReferenceFrontier:
 
 class TestCheckpointBackCompat:
     def test_v2_checkpoint_resumes_losslessly(self, fast_config, tmp_path):
-        """A pre-epsilon (format 2) checkpoint differs from v3 only by
-        the optional epsilon field — rejecting it would throw away
-        paid-for evaluations, so it must resume."""
+        """A pre-epsilon (format 2) checkpoint differs from v4 only by
+        optional fields — rejecting it would throw away paid-for
+        evaluations, so it must resume."""
         path = tmp_path / "dse.json"
 
         def runner():
@@ -637,3 +637,232 @@ class TestCheckpointBackCompat:
         resumed = runner().run(ExhaustiveSearch())
         assert resumed.evaluations == 0  # nothing re-paid
         assert resumed.frontier.to_json() == first.frontier.to_json()
+
+    def test_pre_v4_fuse_capped_checkpoint_rejected_as_stale(
+        self, fast_config, tmp_path
+    ):
+        """This PR changed what fuse_depth >= 2 *means* (over-cap
+        segments chunk instead of exploding per layer), so pre-v4
+        checkpoints of capped grids hold values from the old cost
+        model — resuming them would silently mix the two."""
+        path = tmp_path / "dse.json"
+        capped = DesignSpace(
+            accelerators=SPACE.accelerators,
+            tile_x=SPACE.tile_x,
+            tile_y=SPACE.tile_y,
+            modes=SPACE.modes,
+            fuse_depths=(None, 2),
+        )
+
+        def runner(space):
+            return DSERunner(
+                space,
+                make_tiny_workload(),
+                ("energy",),
+                executor(fast_config),
+                checkpoint=path,
+                seed=0,
+            )
+
+        runner(capped).run(ExhaustiveSearch())
+        data = json.loads(path.read_text())
+        data["format"] = 3
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="stale"):
+            runner(capped).run(ExhaustiveSearch())
+
+        # A v4 capped checkpoint, and pre-v4 uncapped ones (None / 1
+        # evaluate identically under both rules), still resume.
+        data["format"] = 4
+        path.write_text(json.dumps(data))
+        assert runner(capped).run(ExhaustiveSearch()).evaluations == 0
+
+    def test_v3_checkpoint_resumes_losslessly(self, fast_config, tmp_path):
+        """A pre-partition-genes (format 3) checkpoint is a byte-level
+        subset of v4 for grid spaces: only the format stamp differs."""
+        path = tmp_path / "dse.json"
+
+        def runner():
+            return DSERunner(
+                SPACE,
+                make_tiny_workload(),
+                ("energy", "latency"),
+                executor(fast_config),
+                checkpoint=path,
+                seed=0,
+            )
+
+        first = runner().run(ExhaustiveSearch())
+        data = json.loads(path.read_text())
+        assert data["format"] == CHECKPOINT_FORMAT_VERSION == 4
+        # The v4 body of a grid-space run must be v3's byte-compatible
+        # superset: no partition keys anywhere.
+        assert "partitions" not in data["space"]
+        assert all(
+            "partition" not in raw_point
+            for raw_point, *_ in data["evaluated"]
+        )
+        data["format"] = 3
+        path.write_text(json.dumps(data))
+
+        resumed = runner().run(ExhaustiveSearch())
+        assert resumed.evaluations == 0
+        assert resumed.frontier.to_json() == first.frontier.to_json()
+
+
+class TestPartitionGenesRunner:
+    """End-to-end DSE over explicit stack-partition genes."""
+
+    def partition_space(self):
+        from repro.dse import PartitionAxis
+
+        return DesignSpace(
+            accelerators=("meta_proto_like_df",),
+            tile_x=(4, 16),
+            tile_y=(4,),
+            modes=(OverlapMode.FULLY_CACHED,),
+            partitions=PartitionAxis(segments=3),
+        )
+
+    def test_partition_values_match_explicit_strategy_runs(
+        self, meta_df, fast_config
+    ):
+        """A partitioned design's objective values must equal a direct
+        engine evaluation of the decoded explicit-stacks strategy."""
+        from repro.dse import workload_segments
+
+        workload = make_tiny_workload()
+        space = self.partition_space()
+        runner = DSERunner(
+            space, workload, ("energy",), executor(fast_config), seed=0
+        )
+        result = runner.run(ExhaustiveSearch())
+        assert result.evaluations == space.size
+
+        engine = DepthFirstEngine(meta_df, fast_config)
+        table = workload_segments(workload)
+        for point, values, _ in result.evaluated.values():
+            direct = engine.evaluate(workload, point.strategy(segments=table))
+            assert values[0] == direct.total.energy_pj
+
+    def test_auto_point_equals_fuse_depth_auto(self, fast_config):
+        """The axis' automatic value is the *same design point* as the
+        classic fuse_depths=(None,) grid's — the degenerate bridge the
+        acceptance criterion rides on."""
+        space = self.partition_space()
+        auto_points = [p for p in space.enumerate() if p.partition is None]
+        grid = DesignSpace(
+            accelerators=space.accelerators,
+            tile_x=space.tile_x,
+            tile_y=space.tile_y,
+            modes=space.modes,
+        )
+        assert auto_points == list(grid.enumerate())
+
+    def test_parallel_partition_run_is_bit_identical_to_serial(
+        self, fast_config
+    ):
+        workload = make_tiny_workload()
+
+        def run(jobs):
+            runner = DSERunner(
+                self.partition_space(),
+                workload,
+                ("energy", "latency"),
+                executor(fast_config, jobs=jobs),
+                seed=0,
+            )
+            return runner.run(GeneticSearch(population=4, generations=2))
+
+        serial, parallel = run(1), run(2)
+        assert serial.evaluations == parallel.evaluations
+        assert [
+            (e.point, e.values) for e in serial.frontier.entries
+        ] == [(e.point, e.values) for e in parallel.frontier.entries]
+
+    def test_partition_checkpoint_round_trip(self, fast_config, tmp_path):
+        """Format-4 checkpoints persist partition genes and resume."""
+        workload = make_tiny_workload()
+        path = tmp_path / "dse.json"
+
+        def runner():
+            return DSERunner(
+                self.partition_space(),
+                workload,
+                ("energy",),
+                executor(fast_config),
+                checkpoint=path,
+                seed=0,
+            )
+
+        first = runner().run(ExhaustiveSearch())
+        data = json.loads(path.read_text())
+        assert data["format"] == CHECKPOINT_FORMAT_VERSION
+        assert data["space"]["partitions"]["segments"] == 3
+        assert any(
+            raw_point.get("partition")
+            for raw_point, *_ in data["evaluated"]
+        )
+
+        resumed = runner().run(ExhaustiveSearch())
+        assert resumed.evaluations == 0
+        assert resumed.frontier.entries == first.frontier.entries
+
+    def test_precomputed_segment_tables_accepted_and_validated(
+        self, fast_config
+    ):
+        """Callers that already resolved the tables (the CLI) hand them
+        over; a count mismatch with the scenario members is an error."""
+        from repro.dse import workload_segments
+
+        workload = make_tiny_workload()
+        table = workload_segments(workload)
+        runner = DSERunner(
+            self.partition_space(),
+            workload,
+            ("energy",),
+            executor(fast_config),
+            member_segments=(table,),
+            seed=0,
+        )
+        assert runner._member_segments == (table,)
+        with pytest.raises(ValueError, match="segment table"):
+            DSERunner(
+                self.partition_space(),
+                workload,
+                ("energy",),
+                executor(fast_config),
+                member_segments=(table, table),
+            )
+
+    def test_partition_axis_mismatch_rejected_on_resume(
+        self, fast_config, tmp_path
+    ):
+        """Resuming a partition-gened run under a plain grid space (or
+        vice versa) must be rejected: the stamps differ."""
+        workload = make_tiny_workload()
+        path = tmp_path / "dse.json"
+        DSERunner(
+            self.partition_space(),
+            workload,
+            ("energy",),
+            executor(fast_config),
+            checkpoint=path,
+            seed=0,
+        ).run(ExhaustiveSearch())
+
+        grid = DesignSpace(
+            accelerators=("meta_proto_like_df",),
+            tile_x=(4, 16),
+            tile_y=(4,),
+            modes=(OverlapMode.FULLY_CACHED,),
+        )
+        with pytest.raises(ValueError, match="space"):
+            DSERunner(
+                grid,
+                workload,
+                ("energy",),
+                executor(fast_config),
+                checkpoint=path,
+                seed=0,
+            ).run(ExhaustiveSearch())

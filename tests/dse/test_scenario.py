@@ -48,6 +48,28 @@ class TestScenarioParsing:
         with pytest.raises(ValueError):
             Scenario.parse("a:0")  # weights must be positive
 
+    def test_parse_rejects_empty_names(self):
+        with pytest.raises(ValueError, match="no workload name"):
+            Scenario.parse(":2")
+        with pytest.raises(ValueError, match="no workload name"):
+            Scenario.parse("a,:3")
+
+    def test_parse_rejects_trailing_colon(self):
+        """'resnet18:' used to silently mean weight 1.0."""
+        with pytest.raises(ValueError, match="without a\n?.*weight"):
+            Scenario.parse("resnet18:")
+        with pytest.raises(ValueError, match="':'"):
+            Scenario.parse("a:1, b:")
+
+    def test_parse_rejects_non_positive_and_non_finite_weights(self):
+        for bad in ("a:0", "a:-2", "a:nan", "a:inf"):
+            with pytest.raises(ValueError, match="positive finite"):
+                Scenario.parse(bad)
+
+    def test_parse_names_offending_member(self):
+        with pytest.raises(ValueError, match="'b:-1'"):
+            Scenario.parse("a:2,b:-1")
+
     def test_of_validates_lengths_and_duplicates(self):
         with pytest.raises(ValueError, match="weights"):
             Scenario.of(("a", "b"), weights=(1.0,))
@@ -133,3 +155,52 @@ class TestScenarioRuns:
         assert [g.hypervolume for g in serial.generations] == [
             g.hypervolume for g in parallel.generations
         ]
+
+
+class TestScenarioPartitionDecoding:
+    """Partition genes are segment-relative: each scenario member
+    decodes the same genome against its own segment table."""
+
+    def test_segment_tables_resolve_members(self):
+        scenario = Scenario.of((make_tiny_workload(), make_strided_workload()))
+        tables = scenario.segment_tables()
+        assert tables[0] == (("L1",), ("L2",), ("L3",))
+        assert len(tables) == 2
+
+    def test_scenario_run_decodes_per_member(self, fast_config):
+        """A partitioned scenario design must score the weight-average
+        of per-member runs of the *member-decoded* explicit strategies."""
+        from repro.core.scheduler import DepthFirstEngine
+        from repro.dse import PartitionAxis
+        from repro.hardware.zoo import get_accelerator
+
+        tiny = make_tiny_workload()
+        strided = make_strided_workload()
+        scenario = Scenario.of((tiny, strided), weights=(2.0, 1.0))
+        space = DesignSpace(
+            accelerators=("meta_proto_like_df",),
+            tile_x=(8,),
+            tile_y=(8,),
+            modes=(OverlapMode.FULLY_CACHED,),
+            partitions=PartitionAxis(segments=3, candidates=((1,), ())),
+        )
+        runner = DSERunner(
+            space, scenario, ("energy",), executor(fast_config), seed=0
+        )
+        result = runner.run(ExhaustiveSearch())
+        assert result.evaluations == space.size
+
+        engine = DepthFirstEngine(
+            get_accelerator("meta_proto_like_df"), fast_config
+        )
+        tables = scenario.segment_tables()
+        for point, values, _ in result.evaluated.values():
+            expected = (
+                2.0 * engine.evaluate(
+                    tiny, point.strategy(segments=tables[0])
+                ).total.energy_pj
+                + 1.0 * engine.evaluate(
+                    strided, point.strategy(segments=tables[1])
+                ).total.energy_pj
+            ) / 3.0
+            assert values[0] == pytest.approx(expected)

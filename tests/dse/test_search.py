@@ -132,6 +132,71 @@ class TestGenetic:
             GeneticSearch(mutation_rate=-0.1)
 
 
+class TestGeneticOverPartitionGenes:
+    """The first variable-length axis: partition-aware breeding must
+    stay deterministic and only ever produce valid genomes."""
+
+    def partition_space(self, **overrides):
+        from repro.dse import PartitionAxis
+
+        base = dict(
+            accelerators=("meta_proto_like_df",),
+            tile_x=(1, 4, 16),
+            tile_y=(1, 4, 18),
+            modes=(OverlapMode.FULLY_CACHED, OverlapMode.FULLY_RECOMPUTE),
+            partitions=PartitionAxis(segments=5),
+        )
+        base.update(overrides)
+        return DesignSpace(**base)
+
+    def test_offspring_stay_inside_space(self):
+        sp = self.partition_space()
+        for batch in drive(GeneticSearch(population=8, generations=5), sp):
+            assert all(p in sp for p in batch)
+            for p in batch:
+                assert p.fuse_depth is None
+
+    def test_search_recombines_partitions(self):
+        """Across a run the search must actually explore the partition
+        axis, not just the auto rule."""
+        sp = self.partition_space()
+        batches = drive(GeneticSearch(population=8, generations=6), sp)
+        partitions = {p.partition for batch in batches for p in batch}
+        assert len(partitions) > 2
+
+    def test_seed_determinism(self):
+        sp = self.partition_space()
+        a = drive(GeneticSearch(population=6, generations=4), sp, seed=0)
+        b = drive(GeneticSearch(population=6, generations=4), sp, seed=0)
+        c = drive(GeneticSearch(population=6, generations=4), sp, seed=1)
+        assert a == b
+        assert a != c
+
+    def test_candidates_mode(self):
+        from repro.dse import PartitionAxis
+
+        sp = self.partition_space(
+            partitions=PartitionAxis(
+                segments=5, candidates=(None, (1,), (2, 4))
+            )
+        )
+        batches = drive(GeneticSearch(population=6, generations=4), sp)
+        for batch in batches:
+            for p in batch:
+                assert p.partition in (None, (1,), (2, 4))
+
+    def test_random_and_exhaustive_cover_partition_space(self):
+        sp = self.partition_space(
+            tile_x=(4,), tile_y=(4,), modes=(OverlapMode.FULLY_CACHED,)
+        )
+        (batch,) = drive(ExhaustiveSearch(), sp)
+        assert len(batch) == sp.size
+        assert len({p.key() for p in batch}) == sp.size
+        (sampled,) = drive(RandomSearch(samples=10), sp, seed=3)
+        assert len(sampled) == 10
+        assert all(p in sp for p in sampled)
+
+
 class TestCreateStrategy:
     def test_by_name(self):
         assert isinstance(create_strategy("exhaustive"), ExhaustiveSearch)

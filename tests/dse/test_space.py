@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.optimizer import ALL_MODES, PAPER_TILE_GRID_X, PAPER_TILE_GRID_Y
 from repro.core.strategy import OverlapMode
-from repro.dse import DesignPoint, DesignSpace
+from repro.dse import DesignPoint, DesignSpace, PartitionAxis
 
 
 def small_space(**overrides):
@@ -121,3 +121,168 @@ class TestDesignSpace:
         assert space.tile_y == PAPER_TILE_GRID_Y
         assert space.modes == ALL_MODES
         assert space.size == 6 * 6 * 3
+
+
+def partition_space(**overrides):
+    base = dict(
+        accelerators=("meta_proto_like_df",),
+        tile_x=(4, 16),
+        tile_y=(4,),
+        modes=(OverlapMode.FULLY_CACHED, OverlapMode.H_CACHED_V_RECOMPUTE),
+        partitions=PartitionAxis(segments=4),
+    )
+    base.update(overrides)
+    return DesignSpace(**base)
+
+
+class TestPartitionedPoints:
+    def test_partition_and_fuse_depth_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            DesignPoint(
+                "a", 4, 4, OverlapMode.FULLY_CACHED,
+                fuse_depth=2, partition=(1,),
+            )
+
+    def test_bad_cut_tuples_rejected(self):
+        for bad in ((2, 1), (1, 1), (0,)):
+            with pytest.raises(ValueError, match="strictly increasing"):
+                DesignPoint(
+                    "a", 4, 4, OverlapMode.FULLY_CACHED, partition=bad
+                )
+
+    def test_json_round_trip_with_partition(self):
+        point = DesignPoint(
+            "a", 4, 4, OverlapMode.FULLY_CACHED, partition=(1, 3)
+        )
+        data = point.to_json()
+        assert data["partition"] == [1, 3]
+        assert DesignPoint.from_json(data) == point
+
+    def test_unpartitioned_json_stays_byte_compatible(self):
+        """Pre-partition checkpoints must keep matching byte-for-byte:
+        the key only appears when used."""
+        point = DesignPoint("a", 4, 4, OverlapMode.FULLY_CACHED, 2)
+        assert "partition" not in point.to_json()
+
+    def test_describe_renders_cuts(self):
+        cut = DesignPoint("a", 4, 4, OverlapMode.FULLY_CACHED, partition=(1, 3))
+        fused = DesignPoint("a", 4, 4, OverlapMode.FULLY_CACHED, partition=())
+        assert "cuts=[1|3]" in cut.describe()
+        assert "cuts=[all]" in fused.describe()
+
+    def test_sort_key_orders_mixed_partitions(self):
+        auto = DesignPoint("a", 4, 4, OverlapMode.FULLY_CACHED)
+        cut = DesignPoint("a", 4, 4, OverlapMode.FULLY_CACHED, partition=(1,))
+        assert sorted([cut, auto], key=lambda p: p.sort_key()) == [auto, cut]
+
+    def test_strategy_requires_segment_table(self):
+        point = DesignPoint(
+            "a", 4, 4, OverlapMode.FULLY_CACHED, partition=(1,)
+        )
+        with pytest.raises(ValueError, match="segment table"):
+            point.strategy()
+        strategy = point.strategy(segments=(("L1",), ("L2",), ("L3",)))
+        assert strategy.stacks == (("L1",), ("L2", "L3"))
+        assert strategy.fuse_depth is None
+
+
+class TestPartitionSpace:
+    def test_size_multiplies_partition_axis(self):
+        assert partition_space().size == 1 * 2 * 1 * 2 * (1 + 8)
+
+    def test_fuse_depth_grid_must_stay_default(self):
+        with pytest.raises(ValueError, match="not both"):
+            partition_space(fuse_depths=(None, 2))
+
+    def test_enumerate_covers_space_once_and_matches_point_at(self):
+        space = partition_space()
+        points = list(space.enumerate())
+        assert len(points) == space.size
+        assert len({p.key() for p in points}) == space.size
+        assert [space.point_at(i) for i in range(space.size)] == points
+
+    def test_genes_round_trip_variable_length(self):
+        space = partition_space()
+        # 4 index genes + 1 auto gene + 3 cut genes.
+        assert space.gene_cardinalities() == (1, 2, 1, 2, 2, 2, 2, 2)
+        for point in space.enumerate():
+            genes = space.genes(point)
+            assert len(genes) == 8
+            assert space.point(genes) == point
+
+    def test_contains_checks_partition_validity(self):
+        space = partition_space()
+        auto = DesignPoint("meta_proto_like_df", 4, 4, OverlapMode.FULLY_CACHED)
+        cut = DesignPoint(
+            "meta_proto_like_df", 4, 4, OverlapMode.FULLY_CACHED,
+            partition=(1, 3),
+        )
+        capped = DesignPoint(
+            "meta_proto_like_df", 4, 4, OverlapMode.FULLY_CACHED, fuse_depth=2
+        )
+        out_of_range = DesignPoint(
+            "meta_proto_like_df", 4, 4, OverlapMode.FULLY_CACHED,
+            partition=(4,),
+        )
+        assert auto in space and cut in space
+        assert capped not in space  # fuse caps have no home on this axis
+        assert out_of_range not in space
+
+    def test_fuse_point_rejected_by_genes(self):
+        space = partition_space()
+        capped = DesignPoint(
+            "meta_proto_like_df", 4, 4, OverlapMode.FULLY_CACHED, fuse_depth=2
+        )
+        with pytest.raises(ValueError, match="fuse_depth"):
+            space.genes(capped)
+
+    def test_partition_point_rejected_by_grid_space(self):
+        space = small_space()
+        cut = DesignPoint(
+            "meta_proto_like_df", 4, 4, OverlapMode.FULLY_CACHED,
+            partition=(1,),
+        )
+        assert cut not in space
+        with pytest.raises(ValueError, match="explicit partition"):
+            space.genes(cut)
+
+    def test_sample_is_seed_deterministic_and_valid(self):
+        space = partition_space()
+        a = [space.sample(random.Random(7)) for _ in range(8)]
+        b = [space.sample(random.Random(7)) for _ in range(8)]
+        assert a == b
+        assert all(p in space for p in a)
+        assert any(p.partition not in (None,) for p in a)
+
+    def test_json_round_trip(self):
+        space = partition_space()
+        assert DesignSpace.from_json(space.to_json()) == space
+        assert "partitions" in space.to_json()
+
+    def test_grid_space_json_stays_byte_compatible(self):
+        """Checkpoint stamps of pre-partition runs compare the space
+        dict verbatim — no new key may appear for grid spaces."""
+        assert "partitions" not in small_space().to_json()
+
+    def test_candidates_mode_behaves_like_a_grid(self):
+        space = partition_space(
+            partitions=PartitionAxis(
+                segments=4, candidates=(None, (1,), (1, 2, 3))
+            )
+        )
+        assert space.size == 1 * 2 * 1 * 2 * 3
+        assert space.gene_cardinalities()[-1] == 3
+        points = list(space.enumerate())
+        assert [space.point_at(i) for i in range(space.size)] == points
+        for point in points:
+            assert space.point(space.genes(point)) == point
+
+    def test_repair_genome_zeroes_dormant_cuts(self):
+        space = partition_space()
+        repaired = space.repair_genome((0, 1, 0, 1, 1, 1, 0, 1))
+        assert repaired == (0, 1, 0, 1, 1, 0, 0, 0)
+        untouched = (0, 1, 0, 1, 0, 1, 0, 1)
+        assert space.repair_genome(untouched) == untouched
+        # Grid spaces: identity.
+        grid = small_space()
+        assert grid.repair_genome((0, 1, 0, 1, 1)) == (0, 1, 0, 1, 1)

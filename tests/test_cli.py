@@ -191,7 +191,8 @@ class TestDseMain:
         assert summary["objectives"] == ["energy", "latency"]
         assert summary["frontier"]["entries"]
         assert csv_path.read_text().startswith(
-            "accelerator,tile_x,tile_y,mode,fuse_depth,energy,latency,violation"
+            "accelerator,tile_x,tile_y,mode,fuse_depth,partition,"
+            "energy,latency,violation"
         )
         assert "hypervolume" in captured  # convergence table is printed
 
@@ -225,6 +226,97 @@ class TestDseMain:
         assert summary["constraints"] == [["memory_budget", None]]
         assert summary["evaluations"] == 2
         assert summary["generations"]
+
+
+class TestDsePartitionOptions:
+    def test_partition_list_parsing(self):
+        from repro.cli import _partition_list
+
+        assert _partition_list("auto;1;1,3;all") == (None, (1,), (1, 3), ())
+        assert _partition_list("3,1") == ((1, 3),)  # normalized
+        import argparse
+
+        for bad in ("", ";;", "banana", "0", "1,-2"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                _partition_list(bad)
+
+    def test_partition_genes_and_stacks_conflict(self):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(
+                [
+                    "dse", "--workload", "mccnn",
+                    "--partition-genes", "--stacks", "auto",
+                ]
+            )
+
+    def test_fuse_depths_and_partition_genes_conflict(self):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(
+                [
+                    "dse", "--workload", "mccnn",
+                    "--partition-genes", "--fuse-depths", "auto,2",
+                ]
+            )
+
+    def test_out_of_range_stacks_cut_rejected(self):
+        # mccnn has 4 branch-free segments: cuts live in 1..3.
+        with pytest.raises(SystemExit, match="within 1..3"):
+            main(["dse", "--workload", "mccnn", "--stacks", "9"])
+
+    def test_stacks_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "dse.json"
+        csv_path = tmp_path / "frontier.csv"
+        code = main(
+            [
+                "dse",
+                "--workload", "mccnn",
+                "--strategy", "exhaustive",
+                "--objectives", "energy",
+                "--tilex", "16",
+                "--tiley", "4",
+                "--modes", "fully_cached",
+                "--budget", "40",
+                "--lpf-limit", "4",
+                "--stacks", "auto;1,3",
+                "--csv", str(csv_path),
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "partition genes: mccnn: 4 segments" in captured
+        summary = json.loads(out.read_text())
+        assert summary["evaluations"] == 2
+        points = [
+            entry["point"] for entry in summary["frontier"]["entries"]
+        ]
+        assert any("partition" in p for p in points) or len(points) == 1
+        assert "partition" in csv_path.read_text().splitlines()[0]
+
+    def test_partition_genes_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "dse.json"
+        code = main(
+            [
+                "dse",
+                "--workload", "mccnn",
+                "--strategy", "genetic",
+                "--population", "4",
+                "--generations", "2",
+                "--objectives", "energy",
+                "--tilex", "16",
+                "--tiley", "4",
+                "--modes", "fully_cached",
+                "--budget", "40",
+                "--lpf-limit", "4",
+                "--partition-genes",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "axis = all partitions over 4 branch-free segments" in captured
+        summary = json.loads(out.read_text())
+        assert summary["evaluations"] >= 1
 
 
 class TestCacheInfoMain:
