@@ -87,7 +87,7 @@ from .dse import (
 from .explore import Executor, MappingCache, SweepSpec
 from .serve import CacheClient, CacheServer, CacheServerError
 from .hardware.zoo import ACCELERATOR_FACTORIES, get_accelerator
-from .mapping import OBJECTIVE_NAMES, SearchConfig, validate_objectives
+from .mapping import ENGINES, OBJECTIVE_NAMES, SearchConfig, validate_objectives
 from .mapping.cache import cache_file_info
 from .workloads.zoo import WORKLOAD_FACTORIES, get_workload
 
@@ -314,6 +314,14 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
         help="temporal-mapping orderings evaluated per layer-tile",
     )
     parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="batch",
+        help="mapping-search engine: 'batch' scores all orderings in "
+        "numpy array ops, 'scalar' is the pure-python reference; "
+        "results are bit-identical (see README)",
+    )
+    parser.add_argument(
         "--seed",
         type=_seed,
         default=0,
@@ -464,7 +472,9 @@ def run_evaluate(argv: Sequence[str]) -> int:
     accel = get_accelerator(args.accelerator)
     workload = get_workload(args.workload)
     mode = _resolve_mode(args.mode)
-    config = SearchConfig(lpf_limit=args.lpf_limit, budget=args.budget)
+    config = SearchConfig(
+        lpf_limit=args.lpf_limit, budget=args.budget, engine=args.engine
+    )
     cache = _resolve_cache(args)
 
     tiles = [(tx, ty) for tx in args.tilex for ty in args.tiley]
@@ -781,7 +791,9 @@ def run_dse(argv: Sequence[str]) -> int:
         except ValueError as exc:
             raise SystemExit(str(exc))
 
-    config = SearchConfig(lpf_limit=args.lpf_limit, budget=args.budget)
+    config = SearchConfig(
+        lpf_limit=args.lpf_limit, budget=args.budget, engine=args.engine
+    )
     cache = _resolve_cache(args)
     strategy = create_strategy(
         args.strategy,
@@ -972,14 +984,57 @@ def run_serve(argv: Sequence[str]) -> int:
 def build_cache_info_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro cache-info",
-        description="Inspect a persistent mapping-cache JSON file.",
+        description="Inspect a persistent mapping-cache JSON file, or a "
+        "live cache server's table and load counters.",
     )
-    parser.add_argument("path", help="mapping-cache file to inspect")
+    parser.add_argument(
+        "path", nargs="?", default=None, help="mapping-cache file to inspect"
+    )
+    parser.add_argument(
+        "--cache-server",
+        default=None,
+        metavar="HOST:PORT",
+        help="query a live 'repro serve' instance (hits, misses, size, "
+        "per-op requests, connections, in-flight, queue depth) instead "
+        "of reading a file",
+    )
     return parser
 
 
 def run_cache_info(argv: Sequence[str]) -> int:
     args = build_cache_info_parser().parse_args(argv)
+    if args.cache_server is not None and args.path is not None:
+        raise SystemExit(
+            "give either a cache file path or --cache-server, not both"
+        )
+    if args.cache_server is not None:
+        try:
+            with CacheClient(args.cache_server) as client:
+                stats = client.server_stats()
+        except (ValueError, CacheServerError) as exc:
+            raise SystemExit(str(exc))
+        print(f"server:      {args.cache_server}")
+        print(f"size:        {stats.get('size', 0)} entries")
+        print(
+            f"table:       {stats.get('hits', 0)} hits / "
+            f"{stats.get('misses', 0)} misses"
+        )
+        requests = stats.get("requests", {})
+        if requests:
+            ops = ", ".join(f"{op}={n}" for op, n in sorted(requests.items()))
+            print(f"requests:    {ops}")
+        print(
+            f"connections: {stats.get('connections', 0)} open "
+            f"({stats.get('connections_total', 0)} total)"
+        )
+        print(
+            f"load:        {stats.get('in_flight', 0)} in flight, "
+            f"{stats.get('queue_depth', 0)} queued"
+        )
+        print(f"snapshots:   {stats.get('snapshots_written', 0)} written")
+        return 0
+    if args.path is None:
+        raise SystemExit("give a cache file path (or --cache-server HOST:PORT)")
     info = cache_file_info(args.path)
     print(f"path:    {info['path']}")
     print(f"status:  {info['status']}")

@@ -130,6 +130,17 @@ class Accelerator:
             seen.setdefault(lvl.instance.uid, lvl.instance)
         return list(seen.values())
 
+    def instances_by_uid(self) -> dict[int, MemoryInstance]:
+        """Memoized uid -> instance table.  The cost model resolves
+        bandwidth limits through this on every mapping evaluation, so the
+        table is built once per accelerator, not once per call (the
+        instances of a frozen accelerator never change)."""
+        cached = self.__dict__.get("_instances_by_uid")
+        if cached is None:
+            cached = {inst.uid: inst for inst in self.instances()}
+            object.__setattr__(self, "_instances_by_uid", cached)
+        return cached
+
     def on_chip_capacity_bytes(self) -> int:
         """Total on-chip memory capacity (excludes DRAM)."""
         return sum(

@@ -2,6 +2,7 @@
 temporal-mapping search engine (LOMA substitute)."""
 
 from .allocation import AllocationError, allocate
+from .batch import BatchEvaluation, BatchFallback, evaluate_candidates
 from .cache import MappingCache
 from .cost import (
     OBJECTIVE_NAMES,
@@ -11,7 +12,7 @@ from .cost import (
     resolve_objective,
     validate_objectives,
 )
-from .loma import MappingSearchEngine, SearchConfig, SearchResult
+from .loma import ENGINES, MappingSearchEngine, SearchConfig, SearchResult
 from .loops import (
     Loop,
     count_multiset_permutations,
@@ -31,6 +32,10 @@ from .zigzag import evaluate_mapping
 __all__ = [
     "AllocationError",
     "allocate",
+    "BatchEvaluation",
+    "BatchFallback",
+    "evaluate_candidates",
+    "ENGINES",
     "MappingCache",
     "CostResult",
     "Traffic",

@@ -58,10 +58,54 @@ def _resident_bytes(
     return elems * bits / 8.0
 
 
-def _active_operands(layer: LayerSpec) -> tuple[str, ...]:
+def active_operands(layer: LayerSpec) -> tuple[str, ...]:
+    """The operands that occupy memory for ``layer`` (weight-less layers
+    drop ``W``), in the paper's contention priority order."""
     return tuple(
         op for op in PRIORITY if not (op == "W" and layer.weight_count == 0)
     )
+
+
+def reserve_top_levels(
+    layer: LayerSpec,
+    accel: Accelerator,
+    tops: Mapping[str, int],
+    loops: Sequence[Loop],
+    spatial: Mapping[str, int],
+) -> dict[int, float]:
+    """Phase 1 of the greedy allocation: reserve every operand's full
+    footprint at its top level, returning the per-instance used bytes.
+
+    The residencies depend only on the loop *multiset* (full cumulative
+    products), not the ordering, so the batched engine runs this once
+    per search problem while :func:`allocate` runs it per ordering —
+    both produce the identical floats.  Raises :class:`AllocationError`
+    when the footprints do not jointly fit (every ordering of the same
+    multiset is then infeasible).
+    """
+    n = len(loops)
+    used_bytes: dict[int, float] = {}
+    for operand in active_operands(layer):
+        hierarchy = accel.hierarchy(operand)
+        top = tops.get(operand, len(hierarchy) - 1)
+        if not 0 <= top < len(hierarchy):
+            raise AllocationError(
+                f"{layer.name}/{operand}: top level {top} out of range"
+            )
+        level = hierarchy[top]
+        if level.instance.is_dram:
+            continue
+        resident = _resident_bytes(layer, operand, level, n, loops, spatial, True)
+        already = used_bytes.get(level.instance.uid, 0.0)
+        if resident + already > level.instance.size_bytes:
+            raise AllocationError(
+                f"{layer.name}/{operand}: footprint {resident:.0f}B does not "
+                f"fit top level {level.name} "
+                f"({level.instance.size_bytes - already:.0f}B available)"
+            )
+        if not level.instance.per_pe:
+            used_bytes[level.instance.uid] = already + resident
+    return used_bytes
 
 
 def allocate(
@@ -83,30 +127,10 @@ def allocate(
     spatial = utilized_spatial(layer, accel)
     loops = tuple(loops)
     n = len(loops)
-    used_bytes: dict[int, float] = {}
-    operands = _active_operands(layer)
+    operands = active_operands(layer)
 
     # Phase 1: reserve every operand's full footprint at its top level.
-    for operand in operands:
-        hierarchy = accel.hierarchy(operand)
-        top = tops.get(operand, len(hierarchy) - 1)
-        if not 0 <= top < len(hierarchy):
-            raise AllocationError(
-                f"{layer.name}/{operand}: top level {top} out of range"
-            )
-        level = hierarchy[top]
-        if level.instance.is_dram:
-            continue
-        resident = _resident_bytes(layer, operand, level, n, loops, spatial, True)
-        already = used_bytes.get(level.instance.uid, 0.0)
-        if resident + already > level.instance.size_bytes:
-            raise AllocationError(
-                f"{layer.name}/{operand}: footprint {resident:.0f}B does not "
-                f"fit top level {level.name} "
-                f"({level.instance.size_bytes - already:.0f}B available)"
-            )
-        if not level.instance.per_pe:
-            used_bytes[level.instance.uid] = already + resident
+    used_bytes = reserve_top_levels(layer, accel, tops, loops, spatial)
 
     # Phase 2: greedy innermost-first sub-level boundaries.
     boundaries: dict[str, tuple[int, ...]] = {}

@@ -111,6 +111,37 @@ class CostResult:
         for key, t in other.traffic.items():
             self.traffic_entry(*key).add(t, scale)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        index: int,
+        mac_count: float,
+        mac_energy_pj: float,
+        compute_cycles: float,
+        latency_cycles: "Sequence[float]",
+        traffic: Mapping[TrafficKey, tuple],
+    ) -> "CostResult":
+        """Materialize one candidate's cost from batched arrays.
+
+        ``latency_cycles`` is a per-candidate vector and ``traffic`` maps
+        each (category, level) key to a ``(reads, writes, energy)`` array
+        triple whose leading axis is the candidate index — the layout the
+        vectorized engine (:mod:`repro.mapping.batch`) produces.  Field
+        types mirror the scalar path exactly (counts stay ints, traffic
+        becomes plain floats) so encoded cache entries are byte-identical.
+        """
+        result = cls(
+            mac_count=mac_count,
+            mac_energy_pj=mac_energy_pj,
+            compute_cycles=compute_cycles,
+            latency_cycles=float(latency_cycles[index]),
+        )
+        for key, (reads, writes, energy) in traffic.items():
+            result.traffic[key] = Traffic(
+                float(reads[index]), float(writes[index]), float(energy[index])
+            )
+        return result
+
     def copy(self) -> "CostResult":
         """Deep copy."""
         out = CostResult(

@@ -25,10 +25,14 @@ from typing import TYPE_CHECKING, Hashable, Mapping
 from ..hardware.accelerator import Accelerator
 from ..workloads.layer import LayerSpec
 from .allocation import AllocationError, allocate
+from .batch import BatchFallback, evaluate_candidates
 from .cost import CostResult, Objective, resolve_objective
 from .loops import Loop, lpf_decompose, multiset_permutations
 from .temporal import TemporalMapping, temporal_sizes
 from .zigzag import evaluate_mapping
+
+#: Valid values of :attr:`SearchConfig.engine`.
+ENGINES = ("batch", "scalar")
 
 if TYPE_CHECKING:  # imported lazily at runtime (cache.py imports this module)
     from .cache import MappingCache
@@ -41,13 +45,32 @@ class SearchConfig:
     ``lpf_limit`` matches the paper artifact's ``loma_lpf_limit``
     (8 for paper-quality results, 6 for the fast mode); ``budget`` caps
     evaluated orderings per layer-tile.
+
+    ``engine`` selects how the candidate orderings are scored:
+    ``"batch"`` (default) evaluates the whole candidate list in numpy
+    array operations, ``"scalar"`` runs the pure-python reference loop.
+    Both produce bit-identical :class:`SearchResult`s — the batch path
+    mirrors every scalar float operation and falls back to scalar
+    whenever exactness cannot be guaranteed — so the knob is purely a
+    speed/dependency trade-off and deliberately *not* part of
+    :meth:`cache_token`: caches written by one engine are valid for the
+    other.
     """
 
     lpf_limit: int = 6
     budget: int = 400
     objective: str = "energy"
+    engine: str = "batch"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown search engine {self.engine!r}; "
+                f"choose from: {', '.join(ENGINES)}"
+            )
 
     def cache_token(self) -> Hashable:
+        # ``engine`` intentionally omitted: results are bit-identical.
         return (self.lpf_limit, self.budget, self.objective)
 
 
@@ -178,7 +201,7 @@ class MappingSearchEngine:
             if hit is not None:
                 return hit
 
-        score = resolve_objective(objective or self.config.objective)
+        goal = objective or self.config.objective
         loops = lpf_decompose(temporal_sizes(layer, accel), self.config.lpf_limit)
 
         candidates: list[tuple[Loop, ...]] = _canonical_orderings(loops)
@@ -190,6 +213,53 @@ class MappingSearchEngine:
                 seen.add(ordering)
 
         best: SearchResult | None = None
+        engine = self.config.engine
+        if engine == "batch":
+            try:
+                best = self._search_batch(layer, accel, tops, candidates, goal)
+            except BatchFallback:
+                engine = "scalar"
+        if engine == "scalar":
+            best = self._search_scalar(layer, accel, tops, candidates, goal)
+        if best is None:
+            raise AllocationError(
+                f"no feasible mapping for {layer.name} on {accel.name} "
+                f"with tops {dict(tops)}"
+            )
+        if key is not None:
+            self.cache.put(key, best)
+        return best
+
+    def _search_batch(
+        self,
+        layer: LayerSpec,
+        accel: Accelerator,
+        tops: Mapping[str, int],
+        candidates: list[tuple[Loop, ...]],
+        objective: str | Objective,
+    ) -> SearchResult | None:
+        """Vectorized candidate scoring (see :mod:`repro.mapping.batch`)."""
+        evaluation = evaluate_candidates(layer, accel, tops, candidates)
+        winner = evaluation.best_index(objective)
+        if winner is None:
+            return None
+        return SearchResult(
+            mapping=evaluation.mapping(winner),
+            cost=evaluation.cost_result(winner),
+            evaluated=evaluation.evaluated,
+        )
+
+    def _search_scalar(
+        self,
+        layer: LayerSpec,
+        accel: Accelerator,
+        tops: Mapping[str, int],
+        candidates: list[tuple[Loop, ...]],
+        objective: str | Objective,
+    ) -> SearchResult | None:
+        """Reference one-ordering-at-a-time scoring loop."""
+        score = resolve_objective(objective)
+        best: SearchResult | None = None
         evaluated = 0
         for ordering in candidates:
             try:
@@ -200,14 +270,8 @@ class MappingSearchEngine:
             evaluated += 1
             if best is None or score(cost) < score(best.cost):
                 best = SearchResult(mapping=mapping, cost=cost)
-        if best is None:
-            raise AllocationError(
-                f"no feasible mapping for {layer.name} on {accel.name} "
-                f"with tops {dict(tops)}"
-            )
-        best.evaluated = evaluated
-        if key is not None:
-            self.cache.put(key, best)
+        if best is not None:
+            best.evaluated = evaluated
         return best
 
     def evaluate_fixed(

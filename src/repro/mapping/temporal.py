@@ -20,11 +20,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from ..hardware.accelerator import Accelerator
-from ..workloads.layer import LayerSpec
+from ..workloads.layer import LOOP_DIMS, LayerSpec
 from .loops import Loop
+
+#: Canonical dimension order shared by the scalar and batched paths
+#: (the trailing array axis of :mod:`repro.mapping.batch` follows it).
+DIMS: tuple[str, ...] = LOOP_DIMS
+
+#: Dimension name -> position in :data:`DIMS`.
+DIM_INDEX: dict[str, int] = {dim: i for i, dim in enumerate(DIMS)}
 
 
 def temporal_sizes(layer: LayerSpec, accel: Accelerator) -> dict[str, int]:
@@ -57,6 +64,36 @@ def cumulative_dim_products(loops: Sequence[Loop], prefix: int) -> dict[str, int
     return products
 
 
+def operand_footprint(
+    layer: LayerSpec,
+    operand: str,
+    get: Callable[[str], object],
+    minimum: Callable = min,
+):
+    """Array-friendly core of the operand footprint formulas (§2.1).
+
+    ``get(dim)`` returns the *clamped* cumulative product of ``dim`` —
+    a plain int on the scalar path, a candidate-axis array on the
+    batched path — and ``minimum`` clamps the input span (``min`` for
+    ints, ``numpy.minimum`` for arrays).  Keeping the formula here means
+    the scalar reference and the vectorized engine cannot drift apart.
+    """
+    if operand == "W":
+        return get("K") * get("C") * get("FX") * get("FY")
+    if operand == "O":
+        return get("K") * get("OX") * get("OY")
+    if operand == "I":
+        ix = (get("OX") - 1) * layer.sx + (get("FX") - 1) * layer.dx + 1
+        iy = (get("OY") - 1) * layer.sy + (get("FY") - 1) * layer.dy + 1
+        ix = minimum(ix, layer.ix)
+        iy = minimum(iy, layer.iy)
+        channels = get("C")
+        if "K" in layer.relevant_dims("I"):
+            channels = channels * get("K")
+        return channels * ix * iy
+    raise ValueError(f"unknown operand {operand!r}")
+
+
 def operand_footprint_elems(
     layer: LayerSpec,
     operand: str,
@@ -70,27 +107,14 @@ def operand_footprint_elems(
     never inflate footprints beyond the real data; likewise the input
     span is clamped to the (possibly border-clipped) window.
     """
+    if operand == "W" and layer.weight_count == 0:
+        return 0
     sizes = layer.loop_sizes
 
     def get(dim: str) -> int:
         return min(dim_products.get(dim, 1), sizes[dim])
 
-    if operand == "W":
-        if layer.weight_count == 0:
-            return 0
-        return get("K") * get("C") * get("FX") * get("FY")
-    if operand == "O":
-        return get("K") * get("OX") * get("OY")
-    if operand == "I":
-        ix = (get("OX") - 1) * layer.sx + (get("FX") - 1) * layer.dx + 1
-        iy = (get("OY") - 1) * layer.sy + (get("FY") - 1) * layer.dy + 1
-        ix = min(ix, layer.ix)
-        iy = min(iy, layer.iy)
-        channels = get("C")
-        if "K" in layer.relevant_dims("I"):
-            channels *= get("K")
-        return channels * ix * iy
-    raise ValueError(f"unknown operand {operand!r}")
+    return operand_footprint(layer, operand, get)
 
 
 def merge_products(*maps: Mapping[str, int]) -> dict[str, int]:

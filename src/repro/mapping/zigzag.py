@@ -37,7 +37,7 @@ from .temporal import (
 )
 
 
-def _spatial_relevant(
+def spatial_relevant(
     layer: LayerSpec, operand: str, spatial: Mapping[str, int]
 ) -> float:
     """Operand elements fetched per spatial wave (one cycle).
@@ -91,6 +91,14 @@ def evaluate_mapping(
     result.mac_energy_pj = total_macs * accel.mac_energy_pj
     result.compute_cycles = iterations
 
+    # Suffix-product table: suffix[p] = product of loop factors from p
+    # outwards, so each boundary's "iterations above" is one lookup
+    # instead of an inner product loop (exact integer either way).
+    n_loops = len(mapping.loops)
+    suffix = [1] * (n_loops + 1)
+    for i in range(n_loops - 1, -1, -1):
+        suffix[i] = suffix[i + 1] * mapping.loops[i][1]
+
     bytes_demand: dict[int, float] = {}  # instance uid -> bytes moved
 
     for operand in ("W", "I", "O"):
@@ -106,7 +114,7 @@ def evaluate_mapping(
         # Datapath boundary: array <-> level 0.
         # ------------------------------------------------------------
         level0 = levels[0]
-        wave_elems = _spatial_relevant(layer, operand, spatial)
+        wave_elems = spatial_relevant(layer, operand, spatial)
         datapath_elems = iterations * wave_elems
         entry = result.traffic_entry(operand, level0.name)
         inst0 = level0.instance
@@ -141,9 +149,7 @@ def evaluate_mapping(
             lower = levels[levelidx - 1]
             upper = levels[levelidx]
             prefix = mapping.boundaries[operand][levelidx - 1]
-            above = 1
-            for _, factor in mapping.loops[prefix:]:
-                above *= factor
+            above = suffix[prefix]
             credit = mapping.stationarity_credit(layer, operand, levelidx - 1)
             products = cumulative_dim_products(mapping.loops, prefix)
             products = merge_products(products, spatial)
@@ -191,7 +197,7 @@ def evaluate_mapping(
     # Latency: compute cycles vs. the most demanded memory port.
     # ------------------------------------------------------------------
     stall_limited = 0.0
-    by_uid = {inst.uid: inst for inst in accel.instances()}
+    by_uid = accel.instances_by_uid()
     for uid, demand in bytes_demand.items():
         inst = by_uid[uid]
         if inst.bandwidth_bytes <= 0 or inst.bandwidth_bytes == float("inf"):

@@ -74,23 +74,30 @@ class _Handler(socketserver.StreamRequestHandler):
 
     def handle(self) -> None:
         server: CacheServer = self.server.cache_server  # type: ignore[attr-defined]
-        while True:
-            line = self.rfile.readline()
-            if not line:
-                break
-            request: dict = {}
-            try:
-                decoded = json.loads(line)
-                if not isinstance(decoded, dict):
-                    raise ValueError("request must be a JSON object")
-                request = decoded
-                response = server.handle_request(request)
-            except Exception as exc:  # noqa: BLE001 - reported to the client
-                response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-            self.wfile.write(json.dumps(response).encode() + b"\n")
-            self.wfile.flush()
-            if request.get("op") == "shutdown" and response.get("ok"):
-                break
+        server._connection_opened()
+        try:
+            while True:
+                line = self.rfile.readline()
+                if not line:
+                    break
+                request: dict = {}
+                try:
+                    decoded = json.loads(line)
+                    if not isinstance(decoded, dict):
+                        raise ValueError("request must be a JSON object")
+                    request = decoded
+                    response = server.handle_request(request)
+                except Exception as exc:  # noqa: BLE001 - reported to the client
+                    response = {
+                        "ok": False,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                self.wfile.write(json.dumps(response).encode() + b"\n")
+                self.wfile.flush()
+                if request.get("op") == "shutdown" and response.get("ok"):
+                    break
+        finally:
+            server._connection_closed()
 
 
 class _TCPServer(socketserver.ThreadingTCPServer):
@@ -152,6 +159,26 @@ class CacheServer:
         self._stopping = threading.Event()
         self.requests = {"get": 0, "put": 0, "put_many": 0, "snapshot": 0}
         self.snapshots_written = 0
+        # Live load counters (read under _counter_lock): open client
+        # connections, requests currently being handled, and requests
+        # blocked waiting for the shared-table lock (queue depth).
+        self._counter_lock = threading.Lock()
+        self.connections = 0
+        self.connections_total = 0
+        self.in_flight = 0
+        self.queue_depth = 0
+
+    # ------------------------------------------------------------------
+    # Load accounting
+    # ------------------------------------------------------------------
+    def _connection_opened(self) -> None:
+        with self._counter_lock:
+            self.connections += 1
+            self.connections_total += 1
+
+    def _connection_closed(self) -> None:
+        with self._counter_lock:
+            self.connections -= 1
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -256,7 +283,20 @@ class CacheServer:
         handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
         if handler is None:
             raise ValueError(f"unknown cache-server op {op!r}")
-        return handler(request)
+        with self._counter_lock:
+            self.in_flight += 1
+            self.queue_depth += 1
+        # The table lock serializes op bodies; time spent blocking on it
+        # here is "queued", time past it "in flight" (the RLock makes the
+        # ops' own acquisitions reentrant no-ops on this thread).
+        try:
+            with self._lock:
+                with self._counter_lock:
+                    self.queue_depth -= 1
+                return handler(request)
+        finally:
+            with self._counter_lock:
+                self.in_flight -= 1
 
     def _op_ping(self, request: Mapping) -> dict:
         return {"ok": True, "pong": True, "size": len(self.cache)}
@@ -306,6 +346,13 @@ class CacheServer:
             stats = dict(self.cache.stats)
             stats["requests"] = dict(self.requests)
             stats["snapshots_written"] = self.snapshots_written
+        with self._counter_lock:
+            stats["connections"] = self.connections
+            stats["connections_total"] = self.connections_total
+            # Includes this very stats request, so >= 1 when served
+            # over the wire.
+            stats["in_flight"] = self.in_flight
+            stats["queue_depth"] = self.queue_depth
         return {"ok": True, "stats": stats}
 
     def _op_save(self, request: Mapping) -> dict:

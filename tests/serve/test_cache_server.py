@@ -174,6 +174,34 @@ class TestMappingCacheSurface:
         client.get("missing")
         assert client.stats == {"hits": 1, "misses": 1, "size": 1}
 
+    def test_server_stats_load_counters(self, client, server):
+        """/stats reports table hit/miss/size plus live load: open
+        connections, in-flight requests and table-lock queue depth."""
+        client.put("k", make_result(1))
+        stats = client.server_stats()
+        assert stats["size"] == 1
+        assert stats["requests"]["put"] == 1
+        # this stats request is itself in flight; nothing else is queued
+        assert stats["in_flight"] == 1
+        assert stats["queue_depth"] == 0
+        assert stats["connections"] == 1
+        assert stats["connections_total"] >= 1
+        with CacheClient(server.address) as second:
+            assert second.server_stats()["connections"] == 2
+        # a handled request fully drains the counters
+        assert server.in_flight == 0 and server.queue_depth == 0
+
+    def test_connection_counter_drops_on_close(self, server):
+        with CacheClient(server.address) as cli:
+            assert cli.server_stats()["connections"] == 1
+        deadline = threading.Event()
+        for _ in range(50):  # handler thread teardown is asynchronous
+            if server.connections == 0:
+                break
+            deadline.wait(0.02)
+        assert server.connections == 0
+        assert server.connections_total >= 1
+
     def test_clear_is_local_only(self, client, server):
         client.put("k", make_result(1))
         client.get("missing")

@@ -34,6 +34,14 @@ class TestParser:
         assert args.lpf_limit == 6
         assert args.jobs == 1 and args.cache is None
         assert args.seed == 0  # the shared seed option is always plumbed
+        assert args.engine == "batch"  # vectorized engine is the default
+
+    def test_engine_choices(self):
+        base = ["--accelerator", "meta_proto_like_df", "--workload", "fsrcnn"]
+        args = build_parser().parse_args(base + ["--engine", "scalar"])
+        assert args.engine == "scalar"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(base + ["--engine", "turbo"])
 
     def test_tile_lists(self):
         args = build_parser().parse_args(
@@ -358,9 +366,32 @@ class TestCacheInfoMain:
         assert main(["cache-info", str(stale)]) == 1
         assert "stale-version" in capsys.readouterr().out
 
-    def test_parser_requires_path(self):
-        with pytest.raises(SystemExit):
-            build_cache_info_parser().parse_args([])
+    def test_requires_path_or_server(self):
+        # the parser accepts zero positionals (server mode) ...
+        args = build_cache_info_parser().parse_args([])
+        assert args.path is None and args.cache_server is None
+        # ... but the command demands one of the two sources
+        with pytest.raises(SystemExit, match="cache file path"):
+            main(["cache-info"])
+
+    def test_path_and_server_conflict(self):
+        with pytest.raises(SystemExit, match="not both"):
+            main(["cache-info", "some.json", "--cache-server", "x:1"])
+
+    def test_unreachable_server_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="unreachable"):
+            main(["cache-info", "--cache-server", "127.0.0.1:1"])
+
+    def test_live_server_stats(self, capsys):
+        from repro.serve import CacheServer
+
+        with CacheServer() as server:
+            host, port = server.address
+            assert main(["cache-info", "--cache-server", f"{host}:{port}"]) == 0
+        out = capsys.readouterr().out
+        assert "size:        0 entries" in out
+        assert "connections: 1 open" in out
+        assert "in flight" in out and "queued" in out
 
 
 class TestModeResolution:
