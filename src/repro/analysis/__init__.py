@@ -32,11 +32,13 @@ from .heatmap import (
 )
 from .report import (
     TABLE2_ROWS,
+    metrics_report,
     strategy_comparison,
     table1_architectures,
     table1_workloads,
     table2_factors,
     top_level_map,
+    trace_report,
 )
 
 __all__ = [
@@ -62,6 +64,8 @@ __all__ = [
     "render_heatmap",
     "energy_mj",
     "latency_mcycles",
+    "metrics_report",
+    "trace_report",
     "table1_workloads",
     "table1_architectures",
     "table2_factors",

@@ -1,11 +1,14 @@
-"""Paper-style text reports: Table I, Table II, Fig. 9 top-level maps."""
+"""Paper-style text reports: Table I, Table II, Fig. 9 top-level maps —
+plus the telemetry run-summary renderers behind ``repro stats``."""
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import re
+from typing import Iterable, Mapping, Sequence
 
 from ..core.results import ScheduleResult, StackResult
 from ..hardware.accelerator import Accelerator
+from ..obs.trace import span_summary, trace_coverage
 from ..workloads.stats import WorkloadStats
 
 
@@ -87,6 +90,158 @@ TABLE2_ROWS = (
     ("DNNFuser", (True, False, False), True, False, True, "DRAM, Mem"),
     ("DeFiNES (ours)", (True, True, True), True, True, True, "En, La"),
 )
+
+
+# ----------------------------------------------------------------------
+# Telemetry run summaries (repro stats / --trace / --metrics)
+# ----------------------------------------------------------------------
+def _format_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    return f"{value * 1e3:.1f}ms"
+
+
+def trace_report(records, top: int = 10) -> str:
+    """Render a trace's "where did the time go" table: spans aggregated
+    by name, sorted by self time (total minus direct children), plus the
+    root-span wall-clock coverage line the smoke tests gate on."""
+    rows = span_summary(records)
+    if not rows:
+        return "no spans recorded"
+    lines = [
+        f"{'span':24s} {'count':>6s} {'total':>10s} {'self':>10s} {'self%':>6s}"
+    ]
+    grand_self = sum(r["self"] for r in rows) or 1.0
+    for row in rows[:top]:
+        lines.append(
+            f"{row['name'][:24]:24s} {row['count']:6d} "
+            f"{_format_seconds(row['total']):>10s} "
+            f"{_format_seconds(row['self']):>10s} "
+            f"{100.0 * row['self'] / grand_self:5.1f}%"
+        )
+    if len(rows) > top:
+        lines.append(f"... {len(rows) - top} more span name(s)")
+    coverage = trace_coverage(records)
+    total_spans = sum(r["count"] for r in rows)
+    lines.append(
+        f"{total_spans} span(s); root spans cover "
+        f"{100.0 * coverage:.1f}% of the traced window"
+    )
+    return "\n".join(lines)
+
+
+#: One Prometheus series: name plus an optional {label="value",...} body.
+_SERIES_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(?P<labels>.*)\})?$"
+)
+_LABEL_RE = re.compile(r'(\w+)="([^"]*)"')
+
+
+def _split_series(series: str) -> "tuple[str, dict[str, str]]":
+    match = _SERIES_RE.match(series)
+    if match is None:
+        return series, {}
+    labels = dict(_LABEL_RE.findall(match.group("labels") or ""))
+    return match.group("name"), labels
+
+
+def _hit_rate_line(label: str, hits: float, misses: float) -> "str | None":
+    total = hits + misses
+    if total <= 0:
+        return None
+    return (
+        f"{label}: {int(hits)} hit(s) / {int(misses)} miss(es) "
+        f"({100.0 * hits / total:.1f}% hit rate)"
+    )
+
+
+def metrics_report(values: "Mapping[str, float]", top: int = 12) -> str:
+    """Render a metrics snapshot (the flat ``{series: value}`` form of
+    :func:`repro.obs.parse_prometheus`): cache hit rates, per-shard
+    service utilization, then the largest remaining counters."""
+    named: "dict[str, list[tuple[dict, float]]]" = {}
+    for series, value in values.items():
+        name, labels = _split_series(series)
+        named.setdefault(name, []).append((labels, value))
+
+    def total(name: str, **match) -> float:
+        return sum(
+            value
+            for labels, value in named.get(name, [])
+            if all(labels.get(k) == v for k, v in match.items())
+        )
+
+    lines: list[str] = []
+
+    # Cache effectiveness, every tier that saw traffic.
+    for label, hits, misses in (
+        (
+            "mapping cache",
+            total("mapping_cache_gets_total", result="hit"),
+            total("mapping_cache_gets_total", result="miss"),
+        ),
+        (
+            "cache client (incl. local)",
+            total("cache_client_gets_total", result="hit")
+            + total("cache_client_gets_total", result="local"),
+            total("cache_client_gets_total", result="miss"),
+        ),
+        (
+            "cache server",
+            total("cache_server_hits_total"),
+            total("cache_server_misses_total"),
+        ),
+    ):
+        line = _hit_rate_line(label, hits, misses)
+        if line is not None:
+            lines.append(line)
+
+    # Per-shard service utilization from the labeled histograms.
+    shards = sorted(
+        {
+            labels["shard"]
+            for labels, _ in named.get("service_exec_seconds_count", [])
+            if "shard" in labels
+        },
+        key=lambda s: (len(s), s),
+    )
+    if shards:
+        lines.append(
+            f"{'shard':>5s} {'jobs':>6s} {'busy':>10s} {'avg wait':>10s}"
+        )
+        for shard in shards:
+            jobs = total("service_exec_seconds_count", shard=shard)
+            busy = total("service_exec_seconds_sum", shard=shard)
+            wait = total("service_queue_wait_seconds_sum", shard=shard)
+            lines.append(
+                f"{shard:>5s} {int(jobs):6d} "
+                f"{_format_seconds(busy):>10s} "
+                f"{_format_seconds(wait / jobs if jobs else 0.0):>10s}"
+            )
+
+    # The biggest remaining counters (skip histogram components — they
+    # were summarized above — and anything already reported).
+    reported = {
+        "mapping_cache_gets_total",
+        "cache_client_gets_total",
+        "cache_server_hits_total",
+        "cache_server_misses_total",
+    }
+    counters = sorted(
+        (
+            (name, sum(v for _, v in series))
+            for name, series in named.items()
+            if not name.endswith(("_bucket", "_sum", "_count"))
+            and name not in reported
+        ),
+        key=lambda item: (-item[1], item[0]),
+    )
+    if counters:
+        lines.append("top metrics:")
+        for name, value in counters[:top]:
+            rendered = int(value) if float(value).is_integer() else value
+            lines.append(f"  {name:36s} {rendered}")
+    return "\n".join(lines) if lines else "no metrics recorded"
 
 
 def table2_factors() -> str:

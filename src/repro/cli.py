@@ -38,6 +38,14 @@ evaluation above):
 ``repro cache-info``
     Inspect a persistent mapping-cache file (format version, entries,
     size, last session's hit/miss stats).
+``repro stats``
+    Inspect telemetry artifacts: every evaluating subcommand accepts
+    ``--trace OUT.jsonl`` (structured span trace) and ``--metrics
+    OUT.prom`` (counters/gauges/histograms, Prometheus text or JSON);
+    ``repro stats FILE`` renders top spans by self time, wall-clock
+    coverage, cache hit rates and per-shard service utilization.
+    Telemetry is identity-neutral: results are bit-identical with it
+    on or off.
 ``repro serve``
     Run a standalone live cache server: every run pointed at it with
     ``--cache-server HOST:PORT`` (classic sweeps and ``dse`` alike)
@@ -60,15 +68,20 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
+from pathlib import Path
 from typing import Sequence
 
+from . import obs
 from .analysis import (
     access_breakdown,
     convergence_table,
     frontier_csv,
     frontier_table,
     infeasible_table,
+    metrics_report,
+    trace_report,
 )
 from .core import DepthFirstEngine, DFStrategy, OverlapMode
 from .core.optimizer import PAPER_TILE_GRID_X, PAPER_TILE_GRID_Y
@@ -85,7 +98,8 @@ from .dse import (
     workload_segments,
 )
 from .explore import Executor, MappingCache, SweepSpec
-from .serve import CacheClient, CacheServer, CacheServerError
+from .obs import parse_prometheus
+from .serve import AUTH_TOKEN_ENV, CacheClient, CacheServer, CacheServerError
 from .hardware.zoo import ACCELERATOR_FACTORIES, get_accelerator
 from .mapping import ENGINES, OBJECTIVE_NAMES, SearchConfig, validate_objectives
 from .mapping.cache import cache_file_info
@@ -268,6 +282,18 @@ def _partition_list(text: str) -> "tuple[tuple[int, ...] | None, ...]":
     return tuple(candidates)
 
 
+def _sample_fraction(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if not (0.0 < value <= 1.0):
+        raise argparse.ArgumentTypeError(
+            f"sample fraction must be in (0, 1], got {text!r}"
+        )
+    return value
+
+
 def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
     """Options shared by every evaluating subcommand: parallelism,
     persistent cache, LOMA search knobs, and the seed every randomized
@@ -328,6 +354,29 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
         help="seed for randomized search paths (results are "
         "deterministic given a seed, whatever --jobs is)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.jsonl",
+        help="write a structured JSON-lines trace of the run (spans "
+        "with monotonic timestamps; inspect with 'repro stats'); "
+        "results are bit-identical with tracing on or off",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="OUT.prom",
+        help="write run metrics on exit: Prometheus text exposition, or "
+        "the registry JSON dump when the path ends in .json",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=_sample_fraction,
+        default=1.0,
+        metavar="FRACTION",
+        help="fraction of root spans kept in the trace (deterministic "
+        "counter rule, no rng; default: 1.0 = keep everything)",
+    )
 
 
 def _resolve_cache(args) -> "MappingCache | CacheClient":
@@ -366,6 +415,35 @@ def _finish_cache(args, cache) -> None:
     elif args.cache:
         cache.save()
         print(f"mapping cache: {cache.stats} -> {args.cache}")
+
+
+def _setup_obs(args) -> None:
+    """Turn telemetry on when ``--trace``/``--metrics`` asks for it
+    (metrics-only mode when only ``--metrics`` is given)."""
+    if args.trace is None and args.metrics is None:
+        return
+    obs.enable(trace=args.trace, sample=args.trace_sample)
+
+
+def _finish_obs(args) -> None:
+    """Write the telemetry artifacts and reset the layer (so in-process
+    callers — tests drive the CLI via ``main()`` — start clean)."""
+    if not obs.enabled:
+        return
+    if args.metrics is not None:
+        registry = obs.metrics()
+        if str(args.metrics).endswith(".json"):
+            registry.write_json(args.metrics)
+        else:
+            registry.write_prometheus(args.metrics)
+        print(f"wrote {args.metrics} ({len(registry)} series)")
+    tracer = obs.tracer()
+    if tracer is not None:
+        written, dropped = tracer.spans_written, tracer.spans_dropped
+        obs.disable()  # closes the trace file before we report it
+        note = f" ({dropped} sampled out)" if dropped else ""
+        print(f"wrote {args.trace} ({written} span(s){note})")
+    obs.reset()
 
 
 # ----------------------------------------------------------------------
@@ -475,44 +553,57 @@ def run_evaluate(argv: Sequence[str]) -> int:
     config = SearchConfig(
         lpf_limit=args.lpf_limit, budget=args.budget, engine=args.engine
     )
-    cache = _resolve_cache(args)
+    _setup_obs(args)
+    try:
+        cache = _resolve_cache(args)
 
-    tiles = [(tx, ty) for tx in args.tilex for ty in args.tiley]
-    if len(tiles) == 1 and args.backend in ("auto", "serial"):
-        engine = DepthFirstEngine(accel, config, cache=cache)
-        result = engine.evaluate(
-            workload, DFStrategy(tile_x=tiles[0][0], tile_y=tiles[0][1], mode=mode)
-        )
-        _print_schedule(result)
-        summary = result_summary(accel, result)
-    else:
-        spec = SweepSpec.tile_grid(accel, workload, tiles, (mode,))
-        with Executor(
-            jobs=args.jobs,
-            search_config=config,
-            cache=cache,
-            backend=_backend(args),
-        ) as executor:
-            results = executor.run(spec)
-        for r in results:
-            print(
-                f"{r.strategy.describe():28s} "
-                f"E={r.result.energy_mj:8.3f} mJ "
-                f"L={r.result.latency_cycles / 1e6:9.2f} Mcycles"
-            )
-        best = min(results, key=lambda r: r.score("energy"))
-        print(f"best (energy): {best.strategy.describe()}")
-        _print_schedule(best.result)
-        summary = {
-            "points": [result_summary(accel, r.result) for r in results],
-            "best_strategy": best.strategy.describe(),
-        }
+        tiles = [(tx, ty) for tx in args.tilex for ty in args.tiley]
+        with obs.span(
+            "repro.evaluate",
+            accelerator=args.accelerator,
+            workload=args.workload,
+            tiles=len(tiles),
+        ):
+            if len(tiles) == 1 and args.backend in ("auto", "serial"):
+                engine = DepthFirstEngine(accel, config, cache=cache)
+                result = engine.evaluate(
+                    workload,
+                    DFStrategy(
+                        tile_x=tiles[0][0], tile_y=tiles[0][1], mode=mode
+                    ),
+                )
+                _print_schedule(result)
+                summary = result_summary(accel, result)
+            else:
+                spec = SweepSpec.tile_grid(accel, workload, tiles, (mode,))
+                with Executor(
+                    jobs=args.jobs,
+                    search_config=config,
+                    cache=cache,
+                    backend=_backend(args),
+                ) as executor:
+                    results = executor.run(spec)
+                for r in results:
+                    print(
+                        f"{r.strategy.describe():28s} "
+                        f"E={r.result.energy_mj:8.3f} mJ "
+                        f"L={r.result.latency_cycles / 1e6:9.2f} Mcycles"
+                    )
+                best = min(results, key=lambda r: r.score("energy"))
+                print(f"best (energy): {best.strategy.describe()}")
+                _print_schedule(best.result)
+                summary = {
+                    "points": [result_summary(accel, r.result) for r in results],
+                    "best_strategy": best.strategy.describe(),
+                }
 
-    _finish_cache(args, cache)
-    if args.output:
-        with open(args.output, "w") as f:
-            json.dump(summary, f, indent=2)
-        print(f"wrote {args.output}")
+            _finish_cache(args, cache)
+        if args.output:
+            with open(args.output, "w") as f:
+                json.dump(summary, f, indent=2)
+            print(f"wrote {args.output}")
+    finally:
+        _finish_obs(args)
     return 0
 
 
@@ -794,6 +885,7 @@ def run_dse(argv: Sequence[str]) -> int:
     config = SearchConfig(
         lpf_limit=args.lpf_limit, budget=args.budget, engine=args.engine
     )
+    _setup_obs(args)
     cache = _resolve_cache(args)
     strategy = create_strategy(
         args.strategy,
@@ -802,7 +894,9 @@ def run_dse(argv: Sequence[str]) -> int:
         samples=args.samples,
     )
     try:
-        with Executor(
+        with obs.span(
+            "repro.dse", strategy=args.strategy, seed=args.seed
+        ), Executor(
             jobs=args.jobs,
             search_config=config,
             cache=cache,
@@ -822,6 +916,7 @@ def run_dse(argv: Sequence[str]) -> int:
             )
             result = runner.run(strategy)
     except ValueError as exc:
+        _finish_obs(args)
         raise SystemExit(str(exc))
 
     workload_label = (
@@ -880,6 +975,7 @@ def run_dse(argv: Sequence[str]) -> int:
             json.dump(summary, f, indent=2)
         print(f"wrote {args.output}")
     _finish_cache(args, cache)
+    _finish_obs(args)
     return 0
 
 
@@ -933,6 +1029,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="exit after this many seconds (default: serve until "
         "interrupted); used by smoke tests and batch jobs",
     )
+    parser.add_argument(
+        "--auth-token",
+        default=os.environ.get(AUTH_TOKEN_ENV),
+        metavar="TOKEN",
+        help="shared-secret token every request must carry (clients "
+        f"pass CacheClient(token=...) or set ${AUTH_TOKEN_ENV}, which "
+        "is also this flag's default); omit for an open server",
+    )
     return parser
 
 
@@ -947,11 +1051,14 @@ def run_serve(argv: Sequence[str]) -> int:
         port=args.port,
         snapshot_path=args.cache,
         snapshot_interval=args.snapshot_interval if args.cache else None,
+        auth_token=args.auth_token,
     )
     server.start()
     # The address line is the startup contract: wrappers parse it to
     # learn the picked port, so print and flush it first.
     print(f"cache server listening on {server.describe()}", flush=True)
+    if args.auth_token is not None:
+        print("authentication: shared-secret token required", flush=True)
     print(
         f"{len(cache)} entr{'y' if len(cache) == 1 else 'ies'} loaded"
         + (f" from {args.cache}" if args.cache else ""),
@@ -1054,10 +1161,86 @@ def run_cache_info(argv: Sequence[str]) -> int:
 
 
 # ----------------------------------------------------------------------
+# repro stats — telemetry artifact inspection
+# ----------------------------------------------------------------------
+def build_stats_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description="Inspect telemetry artifacts written by --trace and "
+        "--metrics: JSON-lines traces (top spans by self time, wall-"
+        "clock coverage) and Prometheus text / metrics JSON snapshots "
+        "(cache hit rates, per-shard utilization, top counters).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        metavar="FILE",
+        help="trace (.jsonl), Prometheus text (.prom) or metrics JSON file",
+    )
+    parser.add_argument(
+        "--top",
+        type=_positive_int,
+        default=10,
+        help="rows shown per table (default: 10)",
+    )
+    return parser
+
+
+def _stats_report(path: str, top: int) -> str:
+    """The report for one telemetry file, whatever its format: a metrics
+    JSON dump (one object), a JSON-lines trace, or Prometheus text."""
+    from .obs import MetricsRegistry, load_trace
+
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise SystemExit(str(exc))
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        data = None
+    if isinstance(data, dict) and "metrics" in data:
+        registry = MetricsRegistry()
+        try:
+            registry.merge_json(data)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SystemExit(f"{path}: not a metrics dump: {exc}")
+        return metrics_report(
+            parse_prometheus(registry.render_prometheus()), top=top
+        )
+    try:
+        records = load_trace(path)
+    except ValueError:
+        records = None
+    if records:
+        return trace_report(records, top=top)
+    values = parse_prometheus(text)
+    if values:
+        return metrics_report(values, top=top)
+    raise SystemExit(
+        f"{path}: not a recognizable telemetry file (expected a "
+        "JSON-lines trace, a Prometheus text exposition, or a metrics "
+        "JSON dump)"
+    )
+
+
+def run_stats(argv: Sequence[str]) -> int:
+    args = build_stats_parser().parse_args(argv)
+    for index, path in enumerate(args.paths):
+        if len(args.paths) > 1:
+            if index:
+                print()
+            print(f"== {path} ==")
+        print(_stats_report(path, args.top))
+    return 0
+
+
+# ----------------------------------------------------------------------
 SUBCOMMANDS = {
     "dse": run_dse,
     "serve": run_serve,
     "cache-info": run_cache_info,
+    "stats": run_stats,
 }
 
 

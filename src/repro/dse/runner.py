@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
+from .. import obs
 from ..explore.executor import Executor
 from ..explore.spec import EvalJob
 from ..mapping.cost import resolve_objective
@@ -418,64 +419,82 @@ class DSERunner:
 
         frontier = ParetoFrontier(self.objectives)
         seen: dict[tuple, tuple[DesignPoint, tuple[float, ...], float]] = {}
-        prior_evals, stats, hv_reference = self._resume(frontier, seen)
+        with obs.span(
+            "dse.run",
+            workload=self.workload_name,
+            strategy=type(strategy).__name__,
+            space=self.space.size,
+        ):
+            prior_evals, stats, hv_reference = self._resume(frontier, seen)
 
-        evals_run = 0
-        while True:
-            batch = strategy.propose()
-            if not batch:
-                break
-            unique: list[DesignPoint] = []
-            keys: set[tuple] = set()
-            for point in batch:
-                if point.key() not in keys:
-                    keys.add(point.key())
-                    unique.append(point)
+            evals_run = 0
+            while True:
+                batch = strategy.propose()
+                if not batch:
+                    break
+                with obs.span("dse.generation", index=len(stats)) as gen_span:
+                    unique: list[DesignPoint] = []
+                    keys: set[tuple] = set()
+                    for point in batch:
+                        if point.key() not in keys:
+                            keys.add(point.key())
+                            unique.append(point)
 
-            fresh = [p for p in unique if p.key() not in seen]
-            if self.max_evals is not None:
-                allow = max(0, self.max_evals - evals_run)
-                truncated = len(fresh) > allow
-                fresh = fresh[:allow]
-            else:
-                truncated = False
+                    fresh = [p for p in unique if p.key() not in seen]
+                    if self.max_evals is not None:
+                        allow = max(0, self.max_evals - evals_run)
+                        truncated = len(fresh) > allow
+                        fresh = fresh[:allow]
+                    else:
+                        truncated = False
 
-            if fresh:
-                for point, (values, violation) in zip(
-                    fresh, self._evaluate_fresh(fresh)
-                ):
-                    seen[point.key()] = (point, values, violation)
-                    frontier.offer(point, values, violation)
-                evals_run += len(fresh)
+                    if fresh:
+                        for point, (values, violation) in zip(
+                            fresh, self._evaluate_fresh(fresh)
+                        ):
+                            seen[point.key()] = (point, values, violation)
+                            frontier.offer(point, values, violation)
+                        evals_run += len(fresh)
 
-            evaluated = [seen[p.key()] for p in unique if p.key() in seen]
-            strategy.observe(evaluated)
-            if hv_reference is None and seen:
-                # Fix the reference after the first evaluations; from
-                # here on the per-generation hypervolume is monotone.
-                hv_reference = reference_point(
-                    [values for _, values, _ in seen.values()]
-                )
-            stats.append(
-                GenerationStats(
-                    index=len(stats),
-                    proposed=len(batch),
-                    evaluated=len(fresh),
-                    cached=len(evaluated) - len(fresh),
-                    frontier_size=len(frontier),
-                    hypervolume=(
-                        None
-                        if hv_reference is None
-                        else frontier.hypervolume(hv_reference)
-                    ),
-                    epsilon=self._frontier_epsilon(frontier),
-                )
-            )
-            self._save_checkpoint(
-                seen, prior_evals + evals_run, stats, hv_reference
-            )
-            if truncated:
-                break
+                    evaluated = [seen[p.key()] for p in unique if p.key() in seen]
+                    strategy.observe(evaluated)
+                    if hv_reference is None and seen:
+                        # Fix the reference after the first evaluations;
+                        # from here on the per-generation hypervolume is
+                        # monotone.
+                        hv_reference = reference_point(
+                            [values for _, values, _ in seen.values()]
+                        )
+                    generation = GenerationStats(
+                        index=len(stats),
+                        proposed=len(batch),
+                        evaluated=len(fresh),
+                        cached=len(evaluated) - len(fresh),
+                        frontier_size=len(frontier),
+                        hypervolume=(
+                            None
+                            if hv_reference is None
+                            else frontier.hypervolume(hv_reference)
+                        ),
+                        epsilon=self._frontier_epsilon(frontier),
+                    )
+                    stats.append(generation)
+                    gen_span.set(
+                        proposed=len(batch),
+                        evaluated=len(fresh),
+                        cached=generation.cached,
+                        frontier_size=len(frontier),
+                    )
+                    if obs.enabled:
+                        self._record_generation(
+                            generation, prior_evals + evals_run
+                        )
+                    with obs.span("dse.checkpoint"):
+                        self._save_checkpoint(
+                            seen, prior_evals + evals_run, stats, hv_reference
+                        )
+                if truncated:
+                    break
 
         return DSEResult(
             frontier=frontier,
@@ -485,6 +504,43 @@ class DSERunner:
             evaluated=seen,
             hv_reference=hv_reference,
         )
+
+    @staticmethod
+    def _record_generation(
+        generation: GenerationStats, total_evaluations: int
+    ) -> None:
+        """Publish one generation's convergence state as gauges (latest
+        value wins, which is exactly the run's current state)."""
+        registry = obs.metrics()
+        registry.counter("dse_generations_total").inc()
+        registry.gauge("dse_evaluations").set(total_evaluations)
+        registry.gauge("dse_frontier_size").set(generation.frontier_size)
+        if generation.hypervolume is not None:
+            registry.gauge("dse_hypervolume").set(generation.hypervolume)
+        if generation.epsilon is not None:
+            registry.gauge("dse_epsilon").set(generation.epsilon)
+
+    def _telemetry_summary(self) -> dict:
+        """Small run-health snapshot stamped into the checkpoint (only
+        while telemetry is on, so disabled-mode checkpoints stay
+        byte-compatible with earlier formats)."""
+        registry = obs.metrics()
+
+        def total(name: str) -> float:
+            return float(
+                sum(
+                    metric.value
+                    for metric in registry
+                    if metric.name == name and metric.kind == "counter"
+                )
+            )
+
+        return {
+            "generations": total("dse_generations_total"),
+            "orderings_evaluated": total("loma_orderings_evaluated_total"),
+            "cache_gets": total("mapping_cache_gets_total"),
+            "executor_jobs": total("executor_jobs_total"),
+        }
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -580,6 +636,11 @@ class DSERunner:
                 for point, values, violation in seen.values()
             ],
         }
+        if obs.enabled:
+            # Run-health snapshot, outside the stamp fields so resume
+            # validation never looks at it and telemetry-off runs write
+            # byte-identical checkpoints to earlier versions.
+            payload["telemetry"] = self._telemetry_summary()
         self.checkpoint.parent.mkdir(parents=True, exist_ok=True)
         # Atomic replace: an interrupt mid-write must never tear the
         # checkpoint the next run resumes from.

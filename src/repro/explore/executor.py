@@ -25,6 +25,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from .. import obs
 from ..core.results import ScheduleResult, StackResult
 from ..core.scheduler import DepthFirstEngine
 from ..core.stacks import Stack
@@ -152,9 +153,12 @@ class _JobRunner:
 _WORKER_RUNNER: list[_JobRunner] = []
 
 
-def _worker_init(search_config, policy, warm_entries) -> None:
+def _worker_init(search_config, policy, warm_entries, obs_enabled=False) -> None:
     """Process-pool initializer: build this worker's runner, pre-warmed
-    with the parent cache's entries."""
+    with the parent cache's entries.  Telemetry restarts from a clean
+    worker-local registry (no tracer — the trace file is single-writer)
+    so the parent's fork-merge harvest never double-counts."""
+    obs.worker_begin(obs_enabled)
     cache = MappingCache()
     cache.merge(warm_entries)
     _WORKER_RUNNER.clear()
@@ -163,14 +167,16 @@ def _worker_init(search_config, policy, warm_entries) -> None:
 
 def _worker_run_shard(shard: "list[tuple[int, EvalJob]]"):
     """Evaluate one shard; returns indexed results, the cache entries
-    this worker learned, and its (hits, misses) delta — so the parent
-    can harvest new results *and* keep aggregate statistics truthful."""
+    this worker learned, its (hits, misses) delta — so the parent can
+    harvest new results *and* keep aggregate statistics truthful — and
+    the worker's telemetry registry dump (``None`` when telemetry is
+    off), fork-merged into the parent registry."""
     runner = _WORKER_RUNNER[0]
     baseline = runner.cache.keys()
     hits0, misses0 = runner.cache.hits, runner.cache.misses
     results = [(index, runner.evaluate(job)) for index, job in shard]
     stats = (runner.cache.hits - hits0, runner.cache.misses - misses0)
-    return results, runner.cache.delta(baseline), stats
+    return results, runner.cache.delta(baseline), stats, obs.harvest()
 
 
 #: Executor backends; ``None`` auto-selects serial/process from ``jobs``.
@@ -242,11 +248,20 @@ class Executor:
         backend = self.backend
         if backend is None:
             backend = "serial" if self.jobs == 1 or len(jobs) == 1 else "process"
-        if backend == "service":
-            return self._run_service(jobs)
-        if backend == "serial" or self.jobs == 1 or len(jobs) == 1:
-            return self._run_serial(jobs)
-        return self._run_parallel(jobs)
+        if backend != "service" and (self.jobs == 1 or len(jobs) == 1):
+            backend = "serial"
+        with obs.span("executor.run", backend=backend, jobs=len(jobs)):
+            if backend == "service":
+                results = self._run_service(jobs)
+            elif backend == "serial":
+                results = self._run_serial(jobs)
+            else:
+                results = self._run_parallel(jobs)
+        if obs.enabled:
+            obs.metrics().counter(
+                "executor_jobs_total", backend=backend
+            ).inc(len(jobs))
+        return results
 
     # ------------------------------------------------------------------
     # Service backend lifecycle
@@ -318,14 +333,20 @@ class Executor:
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
-            initargs=(self.search_config, self.policy, self.cache.snapshot()),
+            initargs=(
+                self.search_config,
+                self.policy,
+                self.cache.snapshot(),
+                obs.enabled,
+            ),
         ) as pool:
             futures = [pool.submit(_worker_run_shard, shard) for shard in shards]
             for future in futures:
-                results, new_entries, (hits, misses) = future.result()
+                results, new_entries, (hits, misses), telemetry = future.result()
                 self.cache.merge(new_entries)
                 self.cache.hits += hits
                 self.cache.misses += misses
+                obs.absorb(telemetry)
                 by_index.update(results)
         return [
             EvalResult(job=job, result=by_index[i], index=i)

@@ -22,9 +22,12 @@ from __future__ import annotations
 import contextlib
 import json
 import os
+import time
 import warnings
 from pathlib import Path
 from typing import Hashable, Iterable, Mapping
+
+from .. import obs
 
 try:
     import fcntl
@@ -167,6 +170,11 @@ class MappingCache:
             self.hits += 1
             # Refresh recency (dict order is the LRU order).
             self._entries[text] = self._entries.pop(text)
+        if obs.enabled:
+            obs.metrics().counter(
+                "mapping_cache_gets_total",
+                result="miss" if entry is None else "hit",
+            ).inc()
         return entry
 
     def put(self, key: Hashable, result: SearchResult) -> None:
@@ -220,6 +228,7 @@ class MappingCache:
         ``max_entries`` pruning never favours stale entries over ones
         the workers just hit.
         """
+        t0 = time.monotonic() if obs.enabled else 0.0
         new = 0
         for key, result in entries.items():
             if key in self._entries:
@@ -227,6 +236,12 @@ class MappingCache:
             else:
                 new += 1
             self._entries[key] = result
+        if obs.enabled:
+            registry = obs.metrics()
+            registry.histogram("mapping_cache_merge_seconds").observe(
+                time.monotonic() - t0
+            )
+            registry.counter("mapping_cache_merged_entries_total").inc(new)
         return new
 
     def delta(self, baseline: Iterable[str]) -> dict[str, SearchResult]:

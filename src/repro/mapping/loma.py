@@ -22,6 +22,7 @@ import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable, Mapping
 
+from .. import obs
 from ..hardware.accelerator import Accelerator
 from ..workloads.layer import LayerSpec
 from .allocation import AllocationError, allocate
@@ -214,13 +215,26 @@ class MappingSearchEngine:
 
         best: SearchResult | None = None
         engine = self.config.engine
+        fell_back = False
         if engine == "batch":
             try:
                 best = self._search_batch(layer, accel, tops, candidates, goal)
             except BatchFallback:
                 engine = "scalar"
+                fell_back = True
         if engine == "scalar":
             best = self._search_scalar(layer, accel, tops, candidates, goal)
+        if obs.enabled:
+            # Telemetry only — counters never feed back into the search.
+            registry = obs.metrics()
+            registry.counter("loma_searches_total").inc()
+            registry.counter("loma_engine_dispatch_total", engine=engine).inc()
+            if fell_back:
+                registry.counter("loma_batch_fallbacks_total").inc()
+            if best is not None:
+                registry.counter("loma_orderings_evaluated_total").inc(
+                    best.evaluated
+                )
         if best is None:
             raise AllocationError(
                 f"no feasible mapping for {layer.name} on {accel.name} "

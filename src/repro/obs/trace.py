@@ -1,0 +1,284 @@
+"""Structured tracing: nested spans emitted as JSON lines.
+
+A :class:`Tracer` owns one per-run trace file.  Instrumented code opens
+spans with::
+
+    with tracer.span("dse.generation", index=3):
+        ...
+
+and each completed span becomes one JSON line with monotonic start/end
+timestamps, a span id, its parent's id (nesting is tracked per thread)
+and the caller's attributes.  Lines are written on span *exit* only, so
+a trace file never contains half-open records; readers sort by start
+time to rebuild the tree.
+
+Zero-overhead contract: the module-level :func:`repro.obs.span` helper
+returns a shared no-op context manager when telemetry is off — no
+timestamp is taken, no object allocated.  With tracing on, the *cost
+math is untouched*: spans read the monotonic clock and write to the
+trace file, nothing else, so results are bit-identical with tracing on
+or off (asserted by the identity tests).
+
+Sampling (``sample < 1.0``) keeps a deterministic subset of *root*
+spans — the decision is a pure counter rule, never an rng draw, so
+enabling sampling cannot perturb any seeded random stream.  Children
+follow their root's decision: a kept root keeps its whole subtree.
+
+Forked worker processes inherit the parent's tracer object; to keep the
+file single-writer, a tracer only records from the process that created
+it (others fall back to no-ops).  Worker-side telemetry travels as
+*metrics* (fork-merged registries) instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Mapping
+
+
+class _NullSpan:
+    """Reusable no-op span: the disabled fast path allocates nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, **attrs) -> None:
+        return None
+
+
+#: The shared disabled-path singleton.
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span; records on exit via its tracer."""
+
+    __slots__ = ("tracer", "name", "id", "parent", "attrs", "start", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, parent, attrs: dict) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.parent = parent
+        self.attrs = attrs
+        self.id = None
+        self.start = 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach attributes after the span opened (e.g. result counts)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        self.id = self.tracer._enter(self)
+        self.start = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = time.monotonic()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self.tracer._exit(self, end)
+        return None
+
+
+class Tracer:
+    """Writes one process's spans to a JSON-lines trace file.
+
+    Parameters
+    ----------
+    path:
+        Trace file; created (parents included) on first write.  The
+        first record is a ``{"type": "run"}`` header carrying the wall
+        clock and pid, so monotonic span times can be anchored.
+    sample:
+        Fraction of root spans kept, in ``(0, 1]``.  The rule is the
+        deterministic counter test ``int(n*sample) < int((n+1)*sample)``
+        — root span ``n`` is kept iff its index crosses an integer
+        boundary — which spreads kept spans evenly and never consults
+        an rng.
+    """
+
+    def __init__(self, path: "str | Path", sample: float = 1.0) -> None:
+        if not (0.0 < sample <= 1.0):
+            raise ValueError(f"sample must be in (0, 1], got {sample}")
+        self.path = Path(path)
+        self.sample = sample
+        self.pid = os.getpid()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._file = None
+        self._next_id = 0
+        self._roots_seen = 0
+        self.spans_written = 0
+        self.spans_dropped = 0
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @property
+    def recording(self) -> bool:
+        """Whether this process may write (single-writer guard)."""
+        return os.getpid() == self.pid
+
+    def span(self, name: str, **attrs) -> "_Span | _NullSpan":
+        if not self.recording:
+            return NULL_SPAN
+        return _Span(self, name, None, attrs)
+
+    def _enter(self, span: _Span) -> "int | None":
+        stack = self._stack()
+        if stack:
+            parent_id = stack[-1]
+            kept = parent_id is not None
+        else:
+            with self._lock:
+                n = self._roots_seen
+                self._roots_seen += 1
+            kept = int(n * self.sample) < int((n + 1) * self.sample)
+            parent_id = None
+        if not kept:
+            stack.append(None)  # children inherit the drop decision
+            return None
+        span.parent = parent_id
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        stack.append(span_id)
+        return span_id
+
+    def _exit(self, span: _Span, end: float) -> None:
+        stack = self._stack()
+        if stack:
+            stack.pop()
+        if span.id is None:
+            self.spans_dropped += 1
+            return
+        record = {
+            "type": "span",
+            "id": span.id,
+            "parent": span.parent,
+            "name": span.name,
+            "start": span.start,
+            "end": end,
+            "dur": end - span.start,
+        }
+        if span.attrs:
+            record["attrs"] = span.attrs
+        self._write(record)
+        self.spans_written += 1
+
+    # ------------------------------------------------------------------
+    def _write(self, record: dict) -> None:
+        line = json.dumps(record, default=str) + "\n"
+        with self._lock:
+            if self._file is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._file = open(self.path, "w")
+                header = {
+                    "type": "run",
+                    "pid": self.pid,
+                    "wall_time": time.time(),
+                    "monotonic": time.monotonic(),
+                    "sample": self.sample,
+                }
+                self._file.write(json.dumps(header) + "\n")
+            self._file.write(line)
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+
+# ----------------------------------------------------------------------
+# Reading traces back
+# ----------------------------------------------------------------------
+def load_trace(path: "str | Path") -> list[dict]:
+    """Parse a trace file into its records (header included).  Raises
+    ``ValueError`` naming the offending line on malformed input."""
+    records = []
+    with open(Path(path)) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not a trace line: {exc}")
+            if not isinstance(record, dict) or "type" not in record:
+                raise ValueError(
+                    f"{path}:{lineno}: trace records are objects with a 'type'"
+                )
+            records.append(record)
+    return records
+
+
+def trace_spans(records: "list[dict] | str | Path") -> list[dict]:
+    """The span records of a trace, sorted by start time."""
+    if not isinstance(records, list):
+        records = load_trace(records)
+    spans = [r for r in records if r.get("type") == "span"]
+    spans.sort(key=lambda r: (r["start"], r["id"]))
+    return spans
+
+
+def span_summary(records: "list[dict] | str | Path") -> list[dict]:
+    """Aggregate spans by name: count, total time, and *self* time
+    (total minus the time covered by direct children), sorted by self
+    time descending — the "where did the run spend its time" table."""
+    spans = trace_spans(records)
+    child_time: dict[int, float] = {}
+    for span in spans:
+        parent = span.get("parent")
+        if parent is not None:
+            child_time[parent] = child_time.get(parent, 0.0) + span["dur"]
+    by_name: dict[str, dict] = {}
+    for span in spans:
+        row = by_name.setdefault(
+            span["name"], {"name": span["name"], "count": 0, "total": 0.0, "self": 0.0}
+        )
+        row["count"] += 1
+        row["total"] += span["dur"]
+        row["self"] += max(span["dur"] - child_time.get(span["id"], 0.0), 0.0)
+    return sorted(by_name.values(), key=lambda r: (-r["self"], r["name"]))
+
+
+def trace_coverage(records: "list[dict] | str | Path") -> "float | None":
+    """Fraction of the trace's wall-clock covered by *root* spans
+    (union of their intervals over the first-start..last-end window);
+    ``None`` for a trace without spans."""
+    spans = trace_spans(records)
+    if not spans:
+        return None
+    window_start = min(s["start"] for s in spans)
+    window_end = max(s["end"] for s in spans)
+    if window_end <= window_start:
+        return 1.0
+    roots = [s for s in spans if s.get("parent") is None]
+    covered = 0.0
+    cursor = window_start
+    for span in sorted(roots, key=lambda s: s["start"]):
+        start = max(span["start"], cursor)
+        if span["end"] > start:
+            covered += span["end"] - start
+            cursor = span["end"]
+    return covered / (window_end - window_start)

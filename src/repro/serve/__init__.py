@@ -28,6 +28,7 @@ Quick start::
 """
 
 from .cache_server import (
+    AUTH_TOKEN_ENV,
     CacheClient,
     CacheServer,
     CacheServerError,
@@ -44,6 +45,7 @@ from .service import (
 )
 
 __all__ = [
+    "AUTH_TOKEN_ENV",
     "CacheClient",
     "CacheServer",
     "CacheServerError",

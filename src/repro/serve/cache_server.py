@@ -26,6 +26,7 @@ cache file that cold runs pre-warm from.
 from __future__ import annotations
 
 import json
+import os
 import socket
 import socketserver
 import threading
@@ -33,6 +34,7 @@ import time
 from pathlib import Path
 from typing import Hashable, Iterable, Mapping
 
+from .. import obs
 from ..mapping.cache import (
     MappingCache,
     decode_search_result,
@@ -40,6 +42,11 @@ from ..mapping.cache import (
     normalize_key,
 )
 from ..mapping.loma import SearchResult
+from ..obs.metrics import MetricsRegistry
+
+#: Environment variable supplying the shared-secret token when neither
+#: ``CacheClient(token=...)`` nor ``repro serve --auth-token`` is given.
+AUTH_TOKEN_ENV = "REPRO_AUTH_TOKEN"
 
 
 class CacheServerError(RuntimeError):
@@ -124,6 +131,12 @@ class CacheServer:
     snapshot_interval:
         Seconds between periodic snapshots (requires ``snapshot_path``);
         ``None`` snapshots only on :meth:`stop`.
+    auth_token:
+        Optional shared secret.  When set, every request (``metrics``
+        and ``stats`` included) must carry a matching ``"token"`` field
+        — clients pass ``CacheClient(token=...)`` or set the
+        ``REPRO_AUTH_TOKEN`` environment variable — and requests
+        without one get a clean JSON error instead of service.
     """
 
     def __init__(
@@ -133,6 +146,7 @@ class CacheServer:
         port: int = 0,
         snapshot_path: "str | Path | None" = None,
         snapshot_interval: float | None = None,
+        auth_token: str | None = None,
     ) -> None:
         if snapshot_interval is not None:
             if snapshot_path is None:
@@ -157,8 +171,10 @@ class CacheServer:
         self._thread: threading.Thread | None = None
         self._snapshot_thread: threading.Thread | None = None
         self._stopping = threading.Event()
+        self.auth_token = auth_token
         self.requests = {"get": 0, "put": 0, "put_many": 0, "snapshot": 0}
         self.snapshots_written = 0
+        self.unauthorized = 0
         # Live load counters (read under _counter_lock): open client
         # connections, requests currently being handled, and requests
         # blocked waiting for the shared-table lock (queue depth).
@@ -279,6 +295,19 @@ class CacheServer:
     # Request dispatch (also callable directly, e.g. in tests)
     # ------------------------------------------------------------------
     def handle_request(self, request: Mapping) -> dict:
+        if self.auth_token is not None and request.get("token") != self.auth_token:
+            # A clean, structured rejection — never an exception, so
+            # unauthenticated probes cannot distinguish ops, and every
+            # op (metrics/stats included) is behind the same gate.
+            with self._counter_lock:
+                self.unauthorized += 1
+            return {
+                "ok": False,
+                "error": "authentication failed: missing or invalid token "
+                "(pass CacheClient(token=...) or set "
+                f"{AUTH_TOKEN_ENV})",
+                "unauthorized": True,
+            }
         op = request.get("op")
         handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
         if handler is None:
@@ -353,7 +382,49 @@ class CacheServer:
             # over the wire.
             stats["in_flight"] = self.in_flight
             stats["queue_depth"] = self.queue_depth
+            stats["unauthorized"] = self.unauthorized
         return {"ok": True, "stats": stats}
+
+    def export_metrics(self) -> MetricsRegistry:
+        """The server's state as a metrics registry: cache counters,
+        per-op request totals and live load gauges, merged with this
+        process's global telemetry registry when telemetry is on (an
+        embedded server then also exports its executor's counters)."""
+        registry = MetricsRegistry()
+        if obs.enabled:
+            registry.merge(obs.metrics())
+        with self._lock:
+            cache_stats = dict(self.cache.stats)
+            requests = dict(self.requests)
+            snapshots = self.snapshots_written
+        with self._counter_lock:
+            connections = self.connections
+            connections_total = self.connections_total
+            in_flight = self.in_flight
+            queue_depth = self.queue_depth
+            unauthorized = self.unauthorized
+        registry.counter("cache_server_hits_total").inc(cache_stats["hits"])
+        registry.counter("cache_server_misses_total").inc(cache_stats["misses"])
+        registry.gauge("cache_server_entries").set(cache_stats["size"])
+        for op, count in requests.items():
+            registry.counter("cache_server_requests_total", op=op).inc(count)
+        registry.counter("cache_server_snapshots_total").inc(snapshots)
+        registry.counter("cache_server_unauthorized_total").inc(unauthorized)
+        registry.gauge("cache_server_connections").set(connections)
+        registry.counter("cache_server_connections_total").inc(connections_total)
+        registry.gauge("cache_server_in_flight").set(in_flight)
+        registry.gauge("cache_server_queue_depth").set(queue_depth)
+        return registry
+
+    def _op_metrics(self, request: Mapping) -> dict:
+        """Prometheus text + JSON dump of :meth:`export_metrics` (the
+        observability endpoint the ROADMAP's fleet mode needs)."""
+        registry = self.export_metrics()
+        return {
+            "ok": True,
+            "text": registry.render_prometheus(),
+            "json": registry.to_json(),
+        }
 
     def _op_save(self, request: Mapping) -> dict:
         path = request.get("path") or self.snapshot_path
@@ -394,19 +465,28 @@ class CacheClient:
         address: "str | tuple[str, int]",
         timeout: float = 60.0,
         local_bound: int | None = DEFAULT_LOCAL_BOUND,
+        token: str | None = None,
     ) -> None:
         if local_bound is not None and local_bound < 1:
             raise ValueError(f"local_bound must be >= 1, got {local_bound}")
         self.address = parse_address(address)
         self.timeout = timeout
         self.local_bound = local_bound
+        # Shared-secret auth: an explicit token wins; otherwise the
+        # environment supplies one (forked workers inherit it), and
+        # None means "server does not require auth".
+        self.token = token if token is not None else os.environ.get(AUTH_TOKEN_ENV)
         self._lock = threading.Lock()
         self._sock: socket.socket | None = None
         self._file = None
         self._local: dict[str, SearchResult] = {}
         self.hits = 0
         self.misses = 0
-        self.ping()  # fail fast on a bad address
+        try:
+            self.ping()  # fail fast on a bad address or rejected token
+        except CacheServerError:
+            self.close()
+            raise
 
     def _remember(self, text: str, result: SearchResult) -> None:
         self._local[text] = result
@@ -418,6 +498,8 @@ class CacheClient:
     # Wire plumbing
     # ------------------------------------------------------------------
     def _request(self, payload: dict) -> dict:
+        if self.token is not None:
+            payload = {**payload, "token": self.token}
         with self._lock:
             try:
                 if self._sock is None:
@@ -473,8 +555,22 @@ class CacheClient:
         entry = self._local.get(text)
         if entry is not None:
             self.hits += 1
+            if obs.enabled:
+                obs.metrics().counter(
+                    "cache_client_gets_total", result="local"
+                ).inc()
             return entry
+        t0 = time.monotonic() if obs.enabled else 0.0
         response = self._request({"op": "get", "key": text})
+        if obs.enabled:
+            registry = obs.metrics()
+            registry.histogram("cache_client_get_seconds").observe(
+                time.monotonic() - t0
+            )
+            registry.counter(
+                "cache_client_gets_total",
+                result="hit" if response["found"] else "miss",
+            ).inc()
         if not response["found"]:
             self.misses += 1
             return None
@@ -486,9 +582,14 @@ class CacheClient:
     def put(self, key: Hashable, result: SearchResult) -> None:
         text = normalize_key(key)
         self._remember(text, result)
+        t0 = time.monotonic() if obs.enabled else 0.0
         self._request(
             {"op": "put", "key": text, "entry": encode_search_result(result)}
         )
+        if obs.enabled:
+            obs.metrics().histogram("cache_client_put_seconds").observe(
+                time.monotonic() - t0
+            )
 
     def snapshot(self) -> dict[str, SearchResult]:
         """The server's full table (also refreshes the local read cache)."""
@@ -506,6 +607,7 @@ class CacheClient:
             return 0
         for text, entry in entries.items():
             self._remember(text, entry)
+        t0 = time.monotonic() if obs.enabled else 0.0
         response = self._request(
             {
                 "op": "put_many",
@@ -515,6 +617,10 @@ class CacheClient:
                 },
             }
         )
+        if obs.enabled:
+            obs.metrics().histogram("cache_client_merge_seconds").observe(
+                time.monotonic() - t0
+            )
         return int(response["new"])
 
     def keys(self) -> set[str]:
@@ -558,6 +664,12 @@ class CacheClient:
     def server_stats(self) -> dict:
         """The server's aggregate stats (hits there are cross-client)."""
         return self._request({"op": "stats"})["stats"]
+
+    def server_metrics(self) -> dict:
+        """The server's ``metrics`` op: ``{"text": <Prometheus
+        exposition>, "json": <MetricsRegistry dump>}``."""
+        response = self._request({"op": "metrics"})
+        return {"text": response["text"], "json": response["json"]}
 
     def save(self, path: "str | Path | None" = None) -> Path:
         """Ask the server to snapshot its table to disk."""

@@ -33,9 +33,11 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue as queue_module
 import threading
+import time
 import traceback
 from typing import TYPE_CHECKING, Sequence
 
+from .. import obs
 from ..mapping.cache import MappingCache
 from .cache_server import CacheClient, CacheServer, parse_address
 
@@ -76,6 +78,9 @@ class ServiceFuture:
     def __init__(self, job: "EvalJob", key: tuple) -> None:
         self.job = job
         self.key = key
+        #: Index of the shard the job was queued on (set by submit;
+        #: lets shard-death errors name the jobs that went down with it).
+        self.shard: int | None = None
         self._done = threading.Event()
         self._result = None
         self._error: str | None = None
@@ -114,11 +119,17 @@ def _service_worker_main(
     search_config,
     policy,
     cache_address,
+    obs_enabled: bool = False,
 ) -> None:
-    """Pull (job_id, job) items until the ``None`` sentinel; evaluate
-    each against a runner whose cache is a live server client."""
+    """Pull (job_id, job, submit_time) items until the ``None``
+    sentinel; evaluate each against a runner whose cache is a live
+    server client.  With telemetry on, each result carries the shard's
+    queue-wait and execution time (monotonic clock deltas — comparable
+    across processes on the platforms that matter) so the parent's
+    registry sees per-shard load without a separate harvest step."""
     from ..explore.executor import _JobRunner
 
+    obs.worker_begin(obs_enabled)
     cache = (
         CacheClient(cache_address) if cache_address is not None else MappingCache()
     )
@@ -128,16 +139,33 @@ def _service_worker_main(
             item = job_queue.get()
             if item is None:
                 break
-            job_id, job = item
+            job_id, job, t_submit = item
+            t_start = time.monotonic() if t_submit is not None else None
             try:
                 result = runner.evaluate(job)
             except Exception as exc:  # noqa: BLE001 - shipped to the parent
                 detail = "".join(
                     traceback.format_exception_only(type(exc), exc)
                 ).strip()
-                result_queue.put((job_id, None, f"shard {shard_index}: {detail}"))
+                timings = (
+                    None
+                    if t_start is None
+                    else (
+                        shard_index,
+                        t_start - t_submit,
+                        time.monotonic() - t_start,
+                    )
+                )
+                result_queue.put(
+                    (job_id, None, f"shard {shard_index}: {detail}", timings)
+                )
                 continue
-            result_queue.put((job_id, result, None))
+            timings = (
+                None
+                if t_start is None
+                else (shard_index, t_start - t_submit, time.monotonic() - t_start)
+            )
+            result_queue.put((job_id, result, None, timings))
     finally:
         if isinstance(cache, CacheClient):
             cache.close()
@@ -201,10 +229,12 @@ class EvalService:
         self._pending: dict[int, ServiceFuture] = {}
         self._next_id = 0
         self._next_shard = 0
+        self._dead_shards: set[str] = set()
         self.submitted = 0
         self.coalesced = 0
         self.completed = 0
         self.errors = 0
+        self.shard_deaths = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -238,6 +268,7 @@ class EvalService:
                     self.search_config,
                     self.policy,
                     address,
+                    obs.enabled,
                 ),
                 daemon=True,
                 name=f"eval-shard-{index}",
@@ -350,22 +381,70 @@ class EvalService:
             shard = self._next_shard
             self._next_shard = (self._next_shard + 1) % len(self._job_queues)
             self.submitted += 1
-        self._job_queues[shard].put((job_id, job))
+            future.shard = shard
+            depth = len(self._pending)
+        if obs.enabled:
+            obs.metrics().gauge("service_in_flight").set(depth)
+        self._job_queues[shard].put(
+            (job_id, job, time.monotonic() if obs.enabled else None)
+        )
         return future
 
     def gather(self, futures: Sequence[ServiceFuture]) -> list:
         """Results for ``futures`` in order, watching shard liveness so
-        a dead worker surfaces as :class:`ServiceError`, not a hang."""
+        a dead worker surfaces as :class:`ServiceError`, not a hang.
+
+        The error names each dead shard and the in-flight jobs that
+        were queued on it, so a crash log identifies both the casualty
+        and the work it took down."""
         results = []
         for future in futures:
             while not future.wait(0.5):
-                dead = [w.name for w in self._workers if not w.is_alive()]
+                dead = [
+                    (index, worker)
+                    for index, worker in enumerate(self._workers)
+                    if not worker.is_alive()
+                ]
                 if dead and not future.done():
-                    raise ServiceError(
-                        f"worker shard(s) died: {', '.join(sorted(dead))}"
-                    )
+                    raise ServiceError(self._report_dead_shards(dead))
             results.append(future.result())
         return results
+
+    def _report_dead_shards(
+        self, dead: "list[tuple[int, mp.Process]]"
+    ) -> str:
+        """Count newly dead shards and build the error message naming
+        each shard id and its last in-flight job keys."""
+        with self._lock:
+            fresh = [
+                (index, worker)
+                for index, worker in dead
+                if worker.name not in self._dead_shards
+            ]
+            for _, worker in fresh:
+                self._dead_shards.add(worker.name)
+            self.shard_deaths += len(fresh)
+            pending = list(self._pending.values())
+        if fresh and obs.enabled:
+            obs.metrics().counter("service_shard_deaths_total").inc(len(fresh))
+        details = []
+        for index, worker in dead:
+            stranded = [
+                f.job.describe() for f in pending if f.shard == index
+            ]
+            if stranded:
+                shown = "; ".join(stranded[:5])
+                if len(stranded) > 5:
+                    shown += f"; ... ({len(stranded)} total)"
+                details.append(
+                    f"shard {index} ({worker.name}) with in-flight "
+                    f"job(s): {shown}"
+                )
+            else:
+                details.append(
+                    f"shard {index} ({worker.name}) with no in-flight jobs"
+                )
+        return "worker shard(s) died: " + "; ".join(details)
 
     def map(self, jobs: "Sequence[EvalJob]") -> list:
         """Submit every job and return their results in job order."""
@@ -376,19 +455,33 @@ class EvalService:
         """Collector thread: resolve futures as shards report back."""
         while not self._stopping.is_set():
             try:
-                job_id, result, error = self._result_queue.get(timeout=0.2)
+                job_id, result, error, timings = self._result_queue.get(
+                    timeout=0.2
+                )
             except queue_module.Empty:
                 continue
             except (OSError, ValueError):  # pragma: no cover - queue closed
                 break
             with self._lock:
                 future = self._pending.pop(job_id, None)
+                depth = len(self._pending)
                 if future is not None:
                     self._inflight.pop(future.key, None)
                     if error is None:
                         self.completed += 1
                     else:
                         self.errors += 1
+            if timings is not None and obs.enabled:
+                shard, queue_wait, exec_time = timings
+                registry = obs.metrics()
+                registry.histogram(
+                    "service_queue_wait_seconds", shard=shard
+                ).observe(queue_wait)
+                registry.histogram(
+                    "service_exec_seconds", shard=shard
+                ).observe(exec_time)
+                registry.counter("service_jobs_total", shard=shard).inc()
+                registry.gauge("service_in_flight").set(depth)
             if future is not None:
                 if self._slots is not None:
                     self._slots.release()
@@ -405,6 +498,7 @@ class EvalService:
                 "coalesced": self.coalesced,
                 "completed": self.completed,
                 "errors": self.errors,
+                "shard_deaths": self.shard_deaths,
                 "in_flight": len(self._pending),
             }
         if self._server is not None:

@@ -1,0 +1,16 @@
+"""Telemetry tests always start (and leave) the layer clean: the obs
+module is process-global state, so a leaked enable would bleed spans
+and counters into unrelated tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    yield
+    obs.reset()

@@ -1,0 +1,188 @@
+"""MetricsRegistry: counters, gauges, mergeable histograms, exposition."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    load_metrics,
+    parse_prometheus,
+)
+
+
+class TestBasics:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("evals").inc()
+        reg.counter("evals").inc(41)
+        assert reg.value("evals") == 42
+
+    def test_gauge_set_and_add(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(3)
+        reg.gauge("depth").add(2.5)
+        assert reg.value("depth") == 5.5
+
+    def test_labels_are_separate_series(self):
+        reg = MetricsRegistry()
+        reg.counter("gets", result="hit").inc(2)
+        reg.counter("gets", result="miss").inc(5)
+        assert reg.value("gets", result="hit") == 2
+        assert reg.value("gets", result="miss") == 5
+        assert len(reg) == 2
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+        # Even with a different label set: one kind per family name.
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("x", shard=1)
+
+    def test_absent_metric_reads_zero(self):
+        assert MetricsRegistry().value("never") == 0
+
+    def test_histogram_buckets_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", buckets=())
+
+    def test_histogram_observe_places_values(self):
+        h = Histogram("h", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1, 1]
+        assert h.count == 4
+        assert h.total == pytest.approx(55.55)
+
+
+class TestMerge:
+    def _random_registry(
+        self, rng: random.Random, gauges: bool = True
+    ) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        for _ in range(rng.randint(0, 8)):
+            reg.counter("c", tag=rng.choice("ab")).inc(rng.randint(1, 9))
+        for _ in range(rng.randint(0, 8)):
+            # Dyadic values add exactly in any order, so the property
+            # holds bit-for-bit (bucket counts are ints and always do).
+            reg.histogram("h").observe(rng.randint(0, 800) / 4.0)
+        if gauges:
+            reg.gauge("g").set(rng.random())
+        return reg
+
+    def test_merge_associative_and_commutative(self):
+        """Property: for counters and histograms, fold order never
+        changes the aggregate — worker harvests can land in any order."""
+        rng = random.Random(7)
+        for _ in range(25):
+            dumps = [
+                self._random_registry(rng, gauges=False).to_json()
+                for _ in range(3)
+            ]
+
+            def fold(order):
+                acc = MetricsRegistry()
+                for i in order:
+                    acc.merge_json(dumps[i])
+                return acc.render_prometheus()
+
+            baseline = fold([0, 1, 2])
+            assert all(
+                fold(order) == baseline
+                for order in ([2, 1, 0], [1, 0, 2], [0, 2, 1])
+            )
+
+    def test_gauge_merge_is_last_writer_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(2.0)
+        a.merge(b)
+        assert a.value("g") == 2.0
+
+    def test_counter_and_bucket_counts_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(3)
+        b.counter("c").inc(4)
+        a.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        b.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        a.merge(b)
+        assert a.value("c") == 7
+        assert a.get("h").counts == [1, 1, 0]
+        assert a.get("h").count == 2
+
+    def test_bucket_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        b.histogram("h", buckets=(1.0, 3.0)).observe(0.5)
+        with pytest.raises(ValueError, match="cannot merge buckets"):
+            a.merge(b)
+
+    def test_merge_into_empty_is_identity(self):
+        rng = random.Random(11)
+        src = self._random_registry(rng)
+        dst = MetricsRegistry()
+        dst.merge(src)
+        assert dst.render_prometheus() == src.render_prometheus()
+
+
+class TestExposition:
+    def test_prometheus_render_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs", backend="serial").inc(3)
+        reg.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        text = reg.render_prometheus()
+        assert "# TYPE jobs counter" in text
+        assert 'jobs{backend="serial"} 3' in text
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_count 1" in text
+        assert text.endswith("\n")
+
+    def test_histogram_render_is_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 2.0, 3.0))
+        for v in (0.5, 1.5, 2.5):
+            h.observe(v)
+        values = parse_prometheus(reg.render_prometheus())
+        assert values['h_bucket{le="1"}'] == 1
+        assert values['h_bucket{le="2"}'] == 2
+        assert values['h_bucket{le="3"}'] == 3
+        assert values['h_bucket{le="+Inf"}'] == 3
+
+    def test_parse_prometheus_skips_comments_and_handles_inf(self):
+        values = parse_prometheus(
+            "# TYPE x counter\nx 3\nh_bucket{le=\"+Inf\"} 7\n\n"
+        )
+        assert values == {"x": 3.0, 'h_bucket{le="+Inf"}': 7.0}
+
+    def test_json_file_round_trip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(9)
+        reg.histogram("h").observe(0.2)
+        reg.gauge("g", shard=2).set(1.25)
+        path = reg.write_json(tmp_path / "m.json")
+        loaded = load_metrics(path)
+        assert loaded.render_prometheus() == reg.render_prometheus()
+
+    def test_prometheus_file(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        path = reg.write_prometheus(tmp_path / "m.prom")
+        assert parse_prometheus(path.read_text()) == {"c": 1.0}
+
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 60.0
+        assert all(
+            b2 > b1 for b1, b2 in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:])
+        )
+        assert all(math.isfinite(b) for b in DEFAULT_BUCKETS)

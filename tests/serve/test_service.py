@@ -5,6 +5,7 @@ import time
 
 import pytest
 
+from repro import obs
 from repro.core.strategy import DFStrategy, OverlapMode
 from repro.explore import EvalJob, Executor, MappingCache, SweepSpec
 from repro.serve import (
@@ -212,6 +213,40 @@ class TestShardDeath:
             with pytest.raises(ServiceError, match="died"):
                 service.gather([future])
 
+    def test_death_report_names_shard_and_inflight_jobs(self, fast_config):
+        """The crash log identifies the casualty and its work: the error
+        names the shard id and the in-flight job keys queued on it, and
+        the death is counted exactly once."""
+        obs.enable()  # metrics-only: the death should also be counted
+        try:
+            with EvalService(shards=1, search_config=fast_config) as service:
+                worker = service._workers[0]
+                for _ in range(100):
+                    if worker.is_alive():
+                        break
+                    time.sleep(0.05)
+                worker.terminate()
+                worker.join(timeout=10)
+                job = tiny_job()
+                future = service.submit(job)
+                with pytest.raises(ServiceError) as err:
+                    service.gather([future])
+                message = str(err.value)
+                assert "shard 0" in message
+                assert worker.name in message
+                assert job.describe() in message
+                assert service.shard_deaths == 1
+                assert service.stats()["shard_deaths"] == 1
+                # A later gather over the same corpse does not recount.
+                with pytest.raises(ServiceError):
+                    service.gather([service.submit(tiny_job(tile=16))])
+                assert service.shard_deaths == 1
+            assert (
+                obs.metrics().value("service_shard_deaths_total") == 1
+            )
+        finally:
+            obs.reset()
+
 
 class TestExecutorServiceBackend:
     def test_unknown_backend_rejected(self):
@@ -261,16 +296,16 @@ class TestExecutorServiceBackend:
         no embedded server is started."""
         shared = MappingCache()
         with CacheServer(cache=shared) as srv:
-            client = CacheClient(srv.address)
-            with Executor(
-                jobs=2,
-                backend="service",
-                search_config=fast_config,
-                cache=client,
-            ) as ex:
-                ex.run(grid_spec)
-                assert ex.service._server is None
-                assert ex.service.server_address == srv.address
+            with CacheClient(srv.address) as client:
+                with Executor(
+                    jobs=2,
+                    backend="service",
+                    search_config=fast_config,
+                    cache=client,
+                ) as ex:
+                    ex.run(grid_spec)
+                    assert ex.service._server is None
+                    assert ex.service.server_address == srv.address
             assert len(shared) > 0
 
     def test_process_backend_through_cache_client(self, fast_config, tiny):
@@ -281,10 +316,10 @@ class TestExecutorServiceBackend:
         )
         shared = MappingCache()
         with CacheServer(cache=shared) as srv:
-            client = CacheClient(srv.address)
-            results = Executor(
-                jobs=2, search_config=fast_config, cache=client
-            ).run(spec)
+            with CacheClient(srv.address) as client:
+                results = Executor(
+                    jobs=2, search_config=fast_config, cache=client
+                ).run(spec)
             assert len(shared) > 0  # harvest merged into the server
         serial = Executor(jobs=1, search_config=fast_config).run(spec)
         for s, p in zip(serial, results):
