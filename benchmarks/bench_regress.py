@@ -1,0 +1,102 @@
+"""Regression-gate smoke benchmark: the `repro runs regress` CI gate.
+
+The same small genetic DSE as :mod:`bench_obs` runs through the real CLI
+with telemetry on, leaving a ledger record.  That record is gated
+against the committed baseline (``benchmarks/baselines/
+regress_baseline.json``, generated from an actual run of this exact
+config):
+
+* the fresh run must PASS (exit 0) against the baseline — hypervolume is
+  deterministic per seed across machines, throughput gets a generous
+  cross-machine tolerance;
+* a doctored copy of the run, its orderings counter scaled down 100x,
+  must FAIL (exit 1) — proof the gate actually fires on a throughput
+  collapse.
+
+Run directly (``python -m pytest benchmarks/bench_regress.py -q``) or
+let CI's ``regress-smoke`` job do it on every push.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # `python benchmarks/bench_regress.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main
+from repro.obs import ledger
+
+from .bench_obs import dse_args
+from .conftest import write_output
+
+BASELINE = Path(__file__).parent / "baselines" / "regress_baseline.json"
+
+#: Throughput tolerance for the smoke gate.  CI machines differ wildly
+#: from the one that produced the baseline, so only a near-collapse
+#: (>95% slowdown) fails; hypervolume keeps the tight default.
+MAX_SLOWDOWN = "0.95"
+
+
+def test_regress_gate(tmp_path, capsys):
+    runs = tmp_path / "runs"
+    out = tmp_path / "dse.json"
+    prom = tmp_path / "run.prom"
+
+    assert (
+        main(
+            dse_args(
+                out,
+                ["--metrics", str(prom), "--runs-dir", str(runs)],
+            )
+        )
+        == 0
+    )
+    (record,) = ledger.list_runs(runs)
+    assert record["status"] == "ok"
+
+    # 1. The fresh run passes against the committed baseline.
+    code = main(
+        ["runs", "regress",
+         "--baseline", str(BASELINE),
+         "--runs-dir", str(runs),
+         "--max-slowdown", MAX_SLOWDOWN]
+    )
+    pass_report = capsys.readouterr().out
+    assert code == 0, f"gate failed against baseline:\n{pass_report}"
+    assert "PASS" in pass_report
+    # Hypervolume must be gated for real, not skipped: same seed, same
+    # budget, deterministic engine.
+    hv_lines = [
+        l for l in pass_report.splitlines() if l.startswith("hypervolume")
+    ]
+    assert hv_lines and "OK" in hv_lines[0], pass_report
+
+    # 2. An injected throughput regression fails the gate.  The doctored
+    # record is written as a NEWER run so `latest` resolves to it.
+    doctored = json.loads(Path(record["_path"]).read_text())
+    doctored["id"] = record["id"] + "-doctored"
+    doctored["started"] = record["started"] + 1000.0
+    for metric in doctored["metrics"]["metrics"]:
+        if metric["name"] == "loma_orderings_evaluated_total":
+            metric["data"] = metric["data"] / 100.0
+    (runs / f"{doctored['id']}.json").write_text(json.dumps(doctored))
+
+    code = main(
+        ["runs", "regress",
+         "--baseline", str(BASELINE),
+         "--runs-dir", str(runs),
+         "--max-slowdown", MAX_SLOWDOWN]
+    )
+    fail_report = capsys.readouterr().out
+    assert code == 1, f"gate missed an injected regression:\n{fail_report}"
+    assert "FAIL" in fail_report
+    assert "orderings_per_s" in fail_report
+
+    write_output(
+        "bench_regress.txt",
+        "PASS gate:\n" + pass_report + "\nFAIL gate (injected):\n"
+        + fail_report,
+    )

@@ -15,6 +15,7 @@ import pytest
 
 from repro import DepthFirstEngine, MappingCache, get_accelerator, get_workload
 from repro.mapping import SearchConfig
+from repro.obs import ledger as run_ledger
 
 #: Full paper grids vs. quick reduced grids.
 FULL = os.environ.get("REPRO_FULL", "0") == "1"
@@ -23,6 +24,17 @@ FULL = os.environ.get("REPRO_FULL", "0") == "1"
 JOBS = int(os.environ.get("REPRO_JOBS", "1"))
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(autouse=True)
+def _ledger_sandbox(tmp_path, monkeypatch):
+    """Benchmarks drive the CLI too — sandbox their run ledger unless
+    the harness explicitly pointed REPRO_RUNS_DIR somewhere."""
+    if not os.environ.get(run_ledger.RUNS_DIR_ENV):
+        monkeypatch.setenv(run_ledger.RUNS_DIR_ENV, str(tmp_path / "runs"))
+    run_ledger.reset()
+    yield
+    run_ledger.reset()
 
 
 def write_output(name: str, text: str) -> Path:

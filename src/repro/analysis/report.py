@@ -3,11 +3,13 @@ plus the telemetry run-summary renderers behind ``repro stats``."""
 
 from __future__ import annotations
 
-import re
+import time
 from typing import Iterable, Mapping, Sequence
 
 from ..core.results import ScheduleResult, StackResult
 from ..hardware.accelerator import Accelerator
+from ..obs.ledger import key_metrics
+from ..obs.metrics import split_series
 from ..obs.trace import span_summary, trace_coverage
 from ..workloads.stats import WorkloadStats
 
@@ -130,19 +132,13 @@ def trace_report(records, top: int = 10) -> str:
     return "\n".join(lines)
 
 
-#: One Prometheus series: name plus an optional {label="value",...} body.
-_SERIES_RE = re.compile(
-    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(?P<labels>.*)\})?$"
-)
-_LABEL_RE = re.compile(r'(\w+)="([^"]*)"')
-
-
 def _split_series(series: str) -> "tuple[str, dict[str, str]]":
-    match = _SERIES_RE.match(series)
-    if match is None:
+    """Escape-aware series split (shared with :mod:`repro.obs.metrics`);
+    an unparseable series degrades to a label-less name."""
+    try:
+        return split_series(series)
+    except ValueError:
         return series, {}
-    labels = dict(_LABEL_RE.findall(match.group("labels") or ""))
-    return match.group("name"), labels
 
 
 def _hit_rate_line(label: str, hits: float, misses: float) -> "str | None":
@@ -242,6 +238,201 @@ def metrics_report(values: "Mapping[str, float]", top: int = 12) -> str:
             rendered = int(value) if float(value).is_integer() else value
             lines.append(f"  {name:36s} {rendered}")
     return "\n".join(lines) if lines else "no metrics recorded"
+
+
+# ----------------------------------------------------------------------
+# Run-ledger reports (repro runs list|show|diff|regress)
+# ----------------------------------------------------------------------
+#: Render order + formatting of the comparable per-run scalars.
+_KEY_METRIC_FORMATS = (
+    ("wall_seconds", "wall clock", "{:.2f}s"),
+    ("orderings", "orderings", "{:.0f}"),
+    ("orderings_per_s", "orderings/s", "{:.1f}"),
+    ("cache_hit_rate", "cache hit rate", "{:.1%}"),
+    ("evaluations", "evaluations", "{:.0f}"),
+    ("hypervolume", "hypervolume", "{:.6g}"),
+    ("epsilon", "epsilon", "{:.6g}"),
+    ("frontier_size", "frontier size", "{:.0f}"),
+)
+
+
+def _fmt_key_metric(fmt: str, value) -> str:
+    if value is None:
+        return "-"
+    return fmt.format(float(value))
+
+
+def _fmt_stamp(epoch) -> str:
+    if not epoch:
+        return "-"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(epoch))
+
+
+def runs_table(records: Sequence[Mapping], limit: int = 20) -> str:
+    """Render ``repro runs list``: newest last, one line per record."""
+    if not records:
+        return "no runs recorded"
+    lines = [
+        f"{'id':42s} {'status':>9s} {'wall':>9s} {'evals':>7s} "
+        f"{'hypervolume':>12s}"
+    ]
+    shown = records[-limit:]
+    for record in shown:
+        keys = key_metrics(record)
+        wall = (
+            f"{keys['wall_seconds']:.1f}s"
+            if keys["wall_seconds"] is not None
+            else "-"
+        )
+        evals = (
+            f"{keys['evaluations']:.0f}"
+            if keys["evaluations"] is not None
+            else "-"
+        )
+        hv = (
+            f"{keys['hypervolume']:.6g}"
+            if keys["hypervolume"] is not None
+            else "-"
+        )
+        lines.append(
+            f"{record.get('id', '?')[:42]:42s} "
+            f"{record.get('status', '?'):>9s} {wall:>9s} {evals:>7s} "
+            f"{hv:>12s}"
+        )
+    if len(records) > limit:
+        lines.append(f"... {len(records) - limit} older run(s)")
+    return "\n".join(lines)
+
+
+def run_report(record: Mapping, tail: int = 5) -> str:
+    """Render ``repro runs show``: manifest, outcome, key metrics, and
+    the tail of the convergence series."""
+    lines = [f"run {record.get('id', '?')} [{record.get('status', '?')}]"]
+    argv = record.get("argv")
+    if argv:
+        command = record.get("command")
+        # `evaluate` is the implicit no-subcommand form; every other
+        # command's token is not part of the recorded sub-argv.
+        prefix = (
+            f"repro {command}"
+            if command and command != "evaluate" and argv[:1] != [command]
+            else "repro"
+        )
+        lines.append(f"  argv:     {prefix} {' '.join(str(a) for a in argv)}")
+    lines.append(f"  started:  {_fmt_stamp(record.get('started'))}")
+    if record.get("host") or record.get("pid"):
+        lines.append(
+            f"  where:    {record.get('host', '?')} "
+            f"(pid {record.get('pid', '?')})"
+        )
+    versions = record.get("versions") or {}
+    if versions:
+        lines.append(
+            "  versions: "
+            + "  ".join(f"{k} {v}" for k, v in sorted(versions.items()))
+        )
+    manifest = record.get("manifest") or {}
+    fingerprints = manifest.get("accelerator_fingerprints") or {}
+    for key in sorted(manifest):
+        if key == "accelerator_fingerprints":
+            continue
+        value = manifest[key]
+        if value is None:
+            continue
+        lines.append(f"  {key + ':':18s}{value}")
+    for name, fingerprint in sorted(fingerprints.items()):
+        lines.append(f"  accelerator:      {name} [{fingerprint}]")
+    if record.get("error"):
+        lines.append(f"  error:    {record['error']}")
+
+    keys = key_metrics(record)
+    metric_lines = [
+        f"  {label + ':':18s}{_fmt_key_metric(fmt, keys[key])}"
+        for key, label, fmt in _KEY_METRIC_FORMATS
+        if keys[key] is not None
+    ]
+    if metric_lines:
+        lines.append("key metrics:")
+        lines.extend(metric_lines)
+
+    convergence = record.get("convergence") or []
+    if convergence:
+        lines.append(
+            f"convergence ({len(convergence)} generation(s), "
+            f"last {min(tail, len(convergence))} shown):"
+        )
+        lines.append(
+            f"  {'gen':>4s} {'evals':>7s} {'frontier':>9s} "
+            f"{'hypervolume':>13s} {'epsilon':>10s}"
+        )
+        for point in convergence[-tail:]:
+            hv = point.get("hypervolume")
+            eps = point.get("epsilon")
+            lines.append(
+                f"  {point.get('index', '?'):>4} "
+                f"{point.get('evaluations', point.get('evaluated', '?')):>7} "
+                f"{point.get('frontier_size', '?'):>9} "
+                f"{(f'{hv:.6g}' if hv is not None else '-'):>13s} "
+                f"{(f'{eps:.6g}' if eps is not None else '-'):>10s}"
+            )
+    return "\n".join(lines)
+
+
+def run_diff_report(baseline: Mapping, current: Mapping) -> str:
+    """Render ``repro runs diff``: the key metrics side by side with
+    relative deltas."""
+    base = key_metrics(baseline)
+    curr = key_metrics(current)
+    lines = [
+        f"baseline: {baseline.get('id', '?')} "
+        f"[{baseline.get('status', '?')}]",
+        f"current:  {current.get('id', '?')} "
+        f"[{current.get('status', '?')}]",
+        f"{'metric':18s} {'baseline':>14s} {'current':>14s} {'delta':>9s}",
+    ]
+    for key, label, fmt in _KEY_METRIC_FORMATS:
+        b, c = base[key], curr[key]
+        if b is None and c is None:
+            continue
+        if b not in (None, 0) and c is not None:
+            delta = f"{(c - b) / abs(b):+.1%}"
+        else:
+            delta = "-"
+        lines.append(
+            f"{label:18s} {_fmt_key_metric(fmt, b):>14s} "
+            f"{_fmt_key_metric(fmt, c):>14s} {delta:>9s}"
+        )
+    return "\n".join(lines)
+
+
+def regress_report(checks: Sequence) -> str:
+    """Render ``repro runs regress``: one verdict line per check and a
+    PASS/FAIL summary (the exit code mirrors it)."""
+    lines = [
+        f"{'check':40s} {'baseline':>12s} {'current':>12s} "
+        f"{'limit':>24s} {'verdict':>10s}"
+    ]
+    for check in checks:
+        def fmt(value):
+            if value is None:
+                return "-"
+            return f"{value:.6g}"
+
+        verdict = check.status.upper()
+        line = (
+            f"{check.metric[:40]:40s} {fmt(check.baseline):>12s} "
+            f"{fmt(check.current):>12s} {check.limit:>24s} {verdict:>10s}"
+        )
+        if check.note:
+            line += f"  ({check.note})"
+        lines.append(line)
+    regressed = [c for c in checks if c.status == "regressed"]
+    if regressed:
+        names = ", ".join(c.metric for c in regressed)
+        lines.append(f"FAIL: {len(regressed)} regression(s): {names}")
+    else:
+        lines.append(f"PASS: no regressions in {len(checks)} check(s)")
+    return "\n".join(lines)
 
 
 def table2_factors() -> str:

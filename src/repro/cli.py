@@ -52,7 +52,20 @@ evaluation above):
     reads and writes one shared mapping table, so workers — across
     processes *and* machines — share LOMA results while runs are still
     in flight.  ``--cache FILE`` makes the server persist periodic
-    atomic snapshots in the unchanged mapping-cache format.
+    atomic snapshots in the unchanged mapping-cache format;
+    ``--metrics-port N`` adds an HTTP ``/metrics`` Prometheus endpoint.
+``repro runs``
+    The durable run ledger: every ``evaluate``/``dse`` invocation
+    appends a JSON record under ``.repro/runs/`` (manifest, versions,
+    convergence series, final metrics, outcome — crashed runs
+    included).  ``runs list|show|diff|gc`` browse it; ``runs regress
+    --baseline REF`` compares the latest run (and optionally a
+    ``BENCH_loma.json``) against a baseline with per-metric thresholds
+    and exits nonzero on regression — the CI perf gate.
+``repro top``
+    Live fleet monitoring: poll a cache server's ``stats``/``metrics``
+    wire ops and render a refreshing terminal view — shard utilization,
+    queue depth, in-flight jobs, hit rate, evals/s.
 
 Evaluating subcommands also accept ``--backend service``: batches then
 run through a long-lived :class:`~repro.serve.service.EvalService`
@@ -70,6 +83,7 @@ import json
 import math
 import os
 import sys
+import time
 from pathlib import Path
 from typing import Sequence
 
@@ -81,8 +95,14 @@ from .analysis import (
     frontier_table,
     infeasible_table,
     metrics_report,
+    regress_report,
+    run_diff_report,
+    run_report,
+    runs_table,
     trace_report,
 )
+from .obs import ledger, regress
+from .obs import top as obs_top
 from .core import DepthFirstEngine, DFStrategy, OverlapMode
 from .core.optimizer import PAPER_TILE_GRID_X, PAPER_TILE_GRID_Y
 from .dse import (
@@ -282,6 +302,19 @@ def _partition_list(text: str) -> "tuple[tuple[int, ...] | None, ...]":
     return tuple(candidates)
 
 
+def _loss_fraction(text: str) -> float:
+    """A regression tolerance: 0 <= value < 1 (0 = no loss allowed)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if not (0.0 <= value < 1.0):
+        raise argparse.ArgumentTypeError(
+            f"tolerance must be in [0, 1), got {text!r}"
+        )
+    return value
+
+
 def _sample_fraction(text: str) -> float:
     try:
         value = float(text)
@@ -377,6 +410,20 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
         help="fraction of root spans kept in the trace (deterministic "
         "counter rule, no rng; default: 1.0 = keep everything)",
     )
+    parser.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help="run-ledger directory (default: $REPRO_RUNS_DIR, else "
+        ".repro/runs); every run leaves a durable record there, "
+        "inspectable with 'repro runs'",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not record this run in the run ledger "
+        "(equivalent: REPRO_LEDGER=0)",
+    )
 
 
 def _resolve_cache(args) -> "MappingCache | CacheClient":
@@ -444,6 +491,50 @@ def _finish_obs(args) -> None:
         note = f" ({dropped} sampled out)" if dropped else ""
         print(f"wrote {args.trace} ({written} span(s){note})")
     obs.reset()
+
+
+def _begin_ledger(command: str, argv, args, **manifest) -> "ledger.RunHandle | None":
+    """Open the run's ledger record (``None`` when the ledger is off or
+    its directory is unwritable — a broken ledger must never take the
+    run down, so the failure degrades to a stderr warning)."""
+    if getattr(args, "no_ledger", False) or not ledger.ledger_enabled():
+        return None
+    manifest.update(
+        seed=args.seed,
+        engine=args.engine,
+        backend=args.backend,
+        jobs=args.jobs,
+        budget=args.budget,
+        lpf_limit=args.lpf_limit,
+        cache=args.cache,
+        cache_server=args.cache_server,
+        trace=args.trace,
+        metrics=args.metrics,
+    )
+    try:
+        return ledger.begin_run(
+            command, list(argv), manifest, directory=args.runs_dir
+        )
+    except OSError as exc:
+        print(f"warning: run ledger disabled: {exc}", file=sys.stderr)
+        return None
+
+
+def _ledger_finish(
+    handle, status: str = "ok", error: "str | None" = None, result=None
+) -> None:
+    if handle is None:
+        return
+    try:
+        handle.finish(status, error=error, result=result)
+    except OSError as exc:
+        print(f"warning: run ledger write failed: {exc}", file=sys.stderr)
+
+
+def _ledger_crash(handle, exc: BaseException) -> None:
+    """Seal the record for a run that is about to re-raise."""
+    status = "interrupted" if isinstance(exc, KeyboardInterrupt) else "crashed"
+    _ledger_finish(handle, status, error=f"{type(exc).__name__}: {exc}")
 
 
 # ----------------------------------------------------------------------
@@ -553,6 +644,16 @@ def run_evaluate(argv: Sequence[str]) -> int:
     config = SearchConfig(
         lpf_limit=args.lpf_limit, budget=args.budget, engine=args.engine
     )
+    handle = _begin_ledger(
+        "evaluate",
+        argv,
+        args,
+        workload=args.workload,
+        accelerators=[args.accelerator],
+        accelerator_fingerprints={args.accelerator: accel.fingerprint()},
+        mode=mode.value,
+        tiles=len(args.tilex) * len(args.tiley),
+    )
     _setup_obs(args)
     try:
         cache = _resolve_cache(args)
@@ -602,8 +703,24 @@ def run_evaluate(argv: Sequence[str]) -> int:
             with open(args.output, "w") as f:
                 json.dump(summary, f, indent=2)
             print(f"wrote {args.output}")
-    finally:
+    except BaseException as exc:
+        _ledger_crash(handle, exc)
         _finish_obs(args)
+        raise
+    if "points" in summary:
+        outcome = {
+            "points": len(summary["points"]),
+            "best_strategy": summary["best_strategy"],
+        }
+    else:
+        outcome = {
+            "energy_mj": summary["energy_mj"],
+            "latency_cycles": summary["latency_cycles"],
+        }
+    # The record must be sealed before _finish_obs resets the registry,
+    # or a telemetry-on run would lose its metrics dump.
+    _ledger_finish(handle, "ok", result=outcome)
+    _finish_obs(args)
     return 0
 
 
@@ -885,96 +1002,136 @@ def run_dse(argv: Sequence[str]) -> int:
     config = SearchConfig(
         lpf_limit=args.lpf_limit, budget=args.budget, engine=args.engine
     )
-    _setup_obs(args)
-    cache = _resolve_cache(args)
-    strategy = create_strategy(
-        args.strategy,
-        population=args.population,
-        generations=args.generations,
-        samples=args.samples,
-    )
-    try:
-        with obs.span(
-            "repro.dse", strategy=args.strategy, seed=args.seed
-        ), Executor(
-            jobs=args.jobs,
-            search_config=config,
-            cache=cache,
-            backend=_backend(args),
-        ) as executor:
-            runner = DSERunner(
-                space,
-                workload,
-                objectives=args.objectives,
-                executor=executor,
-                constraints=constraints,
-                max_evals=args.max_evals,
-                checkpoint=args.checkpoint,
-                reference=reference,
-                member_segments=member_segments,
-                seed=args.seed,
-            )
-            result = runner.run(strategy)
-    except ValueError as exc:
-        _finish_obs(args)
-        raise SystemExit(str(exc))
-
     workload_label = (
         workload.describe() if isinstance(workload, Scenario) else workload
     )
-    print(
-        f"dse: {workload_label}, strategy={args.strategy}, seed={args.seed}, "
-        f"space={space.size} designs, objectives={','.join(args.objectives)}"
+    handle = _begin_ledger(
+        "dse",
+        argv,
+        args,
+        workload=workload_label,
+        accelerators=list(accelerators),
+        accelerator_fingerprints={
+            name: get_accelerator(name).fingerprint()
+            for name in accelerators
+        },
+        strategy=args.strategy,
+        objectives=list(args.objectives),
+        max_evals=args.max_evals,
+        checkpoint=args.checkpoint,
     )
-    if constraints:
-        print(
-            "constraints: "
-            + "; ".join(c.describe() for c in constraints)
+    _setup_obs(args)
+    try:
+        cache = _resolve_cache(args)
+        strategy = create_strategy(
+            args.strategy,
+            population=args.population,
+            generations=args.generations,
+            samples=args.samples,
         )
-    print(result.describe())
-    print(frontier_table(result.frontier))
-    print()
-    print(convergence_table(result.generations))
-    if args.show_infeasible:
+        try:
+            with obs.span(
+                "repro.dse", strategy=args.strategy, seed=args.seed
+            ), Executor(
+                jobs=args.jobs,
+                search_config=config,
+                cache=cache,
+                backend=_backend(args),
+            ) as executor:
+                runner = DSERunner(
+                    space,
+                    workload,
+                    objectives=args.objectives,
+                    executor=executor,
+                    constraints=constraints,
+                    max_evals=args.max_evals,
+                    checkpoint=args.checkpoint,
+                    reference=reference,
+                    member_segments=member_segments,
+                    seed=args.seed,
+                )
+                result = runner.run(strategy)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
+
+        print(
+            f"dse: {workload_label}, strategy={args.strategy}, "
+            f"seed={args.seed}, space={space.size} designs, "
+            f"objectives={','.join(args.objectives)}"
+        )
+        if constraints:
+            print(
+                "constraints: "
+                + "; ".join(c.describe() for c in constraints)
+            )
+        print(result.describe())
+        print(frontier_table(result.frontier))
         print()
-        print("infeasible designs (total relative violation):")
-        print(infeasible_table(result.infeasible, result.frontier.objectives))
+        print(convergence_table(result.generations))
+        if args.show_infeasible:
+            print()
+            print("infeasible designs (total relative violation):")
+            print(
+                infeasible_table(
+                    result.infeasible, result.frontier.objectives
+                )
+            )
 
-    if args.csv:
-        with open(args.csv, "w") as f:
-            f.write(frontier_csv(result.frontier))
-        print(f"wrote {args.csv}")
-    if args.plot:
-        from .analysis import plot_dse_summary
+        if args.csv:
+            with open(args.csv, "w") as f:
+                f.write(frontier_csv(result.frontier))
+            print(f"wrote {args.csv}")
+        if args.plot:
+            from .analysis import plot_dse_summary
 
-        written = plot_dse_summary(result.frontier, result.generations, args.plot)
-        if written is None:
-            print(f"matplotlib is not installed; skipping --plot {args.plot}")
-        else:
-            print(f"wrote {written}")
-    if args.output:
-        summary = {
-            "workload": workload_label,
-            "accelerators": list(accelerators),
-            "objectives": list(args.objectives),
-            "constraints": [c.token() for c in constraints],
-            "strategy": args.strategy,
-            "seed": args.seed,
-            "evaluations": result.evaluations,
-            "total_evaluations": result.total_evaluations,
-            "generations": [s.to_json() for s in result.generations],
-            "hv_reference": (
-                None
-                if result.hv_reference is None
-                else list(result.hv_reference)
-            ),
-            "frontier": result.frontier.to_json(),
-            "infeasible": [e.to_json() for e in result.infeasible],
-        }
-        with open(args.output, "w") as f:
-            json.dump(summary, f, indent=2)
-        print(f"wrote {args.output}")
-    _finish_cache(args, cache)
+            written = plot_dse_summary(
+                result.frontier, result.generations, args.plot
+            )
+            if written is None:
+                print(
+                    f"matplotlib is not installed; skipping --plot {args.plot}"
+                )
+            else:
+                print(f"wrote {written}")
+        if args.output:
+            summary = {
+                "workload": workload_label,
+                "accelerators": list(accelerators),
+                "objectives": list(args.objectives),
+                "constraints": [c.token() for c in constraints],
+                "strategy": args.strategy,
+                "seed": args.seed,
+                "evaluations": result.evaluations,
+                "total_evaluations": result.total_evaluations,
+                "generations": [s.to_json() for s in result.generations],
+                "hv_reference": (
+                    None
+                    if result.hv_reference is None
+                    else list(result.hv_reference)
+                ),
+                "frontier": result.frontier.to_json(),
+                "infeasible": [e.to_json() for e in result.infeasible],
+            }
+            with open(args.output, "w") as f:
+                json.dump(summary, f, indent=2)
+            print(f"wrote {args.output}")
+        _finish_cache(args, cache)
+    except BaseException as exc:
+        _ledger_crash(handle, exc)
+        _finish_obs(args)
+        raise
+    last = result.generations[-1] if result.generations else None
+    # Seal the record before _finish_obs resets the metrics registry.
+    _ledger_finish(
+        handle,
+        "ok",
+        result={
+            "evaluations": result.total_evaluations,
+            "frontier_size": len(result.frontier),
+            "hypervolume": last.hypervolume if last else None,
+            "epsilon": last.epsilon if last else None,
+        },
+    )
     _finish_obs(args)
     return 0
 
@@ -1037,6 +1194,16 @@ def build_serve_parser() -> argparse.ArgumentParser:
         f"pass CacheClient(token=...) or set ${AUTH_TOKEN_ENV}, which "
         "is also this flag's default); omit for an open server",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve HTTP GET /metrics (Prometheus text exposition) "
+        "and /healthz on this port; 0 picks a free port (printed on "
+        "startup); exposes aggregate numbers only and is deliberately "
+        "not behind --auth-token, so scrapers never hold the secret",
+    )
     return parser
 
 
@@ -1052,11 +1219,15 @@ def run_serve(argv: Sequence[str]) -> int:
         snapshot_path=args.cache,
         snapshot_interval=args.snapshot_interval if args.cache else None,
         auth_token=args.auth_token,
+        metrics_port=args.metrics_port,
     )
     server.start()
     # The address line is the startup contract: wrappers parse it to
     # learn the picked port, so print and flush it first.
     print(f"cache server listening on {server.describe()}", flush=True)
+    if server.metrics_address is not None:
+        host, port = server.metrics_address
+        print(f"metrics endpoint on http://{host}:{port}/metrics", flush=True)
     if args.auth_token is not None:
         print("authentication: shared-secret token required", flush=True)
     print(
@@ -1188,13 +1359,23 @@ def build_stats_parser() -> argparse.ArgumentParser:
 
 def _stats_report(path: str, top: int) -> str:
     """The report for one telemetry file, whatever its format: a metrics
-    JSON dump (one object), a JSON-lines trace, or Prometheus text."""
-    from .obs import MetricsRegistry, load_trace
+    JSON dump (one object), a JSON-lines trace, or Prometheus text.
+
+    Robust against the artifacts a crashed run leaves behind: a missing
+    or empty file and a trace cut mid-line all produce a clear message
+    (plus a best-effort report for the partial trace), never a
+    traceback."""
+    from .obs import MetricsRegistry, load_trace_tolerant
 
     try:
         text = Path(path).read_text()
     except OSError as exc:
         raise SystemExit(str(exc))
+    if not text.strip():
+        raise SystemExit(
+            f"{path}: empty telemetry file — the run likely crashed (or "
+            "was killed) before writing anything"
+        )
     try:
         data = json.loads(text)
     except json.JSONDecodeError:
@@ -1208,12 +1389,15 @@ def _stats_report(path: str, top: int) -> str:
         return metrics_report(
             parse_prometheus(registry.render_prometheus()), top=top
         )
-    try:
-        records = load_trace(path)
-    except ValueError:
-        records = None
+    records, problems = load_trace_tolerant(path)
     if records:
-        return trace_report(records, top=top)
+        report = trace_report(records, top=top)
+        if problems:
+            report += (
+                f"\nwarning: skipped {len(problems)} malformed line(s) — "
+                f"truncated by a crashed run? (first: {problems[0]})"
+            )
+        return report
     values = parse_prometheus(text)
     if values:
         return metrics_report(values, top=top)
@@ -1221,6 +1405,12 @@ def _stats_report(path: str, top: int) -> str:
         f"{path}: not a recognizable telemetry file (expected a "
         "JSON-lines trace, a Prometheus text exposition, or a metrics "
         "JSON dump)"
+        + (
+            f"; {len(problems)} unparseable line(s) suggest a truncated "
+            "or corrupted trace"
+            if problems
+            else ""
+        )
     )
 
 
@@ -1236,11 +1426,306 @@ def run_stats(argv: Sequence[str]) -> int:
 
 
 # ----------------------------------------------------------------------
+# repro runs — the durable run ledger
+# ----------------------------------------------------------------------
+def _add_runs_dir_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help="ledger directory (default: $REPRO_RUNS_DIR, else .repro/runs)",
+    )
+
+
+def build_runs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro runs",
+        description="Inspect the run ledger: every 'repro evaluate' and "
+        "'repro dse' invocation leaves a durable record under "
+        ".repro/runs/ (manifest, wall-clock, final metrics, convergence "
+        "series, outcome — crashed runs included).",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    p_list = sub.add_parser("list", help="list recorded runs, newest last")
+    _add_runs_dir_option(p_list)
+    p_list.add_argument(
+        "-n",
+        "--limit",
+        type=_positive_int,
+        default=20,
+        help="most recent runs shown (default: 20)",
+    )
+    p_list.set_defaults(func=_runs_list)
+
+    p_show = sub.add_parser("show", help="render one run's record")
+    _add_runs_dir_option(p_show)
+    p_show.add_argument(
+        "run",
+        nargs="?",
+        default="latest",
+        help="run reference: 'latest' (default), an id, a unique id "
+        "prefix, or a record-file path",
+    )
+    p_show.add_argument(
+        "--tail",
+        type=_positive_int,
+        default=5,
+        help="convergence generations shown (default: 5)",
+    )
+    p_show.set_defaults(func=_runs_show)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two runs' key metrics side by side"
+    )
+    _add_runs_dir_option(p_diff)
+    p_diff.add_argument("baseline", help="baseline run reference")
+    p_diff.add_argument(
+        "run",
+        nargs="?",
+        default="latest",
+        help="run to compare (default: latest)",
+    )
+    p_diff.set_defaults(func=_runs_diff)
+
+    p_gc = sub.add_parser(
+        "gc", help="drop the oldest records beyond a keep count"
+    )
+    _add_runs_dir_option(p_gc)
+    p_gc.add_argument(
+        "--keep",
+        type=int,
+        default=20,
+        help="newest records kept (default: 20)",
+    )
+    p_gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be removed without removing it",
+    )
+    p_gc.set_defaults(func=_runs_gc)
+
+    p_regress = sub.add_parser(
+        "regress",
+        help="gate a run against a baseline: exits 1 on any regression",
+    )
+    _add_runs_dir_option(p_regress)
+    p_regress.add_argument(
+        "--baseline",
+        required=True,
+        metavar="REF",
+        help="baseline run reference (id, unique prefix, or record-file "
+        "path — e.g. a committed fixture)",
+    )
+    p_regress.add_argument(
+        "run",
+        nargs="?",
+        default="latest",
+        help="run to gate (default: latest)",
+    )
+    p_regress.add_argument(
+        "--max-slowdown",
+        type=_loss_fraction,
+        default=regress.DEFAULT_MAX_SLOWDOWN,
+        metavar="FRACTION",
+        help="tolerated relative throughput loss (orderings/s, bench "
+        f"points; default {regress.DEFAULT_MAX_SLOWDOWN} — generous, "
+        "baselines travel across machines)",
+    )
+    p_regress.add_argument(
+        "--max-hv-loss",
+        type=_loss_fraction,
+        default=regress.DEFAULT_MAX_HV_LOSS,
+        metavar="FRACTION",
+        help="tolerated relative hypervolume loss at a fixed eval "
+        f"budget (default {regress.DEFAULT_MAX_HV_LOSS} — the search "
+        "is deterministic per seed)",
+    )
+    p_regress.add_argument(
+        "--max-hit-rate-drop",
+        type=_loss_fraction,
+        default=regress.DEFAULT_MAX_HIT_RATE_DROP,
+        metavar="FRACTION",
+        help="tolerated absolute mapping-cache hit-rate drop "
+        f"(default {regress.DEFAULT_MAX_HIT_RATE_DROP})",
+    )
+    p_regress.add_argument(
+        "--bench",
+        default=None,
+        metavar="BENCH.json",
+        help="also gate a BENCH_loma.json-shaped throughput file "
+        "against --bench-baseline",
+    )
+    p_regress.add_argument(
+        "--bench-baseline",
+        default="BENCH_loma.json",
+        metavar="BENCH.json",
+        help="baseline bench file for --bench (default: the repo's "
+        "blessed BENCH_loma.json)",
+    )
+    p_regress.set_defaults(func=_runs_regress)
+    return parser
+
+
+def _runs_list(args) -> int:
+    print(runs_table(ledger.list_runs(args.runs_dir), limit=args.limit))
+    return 0
+
+
+def _load_run_or_exit(ref: str, runs_dir) -> dict:
+    try:
+        return ledger.load_run(ref, runs_dir)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc))
+
+
+def _runs_show(args) -> int:
+    print(run_report(_load_run_or_exit(args.run, args.runs_dir), tail=args.tail))
+    return 0
+
+
+def _runs_diff(args) -> int:
+    baseline = _load_run_or_exit(args.baseline, args.runs_dir)
+    current = _load_run_or_exit(args.run, args.runs_dir)
+    print(run_diff_report(baseline, current))
+    return 0
+
+
+def _runs_gc(args) -> int:
+    if args.keep < 0:
+        raise SystemExit(f"--keep must be >= 0, got {args.keep}")
+    removed = ledger.gc_runs(
+        args.runs_dir, keep=args.keep, dry_run=args.dry_run
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"{verb} {len(removed)} run record(s), "
+        f"keeping the newest {args.keep}"
+    )
+    for run_id in removed:
+        print(f"  {run_id}")
+    return 0
+
+
+def _runs_regress(args) -> int:
+    baseline = _load_run_or_exit(args.baseline, args.runs_dir)
+    current = _load_run_or_exit(args.run, args.runs_dir)
+    checks = regress.compare_runs(
+        baseline,
+        current,
+        max_slowdown=args.max_slowdown,
+        max_hv_loss=args.max_hv_loss,
+        max_hit_rate_drop=args.max_hit_rate_drop,
+    )
+    if args.bench is not None:
+        try:
+            checks += regress.compare_bench(
+                regress.load_bench(args.bench_baseline),
+                regress.load_bench(args.bench),
+                max_slowdown=args.max_slowdown,
+            )
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc))
+    print(regress_report(checks))
+    return 1 if regress.has_regressions(checks) else 0
+
+
+def run_runs(argv: Sequence[str]) -> int:
+    args = build_runs_parser().parse_args(argv)
+    return args.func(args)
+
+
+# ----------------------------------------------------------------------
+# repro top — live fleet monitoring
+# ----------------------------------------------------------------------
+def build_top_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description="Live view of a cache-server fleet: polls the "
+        "server's stats/metrics wire ops and renders a refreshing "
+        "terminal frame (entries, hit rate, connections, in-flight, "
+        "queue depth, request and evaluation rates, per-shard "
+        "utilization when an embedded EvalService reports).",
+    )
+    parser.add_argument(
+        "address", metavar="HOST:PORT", help="a running 'repro serve'"
+    )
+    parser.add_argument(
+        "--interval",
+        type=_positive_float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between refreshes (default: 2)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="stop after N frames (default: run until Ctrl-C)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single frame and exit (same as --iterations 1)",
+    )
+    parser.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen (useful for "
+        "logs and pipes; clearing is skipped automatically when stdout "
+        "is not a terminal)",
+    )
+    parser.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="TOKEN",
+        help="shared-secret token for an authenticated server "
+        f"(default: ${AUTH_TOKEN_ENV})",
+    )
+    return parser
+
+
+def run_top(argv: Sequence[str]) -> int:
+    args = build_top_parser().parse_args(argv)
+    iterations = 1 if args.once else args.iterations
+    try:
+        client = CacheClient(args.address, token=args.auth_token)
+    except (ValueError, CacheServerError) as exc:
+        raise SystemExit(str(exc))
+    clear = sys.stdout.isatty() and not args.no_clear
+    previous = None
+    frames = 0
+    try:
+        while True:
+            try:
+                current = obs_top.sample_server(client)
+            except CacheServerError as exc:
+                raise SystemExit(f"server went away: {exc}")
+            frame = obs_top.top_report(args.address, current, previous)
+            if clear:
+                print("\x1b[2J\x1b[H", end="")
+            print(frame, end="", flush=True)
+            previous = current
+            frames += 1
+            if iterations is not None and frames >= iterations:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        client.close()
+    return 0
+
+
+# ----------------------------------------------------------------------
 SUBCOMMANDS = {
     "dse": run_dse,
     "serve": run_serve,
     "cache-info": run_cache_info,
     "stats": run_stats,
+    "runs": run_runs,
+    "top": run_top,
 }
 
 

@@ -46,6 +46,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
 from .. import obs
+from ..obs import ledger
 from ..explore.executor import Executor
 from ..explore.spec import EvalJob
 from ..mapping.cost import resolve_objective
@@ -479,6 +480,16 @@ class DSERunner:
                         epsilon=self._frontier_epsilon(frontier),
                     )
                     stats.append(generation)
+                    run_record = ledger.active_run()
+                    if run_record is not None:
+                        # Streamed per generation so a crashed search
+                        # keeps its partial convergence series.
+                        run_record.add_convergence(
+                            {
+                                **generation.to_json(),
+                                "evaluations": prior_evals + evals_run,
+                            }
+                        )
                     gen_span.set(
                         proposed=len(batch),
                         evaluated=len(fresh),

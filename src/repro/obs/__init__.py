@@ -37,25 +37,32 @@ from pathlib import Path
 
 from .metrics import (
     DEFAULT_BUCKETS,
+    BucketMismatchError,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    escape_label_value,
     load_metrics,
     parse_prometheus,
+    split_series,
+    unescape_label_value,
 )
 from .trace import (
     NULL_SPAN,
     Tracer,
     load_trace,
+    load_trace_tolerant,
     span_summary,
     trace_coverage,
     trace_spans,
 )
+from . import ledger, regress, top  # noqa: E402 - re-exported submodules
 
 __all__ = [
     "DEFAULT_BUCKETS",
     "NULL_SPAN",
+    "BucketMismatchError",
     "Counter",
     "Gauge",
     "Histogram",
@@ -64,15 +71,22 @@ __all__ = [
     "enable",
     "disable",
     "enabled",
+    "escape_label_value",
+    "ledger",
     "load_metrics",
     "load_trace",
+    "load_trace_tolerant",
     "metrics",
     "parse_prometheus",
+    "regress",
     "span",
     "span_summary",
+    "split_series",
+    "top",
     "trace_coverage",
     "trace_spans",
     "tracer",
+    "unescape_label_value",
 ]
 
 #: THE telemetry switch.  Read it as ``obs.enabled`` (module attribute),

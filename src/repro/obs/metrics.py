@@ -27,8 +27,15 @@ from __future__ import annotations
 
 import json
 import math
+import re
 from pathlib import Path
 from typing import Iterable, Mapping
+
+
+class BucketMismatchError(ValueError):
+    """Two histograms with different bucket boundaries were asked to
+    merge — adding their counts pairwise would silently mix scales, so
+    the mismatch is a named, catchable error instead."""
 
 #: Default histogram bucket upper bounds (seconds-flavored: latencies
 #: from 100us to ~2min land in distinct buckets; +Inf is implicit).
@@ -57,10 +64,40 @@ def _labels_key(labels: Mapping[str, object]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def escape_label_value(value: str) -> str:
+    """Prometheus text-exposition escaping for a label value: backslash,
+    double quote and newline must be escaped or the rendered line is
+    ambiguous (a raw newline even splits the series across lines)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """Inverse of :func:`escape_label_value`."""
+    out: list[str] = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, None)
+        if nxt is None:
+            # A trailing lone backslash stays literal.
+            out.append(ch)
+        elif nxt == "n":
+            out.append("\n")
+        else:
+            # \\ and \" unescape to the char itself; an unknown escape
+            # degrades to the literal character (lenient, like scrapers).
+            out.append(nxt)
+    return "".join(out)
+
+
 def _render_labels(labels: tuple[tuple[str, str], ...]) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in labels)
+    body = ",".join(f'{k}="{escape_label_value(v)}"' for k, v in labels)
     return "{" + body + "}"
 
 
@@ -184,7 +221,7 @@ class Histogram:
     def merge_json(self, data) -> None:
         bounds = tuple(float(b) for b in data["buckets"])
         if bounds != self.buckets:
-            raise ValueError(
+            raise BucketMismatchError(
                 f"histogram {self.name!r}: cannot merge buckets {bounds} "
                 f"into {self.buckets}"
             )
@@ -353,7 +390,13 @@ def parse_prometheus(text: str) -> "dict[str, float]":
     """Parse a Prometheus text exposition into ``{series: value}`` (the
     series string includes its label set verbatim).  Only what the
     ``repro stats`` pretty-printer and the smoke tests need — not a
-    general scrape parser."""
+    general scrape parser.
+
+    Round-trips :meth:`MetricsRegistry.render_prometheus` exactly:
+    escaped label values contain no raw newline or trailing space, so
+    one line is one series and the value is the last space-separated
+    token.  Use :func:`split_series` to recover the label dict.
+    """
     values: dict[str, float] = {}
     for line in text.splitlines():
         line = line.strip()
@@ -365,3 +408,26 @@ def parse_prometheus(text: str) -> "dict[str, float]":
         except ValueError:
             continue
     return values
+
+
+_SERIES_RE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(?P<labels>.*)\})?$")
+#: One label pair; the value matches escaped sequences or anything that
+#: is neither a quote nor a bare backslash, so escaped quotes inside the
+#: value do not terminate the match.
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"')
+
+
+def split_series(series: str) -> "tuple[str, dict[str, str]]":
+    """Split a series string (``name{k="v",...}``) into the metric name
+    and its label dict, undoing label-value escaping.  Raises
+    ``ValueError`` on a string no registry would render."""
+    match = _SERIES_RE.match(series.strip())
+    if match is None:
+        raise ValueError(f"not a metric series: {series!r}")
+    raw = match.group("labels")
+    labels: dict[str, str] = {}
+    if raw:
+        labels = {
+            k: unescape_label_value(v) for k, v in _LABEL_RE.findall(raw)
+        }
+    return match.group("name"), labels

@@ -1,0 +1,218 @@
+"""Perf-regression gate: compare ledger records (and bench files).
+
+``repro runs regress --baseline REF`` turns two ledger records into a
+list of :class:`Check` verdicts with per-metric thresholds:
+
+* **orderings/s** — throughput; relative, with a generous default
+  tolerance because baselines travel across machines.
+* **cache hit rate** — absolute drop tolerance; a hit-rate collapse is
+  a correctness-of-keying smell long before it is a perf problem.
+* **hypervolume** — search quality; compared only when both runs spent
+  the same evaluation budget (hv at different budgets measures budget,
+  not quality).  The engine is deterministic per seed across machines
+  (the repo commits golden frontier fixtures), so the tolerance is
+  tight by default.
+
+Metrics missing on either side are reported as ``skipped`` checks, not
+failures: a telemetry-off baseline can still gate hypervolume.  The
+same shapes compare two ``BENCH_loma.json``-style files point by point
+(:func:`compare_bench`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+from .ledger import key_metrics
+
+#: Default thresholds (overridable per CLI flag).
+DEFAULT_MAX_SLOWDOWN = 0.5
+DEFAULT_MAX_HV_LOSS = 0.001
+DEFAULT_MAX_HIT_RATE_DROP = 0.05
+
+OK = "ok"
+REGRESSED = "regressed"
+SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class Check:
+    """One metric's verdict in a regression comparison."""
+
+    metric: str
+    baseline: "float | None"
+    current: "float | None"
+    limit: str
+    status: str  # ok | regressed | skipped
+    note: str = ""
+
+    @property
+    def regressed(self) -> bool:
+        return self.status == REGRESSED
+
+
+def _skip(metric: str, limit: str, note: str) -> Check:
+    return Check(metric, None, None, limit, SKIPPED, note)
+
+
+def _relative_floor_check(
+    metric: str,
+    baseline: "float | None",
+    current: "float | None",
+    max_loss: float,
+) -> Check:
+    """Higher-is-better metric gated at ``baseline * (1 - max_loss)``."""
+    limit = f">= baseline * {1.0 - max_loss:g}"
+    if baseline is None or current is None:
+        side = "baseline" if baseline is None else "current"
+        return _skip(metric, limit, f"{side} run did not record it")
+    floor = baseline * (1.0 - max_loss)
+    status = OK if current >= floor else REGRESSED
+    return Check(metric, baseline, current, limit, status)
+
+
+def compare_runs(
+    baseline: Mapping,
+    current: Mapping,
+    max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
+    max_hv_loss: float = DEFAULT_MAX_HV_LOSS,
+    max_hit_rate_drop: float = DEFAULT_MAX_HIT_RATE_DROP,
+) -> list[Check]:
+    """Gate a current ledger record against a baseline record."""
+    base = key_metrics(baseline)
+    curr = key_metrics(current)
+    checks = [
+        _relative_floor_check(
+            "orderings_per_s",
+            base["orderings_per_s"],
+            curr["orderings_per_s"],
+            max_slowdown,
+        )
+    ]
+
+    # Cache hit rate: absolute drop tolerance.
+    limit = f">= baseline - {max_hit_rate_drop:g}"
+    if base["cache_hit_rate"] is None or curr["cache_hit_rate"] is None:
+        side = "baseline" if base["cache_hit_rate"] is None else "current"
+        checks.append(
+            _skip("cache_hit_rate", limit, f"{side} run did not record it")
+        )
+    else:
+        status = (
+            OK
+            if curr["cache_hit_rate"]
+            >= base["cache_hit_rate"] - max_hit_rate_drop
+            else REGRESSED
+        )
+        checks.append(
+            Check(
+                "cache_hit_rate",
+                base["cache_hit_rate"],
+                curr["cache_hit_rate"],
+                limit,
+                status,
+            )
+        )
+
+    # Hypervolume: only meaningful at a fixed evaluation budget.
+    hv_limit = f">= baseline * {1.0 - max_hv_loss:g}"
+    if base["hypervolume"] is None or curr["hypervolume"] is None:
+        side = "baseline" if base["hypervolume"] is None else "current"
+        checks.append(
+            _skip("hypervolume", hv_limit, f"{side} run has no hypervolume")
+        )
+    elif (
+        base["evaluations"] is not None
+        and curr["evaluations"] is not None
+        and base["evaluations"] != curr["evaluations"]
+    ):
+        checks.append(
+            _skip(
+                "hypervolume",
+                hv_limit,
+                f"evaluation budgets differ "
+                f"({base['evaluations']} vs {curr['evaluations']})",
+            )
+        )
+    else:
+        checks.append(
+            _relative_floor_check(
+                "hypervolume",
+                base["hypervolume"],
+                curr["hypervolume"],
+                max_hv_loss,
+            )
+        )
+    return checks
+
+
+# ----------------------------------------------------------------------
+# Bench-file comparison (BENCH_loma.json shape)
+# ----------------------------------------------------------------------
+def _bench_points(bench: Mapping) -> "dict[tuple[str, str], Mapping]":
+    return {
+        (p.get("workload", "?"), p.get("accelerator", "?")): p
+        for p in bench.get("points", [])
+    }
+
+
+def compare_bench(
+    baseline: Mapping,
+    current: Mapping,
+    max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
+) -> list[Check]:
+    """Gate a ``BENCH_loma.json``-shaped file against a baseline one:
+    per point, batch-engine orderings/s and batch-vs-scalar speedup must
+    hold within the slowdown tolerance."""
+    base_points = _bench_points(baseline)
+    curr_points = _bench_points(current)
+    checks: list[Check] = []
+    for key in sorted(base_points):
+        workload, accelerator = key
+        tag = f"{workload}/{accelerator}"
+        base_point = base_points[key]
+        curr_point = curr_points.get(key)
+        if curr_point is None:
+            checks.append(
+                Check(
+                    f"bench[{tag}]",
+                    None,
+                    None,
+                    "point present",
+                    REGRESSED,
+                    "benchmark point missing from current file",
+                )
+            )
+            continue
+        checks.append(
+            _relative_floor_check(
+                f"bench[{tag}].batch_orderings_per_s",
+                (base_point.get("batch") or {}).get("orderings_per_s"),
+                (curr_point.get("batch") or {}).get("orderings_per_s"),
+                max_slowdown,
+            )
+        )
+        checks.append(
+            _relative_floor_check(
+                f"bench[{tag}].speedup",
+                base_point.get("speedup"),
+                curr_point.get("speedup"),
+                max_slowdown,
+            )
+        )
+    return checks
+
+
+def load_bench(path: "str | Path") -> dict:
+    """Read a bench file, with a useful error for a non-bench file."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or "points" not in data:
+        raise ValueError(f"{path}: not a bench file (no 'points' list)")
+    return data
+
+
+def has_regressions(checks: "list[Check]") -> bool:
+    return any(check.regressed for check in checks)

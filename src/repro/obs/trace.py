@@ -214,7 +214,24 @@ class Tracer:
 def load_trace(path: "str | Path") -> list[dict]:
     """Parse a trace file into its records (header included).  Raises
     ``ValueError`` naming the offending line on malformed input."""
-    records = []
+    records, problems = _parse_trace(path, tolerant=False)
+    assert not problems
+    return records
+
+
+def load_trace_tolerant(path: "str | Path") -> "tuple[list[dict], list[str]]":
+    """Like :func:`load_trace`, but a malformed line is collected
+    instead of raised.  A run killed mid-write leaves a final line cut
+    in half; its trace is still worth summarizing.  Returns
+    ``(records, problems)`` where each problem names the bad line."""
+    return _parse_trace(path, tolerant=True)
+
+
+def _parse_trace(
+    path: "str | Path", tolerant: bool
+) -> "tuple[list[dict], list[str]]":
+    records: list[dict] = []
+    problems: list[str] = []
     with open(Path(path)) as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
@@ -223,13 +240,21 @@ def load_trace(path: "str | Path") -> list[dict]:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: not a trace line: {exc}")
+                message = f"{path}:{lineno}: not a trace line: {exc}"
+                if tolerant:
+                    problems.append(message)
+                    continue
+                raise ValueError(message)
             if not isinstance(record, dict) or "type" not in record:
-                raise ValueError(
+                message = (
                     f"{path}:{lineno}: trace records are objects with a 'type'"
                 )
+                if tolerant:
+                    problems.append(message)
+                    continue
+                raise ValueError(message)
             records.append(record)
-    return records
+    return records, problems
 
 
 def trace_spans(records: "list[dict] | str | Path") -> list[dict]:

@@ -31,6 +31,7 @@ import socket
 import socketserver
 import threading
 import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Hashable, Iterable, Mapping
 
@@ -112,6 +113,49 @@ class _TCPServer(socketserver.ThreadingTCPServer):
     daemon_threads = True
 
 
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Stdlib HTTP front for :meth:`CacheServer.export_metrics`.
+
+    Serves ``GET /metrics`` (Prometheus text exposition) and
+    ``GET /healthz``.  Exposes *aggregate numbers only* — never table
+    contents — so a fleet can be scraped without distributing the cache
+    auth token; the JSON-line data plane stays behind the token.
+    """
+
+    server_version = "repro-metrics"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        cache_server: CacheServer = self.server.cache_server  # type: ignore[attr-defined]
+        path = self.path.partition("?")[0].rstrip("/") or "/"
+        if path == "/metrics":
+            body = cache_server.export_metrics().render_prometheus().encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif path in ("/", "/healthz"):
+            body = b"ok\n"
+            content_type = "text/plain; charset=utf-8"
+        else:
+            body = b"not found: try /metrics or /healthz\n"
+            self.send_response(404)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Scrapes are periodic; stderr chatter would drown the run."""
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
 class CacheServer:
     """Serves one live :class:`MappingCache` table to many clients.
 
@@ -137,6 +181,12 @@ class CacheServer:
         — clients pass ``CacheClient(token=...)`` or set the
         ``REPRO_AUTH_TOKEN`` environment variable — and requests
         without one get a clean JSON error instead of service.
+    metrics_port:
+        When not ``None``, also serve an HTTP ``GET /metrics``
+        Prometheus exposition (plus ``/healthz``) on this port — ``0``
+        picks a free one, reported by :attr:`metrics_address` after
+        :meth:`start`.  Numbers only, unauthenticated by design; see
+        :class:`_MetricsHandler`.
     """
 
     def __init__(
@@ -147,6 +197,7 @@ class CacheServer:
         snapshot_path: "str | Path | None" = None,
         snapshot_interval: float | None = None,
         auth_token: str | None = None,
+        metrics_port: int | None = None,
     ) -> None:
         if snapshot_interval is not None:
             if snapshot_path is None:
@@ -170,6 +221,9 @@ class CacheServer:
         self._server: _TCPServer | None = None
         self._thread: threading.Thread | None = None
         self._snapshot_thread: threading.Thread | None = None
+        self.metrics_port = metrics_port
+        self._http_server: _HTTPServer | None = None
+        self._http_thread: threading.Thread | None = None
         self._stopping = threading.Event()
         self.auth_token = auth_token
         self.requests = {"get": 0, "put": 0, "put_many": 0, "snapshot": 0}
@@ -218,6 +272,18 @@ class CacheServer:
                 daemon=True,
             )
             self._snapshot_thread.start()
+        if self.metrics_port is not None:
+            http_server = _HTTPServer(
+                (self._bind[0], self.metrics_port), _MetricsHandler
+            )
+            http_server.cache_server = self  # type: ignore[attr-defined]
+            self._http_server = http_server
+            self._http_thread = threading.Thread(
+                target=http_server.serve_forever,
+                name="cache-server-metrics",
+                daemon=True,
+            )
+            self._http_thread.start()
         return self
 
     def stop(self, save: bool = True) -> None:
@@ -241,6 +307,13 @@ class CacheServer:
             self._stopping.set()
             server.shutdown()
             server.server_close()
+            if self._http_server is not None:
+                self._http_server.shutdown()
+                self._http_server.server_close()
+                self._http_server = None
+            if self._http_thread is not None:
+                self._http_thread.join(timeout=5.0)
+                self._http_thread = None
             if self._thread is not None:
                 self._thread.join(timeout=5.0)
                 self._thread = None
@@ -263,6 +336,15 @@ class CacheServer:
             host, port = self._server.server_address[:2]
             return str(host), int(port)
         return self._bind
+
+    @property
+    def metrics_address(self) -> "tuple[str, int] | None":
+        """The HTTP metrics endpoint's (host, port), or ``None`` when
+        no ``metrics_port`` was configured / the server is stopped."""
+        if self._http_server is None:
+            return None
+        host, port = self._http_server.server_address[:2]
+        return str(host), int(port)
 
     def describe(self) -> str:
         return format_address(self.address)

@@ -358,6 +358,8 @@ class EvalService:
             existing = self._inflight.get(key)
             if existing is not None:
                 self.coalesced += 1
+                if obs.enabled:
+                    obs.metrics().counter("service_coalesced_total").inc()
                 return existing
         if self._slots is not None:
             if not self._slots.acquire(blocking=block, timeout=timeout):
@@ -372,6 +374,8 @@ class EvalService:
                 if self._slots is not None:
                     self._slots.release()
                 self.coalesced += 1
+                if obs.enabled:
+                    obs.metrics().counter("service_coalesced_total").inc()
                 return existing
             future = ServiceFuture(job, key)
             job_id = self._next_id
@@ -384,6 +388,7 @@ class EvalService:
             future.shard = shard
             depth = len(self._pending)
         if obs.enabled:
+            obs.metrics().counter("service_submitted_total").inc()
             obs.metrics().gauge("service_in_flight").set(depth)
         self._job_queues[shard].put(
             (job_id, job, time.monotonic() if obs.enabled else None)
@@ -471,6 +476,10 @@ class EvalService:
                         self.completed += 1
                     else:
                         self.errors += 1
+                        if obs.enabled:
+                            obs.metrics().counter(
+                                "service_errors_total"
+                            ).inc()
             if timings is not None and obs.enabled:
                 shard, queue_wait, exec_time = timings
                 registry = obs.metrics()

@@ -6,6 +6,17 @@ import pytest
 
 from repro import DepthFirstEngine, WorkloadBuilder, get_accelerator
 from repro.mapping import SearchConfig
+from repro.obs import ledger
+
+
+@pytest.fixture(autouse=True)
+def _ledger_sandbox(tmp_path, monkeypatch):
+    """Keep every test's run ledger in a tmp dir: CLI tests call
+    ``main()`` directly and must not litter the repo with ``.repro/``."""
+    monkeypatch.setenv(ledger.RUNS_DIR_ENV, str(tmp_path / "runs"))
+    ledger.reset()
+    yield
+    ledger.reset()
 
 
 @pytest.fixture(scope="session")

@@ -9,10 +9,14 @@ import pytest
 
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    BucketMismatchError,
     Histogram,
     MetricsRegistry,
+    escape_label_value,
     load_metrics,
     parse_prometheus,
+    split_series,
+    unescape_label_value,
 )
 
 
@@ -126,6 +130,16 @@ class TestMerge:
         with pytest.raises(ValueError, match="cannot merge buckets"):
             a.merge(b)
 
+    def test_bucket_mismatch_is_named_error(self):
+        """Callers can catch the mismatch specifically — and existing
+        ``except ValueError`` handlers keep working."""
+        a = Histogram("h", buckets=(1.0, 2.0))
+        b = Histogram("h", buckets=(1.0, 3.0))
+        with pytest.raises(BucketMismatchError) as excinfo:
+            a.merge_json(b.to_json())
+        assert isinstance(excinfo.value, ValueError)
+        assert "h" in str(excinfo.value)
+
     def test_merge_into_empty_is_identity(self):
         rng = random.Random(11)
         src = self._random_registry(rng)
@@ -186,3 +200,56 @@ class TestExposition:
             b2 > b1 for b1, b2 in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:])
         )
         assert all(math.isfinite(b) for b in DEFAULT_BUCKETS)
+
+
+class TestLabelEscaping:
+    """Prometheus label values must escape ``\\``, ``"`` and newlines —
+    an unescaped path like ``C:\\runs`` or a quote in a workload name
+    would otherwise corrupt the exposition line."""
+
+    def test_escape_rules(self):
+        assert escape_label_value("plain") == "plain"
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_unescape_inverts_escape(self):
+        nasty = 'quote " slash \\ newline \n mix \\n"\\'
+        assert unescape_label_value(escape_label_value(nasty)) == nasty
+
+    def test_unknown_escape_degrades_to_literal(self):
+        assert unescape_label_value("a\\tb") == "atb"
+        assert unescape_label_value("trailing\\") == "trailing\\"
+
+    def test_rendered_line_stays_single_line(self):
+        reg = MetricsRegistry()
+        reg.counter("c", path='multi\nline "x" \\ end').inc()
+        text = reg.render_prometheus()
+        body = [l for l in text.splitlines() if not l.startswith("#")]
+        assert body == ['c{path="multi\\nline \\"x\\" \\\\ end"} 1']
+
+    def test_round_trip_property(self):
+        """Property: render → parse_prometheus → split_series recovers
+        every label value exactly, for randomized nasty strings."""
+        rng = random.Random(20230423)
+        alphabet = 'abc"\\\n {}=,'
+        for trial in range(50):
+            value = "".join(
+                rng.choice(alphabet) for _ in range(rng.randint(0, 12))
+            )
+            reg = MetricsRegistry()
+            reg.counter("c", path=value, tag=f"t{trial}").inc(3)
+            values = parse_prometheus(reg.render_prometheus())
+            assert len(values) == 1
+            (series, amount), = values.items()
+            name, labels = split_series(series)
+            assert name == "c"
+            assert labels == {"path": value, "tag": f"t{trial}"}
+            assert amount == 3.0
+
+    def test_split_series_plain_name(self):
+        assert split_series("up") == ("up", {})
+
+    def test_split_series_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            split_series("not a series {{{")

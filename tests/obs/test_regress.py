@@ -1,0 +1,188 @@
+"""Regression gate: threshold semantics, skips, bench-file comparison."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import regress
+
+
+def run_record(
+    wall=2.0, orderings=200, hits=30, misses=10, hv=0.9, evals=50
+):
+    """A ledger-record-shaped dict with the gated metrics."""
+    metrics = []
+    if orderings is not None:
+        metrics.append(
+            {
+                "name": "loma_orderings_evaluated_total",
+                "kind": "counter",
+                "labels": [],
+                "data": orderings,
+            }
+        )
+    if hits is not None:
+        metrics.append(
+            {
+                "name": "mapping_cache_gets_total",
+                "kind": "counter",
+                "labels": [["result", "hit"]],
+                "data": hits,
+            }
+        )
+        metrics.append(
+            {
+                "name": "mapping_cache_gets_total",
+                "kind": "counter",
+                "labels": [["result", "miss"]],
+                "data": misses,
+            }
+        )
+    record = {"wall_seconds": wall, "metrics": {"metrics": metrics}}
+    if hv is not None:
+        record["result"] = {"hypervolume": hv, "evaluations": evals}
+    return record
+
+
+def by_metric(checks):
+    return {c.metric: c for c in checks}
+
+
+class TestCompareRuns:
+    def test_identical_runs_pass(self):
+        checks = regress.compare_runs(run_record(), run_record())
+        assert not regress.has_regressions(checks)
+        assert {c.status for c in checks} == {regress.OK}
+
+    def test_throughput_regression_detected(self):
+        # 200/2s = 100/s baseline; 40/2s = 20/s current: an 80% slowdown
+        # breaks the default 50% tolerance.
+        checks = regress.compare_runs(run_record(), run_record(orderings=40))
+        check = by_metric(checks)["orderings_per_s"]
+        assert check.regressed
+        assert check.baseline == pytest.approx(100.0)
+        assert check.current == pytest.approx(20.0)
+
+    def test_throughput_within_tolerance_passes(self):
+        checks = regress.compare_runs(run_record(), run_record(orderings=120))
+        assert not by_metric(checks)["orderings_per_s"].regressed
+
+    def test_slowdown_threshold_is_tunable(self):
+        base, curr = run_record(), run_record(orderings=180)  # -10%
+        assert not regress.has_regressions(regress.compare_runs(base, curr))
+        tight = regress.compare_runs(base, curr, max_slowdown=0.05)
+        assert by_metric(tight)["orderings_per_s"].regressed
+
+    def test_hit_rate_drop_is_absolute(self):
+        base = run_record(hits=30, misses=10)  # 0.75
+        ok = run_record(hits=284, misses=116)  # 0.71: within 0.05
+        bad = run_record(hits=26, misses=14)  # 0.65: 0.10 drop
+        assert not by_metric(regress.compare_runs(base, ok))[
+            "cache_hit_rate"
+        ].regressed
+        assert by_metric(regress.compare_runs(base, bad))[
+            "cache_hit_rate"
+        ].regressed
+
+    def test_hypervolume_loss_detected(self):
+        checks = regress.compare_runs(run_record(hv=0.9), run_record(hv=0.85))
+        assert by_metric(checks)["hypervolume"].regressed
+
+    def test_hypervolume_skipped_when_budgets_differ(self):
+        checks = regress.compare_runs(
+            run_record(hv=0.9, evals=50), run_record(hv=0.5, evals=80)
+        )
+        check = by_metric(checks)["hypervolume"]
+        assert check.status == regress.SKIPPED
+        assert "budgets differ" in check.note
+        assert not regress.has_regressions(checks)
+
+    def test_missing_metrics_skip_not_fail(self):
+        """A telemetry-off baseline still gates hypervolume."""
+        bare = {"wall_seconds": 1.0, "result": {"hypervolume": 0.9, "evaluations": 5}}
+        checks = regress.compare_runs(bare, bare)
+        verdicts = by_metric(checks)
+        assert verdicts["orderings_per_s"].status == regress.SKIPPED
+        assert verdicts["cache_hit_rate"].status == regress.SKIPPED
+        assert verdicts["hypervolume"].status == regress.OK
+        assert not regress.has_regressions(checks)
+
+    def test_skip_notes_name_the_missing_side(self):
+        checks = regress.compare_runs({"wall_seconds": 1.0}, run_record())
+        assert "baseline" in by_metric(checks)["orderings_per_s"].note
+
+
+class TestCompareBench:
+    def _bench(self, per_s=100.0, speedup=8.0, extra_point=True):
+        points = [
+            {
+                "workload": "fsrcnn",
+                "accelerator": "meta_proto_like_df",
+                "batch": {"orderings_per_s": per_s},
+                "speedup": speedup,
+            }
+        ]
+        if extra_point:
+            points.append(
+                {
+                    "workload": "mccnn",
+                    "accelerator": "edge_tpu_like",
+                    "batch": {"orderings_per_s": 50.0},
+                    "speedup": 4.0,
+                }
+            )
+        return {"points": points}
+
+    def test_matching_bench_passes(self):
+        checks = regress.compare_bench(self._bench(), self._bench())
+        assert not regress.has_regressions(checks)
+        assert len(checks) == 4  # 2 points x (orderings/s, speedup)
+
+    def test_point_slowdown_detected(self):
+        checks = regress.compare_bench(self._bench(), self._bench(per_s=10.0))
+        bad = [c for c in checks if c.regressed]
+        assert [c.metric for c in bad] == [
+            "bench[fsrcnn/meta_proto_like_df].batch_orderings_per_s"
+        ]
+
+    def test_missing_point_is_a_regression(self):
+        checks = regress.compare_bench(
+            self._bench(), self._bench(extra_point=False)
+        )
+        missing = [c for c in checks if "point present" in c.limit]
+        assert len(missing) == 1
+        assert missing[0].regressed
+        assert "missing" in missing[0].note
+
+    def test_load_bench_validates_shape(self, tmp_path):
+        good = tmp_path / "bench.json"
+        good.write_text(json.dumps(self._bench()))
+        assert regress.load_bench(good)["points"]
+        bad = tmp_path / "other.json"
+        bad.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError, match="not a bench file"):
+            regress.load_bench(bad)
+
+
+class TestCheck:
+    def test_regressed_property(self):
+        ok = regress.Check("m", 1.0, 1.0, "x", regress.OK)
+        bad = regress.Check("m", 1.0, 0.1, "x", regress.REGRESSED)
+        skip = regress.Check("m", None, None, "x", regress.SKIPPED)
+        assert not ok.regressed
+        assert bad.regressed
+        assert not skip.regressed
+        assert regress.has_regressions([ok, bad, skip])
+        assert not regress.has_regressions([ok, skip])
+
+    def test_zero_tolerance_is_exact_floor(self):
+        checks = regress.compare_runs(
+            run_record(hv=0.9), run_record(hv=0.9), max_hv_loss=0.0
+        )
+        assert by_metric(checks)["hypervolume"].status == regress.OK
+        checks = regress.compare_runs(
+            run_record(hv=0.9), run_record(hv=0.8999), max_hv_loss=0.0
+        )
+        assert by_metric(checks)["hypervolume"].regressed

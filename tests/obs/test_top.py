@@ -1,0 +1,113 @@
+"""`repro top` rendering: samples, rate math, shard rows (no sockets —
+the wire integration lives in tests/serve/test_http_metrics.py)."""
+
+from __future__ import annotations
+
+from repro.obs import top
+from repro.obs.metrics import MetricsRegistry
+
+
+class FakeClient:
+    """The CacheClient control surface `sample_server` needs."""
+
+    def __init__(self, stats, exposition):
+        self.stats = stats
+        self.exposition = exposition
+
+    def server_stats(self):
+        return dict(self.stats)
+
+    def server_metrics(self):
+        return {"text": self.exposition}
+
+
+def make_sample(
+    t=0.0,
+    hits=30,
+    misses=10,
+    requests=None,
+    shards=None,
+):
+    """Build a sample like `sample_server` would, at a pinned time."""
+    reg = MetricsRegistry()
+    for shard, (jobs, busy) in (shards or {}).items():
+        reg.counter("service_jobs_total", shard=shard).inc(jobs)
+        hist = reg.histogram("service_exec_seconds", shard=shard)
+        hist.total = busy
+        hist.count = jobs
+    stats = {
+        "size": 100,
+        "hits": hits,
+        "misses": misses,
+        "connections": 2,
+        "connections_total": 5,
+        "in_flight": 1,
+        "queue_depth": 3,
+        "unauthorized": 0,
+        "requests": requests or {"get": hits + misses, "put": 7},
+    }
+    client = FakeClient(stats, reg.render_prometheus())
+    sample = top.sample_server(client)
+    sample["time"] = t  # pin for deterministic rate math
+    return sample
+
+
+class TestSampleServer:
+    def test_sample_shape(self):
+        sample = make_sample(shards={"0": (10, 0.5)})
+        assert sample["stats"]["hits"] == 30
+        assert 'service_jobs_total{shard="0"}' in sample["values"]
+
+    def test_sample_parses_exposition_values(self):
+        sample = make_sample(shards={"0": (12, 0.5)})
+        assert sample["values"]['service_jobs_total{shard="0"}'] == 12.0
+
+
+class TestTopReport:
+    def test_first_frame_has_counters_no_rates(self):
+        frame = top.top_report("host:9)", make_sample())
+        assert "entries 100" in frame
+        assert "hits 30" in frame
+        assert "hit rate 75.0%" in frame
+        assert "queued 3" in frame
+        assert "first sample" in frame
+        assert "evals/s" not in frame
+
+    def test_second_frame_computes_rates(self):
+        prev = make_sample(t=0.0, hits=30, misses=10)
+        curr = make_sample(t=2.0, hits=70, misses=10)
+        # get requests went 40 -> 80 over 2s: 20 gets/s.
+        frame = top.top_report("host:9", curr, prev)
+        assert "gets/s 20.0" in frame
+        # puts unchanged: evals/s proxy is 0 without shard counters.
+        assert "evals/s 0.0" in frame
+
+    def test_shard_table_and_busy_fraction(self):
+        prev = make_sample(t=0.0, shards={"0": (10, 1.0), "1": (20, 2.0)})
+        curr = make_sample(t=2.0, shards={"0": (20, 2.0), "1": (24, 3.0)})
+        frame = top.top_report("host:9", curr, prev)
+        assert "shard" in frame
+        # Shard 0: +10 jobs / 2s = 5 jobs/s, +1.0s busy / 2s = 50%.
+        assert "5.0" in frame and "50%" in frame
+        # evals/s comes from the shard job rates: 5 + 2 = 7/s.
+        assert "evals/s 7.0" in frame
+
+    def test_zero_lookups_renders_dash(self):
+        frame = top.top_report("host:9", make_sample(hits=0, misses=0))
+        assert "hit rate -" in frame
+
+    def test_no_shards_no_table(self):
+        frame = top.top_report("host:9", make_sample())
+        assert "shard " not in frame
+
+    def test_rate_guards(self):
+        assert top._rate(10.0, None, 1.0) is None
+        assert top._rate(10.0, 5.0, 0.0) is None
+        assert top._rate(10.0, 5.0, 2.0) == 2.5
+
+    def test_fmt(self):
+        assert top._fmt(None) == "-"
+        assert top._fmt(3) == "3"
+        assert top._fmt(2.5) == "2.5"
+        assert top._fmt(2048.0) == "2048"
+        assert top._fmt(1.0, "s") == "1.0s"

@@ -1,0 +1,116 @@
+"""The cache server's HTTP ``/metrics`` endpoint and `repro top`."""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import parse_prometheus
+from repro.serve import AUTH_TOKEN_ENV, CacheClient, CacheServer
+
+from .test_auth import TOKEN, raw_request
+from .test_cache_server import make_result
+
+
+@pytest.fixture
+def http_server():
+    with CacheServer(metrics_port=0) as srv:
+        yield srv
+
+
+def fetch(server, path):
+    host, port = server.metrics_address
+    with urllib.request.urlopen(f"http://{host}:{port}{path}", timeout=5) as r:
+        return r.status, r.headers.get("Content-Type", ""), r.read()
+
+
+class TestHTTPMetrics:
+    def test_metrics_endpoint_serves_exposition(self, http_server):
+        with CacheClient(http_server.address) as client:
+            client.put("k", make_result(1))
+            client.clear()
+            client.get("k")
+        status, ctype, body = fetch(http_server, "/metrics")
+        assert status == 200
+        assert ctype.startswith("text/plain")
+        values = parse_prometheus(body.decode())
+        assert values["cache_server_entries"] == 1
+        assert values["cache_server_hits_total"] == 1
+
+    def test_healthz(self, http_server):
+        for path in ("/", "/healthz"):
+            status, _, body = fetch(http_server, path)
+            assert status == 200
+            assert body == b"ok\n"
+
+    def test_unknown_path_404(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(http_server, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_no_metrics_port_no_endpoint(self):
+        with CacheServer() as srv:
+            assert srv.metrics_address is None
+
+    def test_scrape_needs_no_token_but_counts_unauthorized(self, monkeypatch):
+        """The HTTP endpoint is deliberately unauthenticated (aggregate
+        numbers only — scrapers never hold the shared secret), and it
+        exports the unauthorized counter that wire-op rejections bump."""
+        monkeypatch.delenv(AUTH_TOKEN_ENV, raising=False)
+        with CacheServer(auth_token=TOKEN, metrics_port=0) as srv:
+            raw_request(srv.address, {"op": "ping"})  # rejected: no token
+            raw_request(srv.address, {"op": "get", "key": "k", "token": "bad"})
+            status, _, body = fetch(srv, "/metrics")
+        assert status == 200
+        values = parse_prometheus(body.decode())
+        assert values["cache_server_unauthorized_total"] == 2
+
+    def test_endpoint_survives_wire_traffic(self, http_server):
+        """Scrapes interleaved with wire ops see monotone counters."""
+        with CacheClient(http_server.address) as client:
+            for i in range(3):
+                client.put(f"k{i}", make_result(i))
+            first = parse_prometheus(
+                fetch(http_server, "/metrics")[2].decode()
+            )
+            client.put("k-more", make_result(9))
+            second = parse_prometheus(
+                fetch(http_server, "/metrics")[2].decode()
+            )
+        assert (
+            second["cache_server_entries"]
+            > first["cache_server_entries"] - 1
+        )
+        assert second["cache_server_entries"] == 4
+
+
+class TestTopAuthPrecedence:
+    def test_top_flag_token_beats_env(self, monkeypatch, capsys):
+        """`repro top --auth-token` must win over REPRO_AUTH_TOKEN."""
+        from repro.cli import main
+
+        monkeypatch.setenv(AUTH_TOKEN_ENV, "stale-env-token")
+        with CacheServer(auth_token=TOKEN) as srv:
+            address = f"{srv.address[0]}:{srv.address[1]}"
+            # Env token alone is wrong: connection is refused.
+            with pytest.raises(SystemExit, match="authentication failed"):
+                main(["top", address, "--once", "--no-clear"])
+            # The flag token wins over the (wrong) env token.
+            assert (
+                main(
+                    ["top", address, "--once", "--no-clear",
+                     "--auth-token", TOKEN]
+                )
+                == 0
+            )
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "first sample" in out
+
+    def test_top_rejects_bad_address(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["top", "127.0.0.1:1", "--once"])  # nothing listens

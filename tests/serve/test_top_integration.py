@@ -1,0 +1,69 @@
+"""End-to-end: `repro top` monitoring a live `repro serve` subprocess."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.serve import CacheClient
+
+from .test_cache_server import make_result
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.fixture
+def serve_proc():
+    """A real `repro serve` subprocess on a free port (the tier-1 suite
+    may run without the package installed, so PYTHONPATH carries src)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--timeout", "120"],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        # Startup contract: the first line announces the picked port.
+        line = proc.stdout.readline()
+        assert "cache server listening on " in line
+        yield proc, line.rsplit(" ", 1)[-1].strip()
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+        proc.wait(timeout=30)
+        proc.stdout.close()
+
+
+def test_top_one_refresh_cycle_against_live_server(serve_proc, capsys):
+    proc, address = serve_proc
+    with CacheClient(address) as client:
+        client.put("warm", make_result(1))
+        client.clear()
+        assert client.get("warm") == make_result(1)  # a server-side hit
+
+        exit_code = main(
+            ["top", address, "--iterations", "2", "--interval", "0.1",
+             "--no-clear"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        frames = out.count("repro top — ")
+        assert frames == 2
+        # First frame defers rates; the refresh computes them.
+        assert "first sample" in out
+        assert "evals/s" in out
+        assert "hits 1" in out
+
+        client.shutdown_server()
+    proc.wait(timeout=30)
+    assert proc.returncode == 0

@@ -495,6 +495,11 @@ class TestServeParser:
         with pytest.raises(SystemExit):
             build_serve_parser().parse_args(["--snapshot-interval", "0"])
 
+    def test_metrics_port_default_off(self):
+        from repro.cli import build_serve_parser
+
+        assert build_serve_parser().parse_args([]).metrics_port is None
+
 
 class TestServeMain:
     def test_serve_with_timeout_and_persistence(self, tmp_path, capsys):
@@ -508,6 +513,20 @@ class TestServeMain:
         assert "0 entries loaded" in out
         assert "cache server stopped" in out
         assert cache_file.exists()  # final snapshot written
+
+    def test_serve_announces_metrics_endpoint(self, capsys):
+        code = main(
+            ["serve", "--port", "0", "--timeout", "0.3", "--metrics-port", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        # Startup contract: the address line stays first.
+        assert "cache server listening on" in lines[0]
+        assert any(
+            "metrics endpoint on http://" in line and "/metrics" in line
+            for line in lines
+        )
 
     def test_remote_shutdown_ends_serve_after_final_snapshot(
         self, tmp_path, capsys

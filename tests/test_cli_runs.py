@@ -1,0 +1,323 @@
+"""CLI tests for the run ledger family (`repro runs ...`) and the
+crash-robust `repro stats`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import _loss_fraction, main
+from repro.obs import ledger
+
+EVAL_ARGS = [
+    "--accelerator", "meta_proto_like_df",
+    "--workload", "mobilenet_v1",
+    "--mode", "2",
+    "--tilex", "14",
+    "--tiley", "14",
+    "--budget", "40",
+    "--lpf-limit", "5",
+]
+
+DSE_ARGS = [
+    "dse",
+    "--workload", "mobilenet_v1",
+    "--strategy", "exhaustive",
+    "--objectives", "energy,latency",
+    "--tilex", "14,28",
+    "--tiley", "14",
+    "--modes", "fully_cached",
+    "--budget", "40",
+    "--lpf-limit", "5",
+]
+
+
+def write_record(
+    runs_dir,
+    run_id,
+    started,
+    orderings=200.0,
+    wall=2.0,
+    hits=30,
+    misses=10,
+    hv=0.9,
+    evals=50,
+):
+    """A ledger-record file crafted directly (the write path has its own
+    tests; these exercise the CLI read/compare path)."""
+    runs_dir.mkdir(parents=True, exist_ok=True)
+    record = {
+        "format": ledger.LEDGER_FORMAT_VERSION,
+        "id": run_id,
+        "command": "dse",
+        "argv": ["dse", "--seed", "7"],
+        "status": "ok",
+        "started": started,
+        "finished": started + wall,
+        "wall_seconds": wall,
+        "pid": 1,
+        "host": "fixture",
+        "versions": {"python": "3.x"},
+        "result": {"hypervolume": hv, "evaluations": evals,
+                   "frontier_size": 4, "epsilon": 0.1},
+        "convergence": [
+            {"index": 0, "hypervolume": hv / 2, "evaluations": evals // 2,
+             "epsilon": 0.5, "frontier_size": 2, "proposed": 10,
+             "evaluated": 10, "cached": 0},
+            {"index": 1, "hypervolume": hv, "evaluations": evals,
+             "epsilon": 0.1, "frontier_size": 4, "proposed": 10,
+             "evaluated": 5, "cached": 5},
+        ],
+        "metrics": {
+            "metrics": [
+                {"name": "loma_orderings_evaluated_total", "kind": "counter",
+                 "labels": [], "data": orderings},
+                {"name": "mapping_cache_gets_total", "kind": "counter",
+                 "labels": [["result", "hit"]], "data": hits},
+                {"name": "mapping_cache_gets_total", "kind": "counter",
+                 "labels": [["result", "miss"]], "data": misses},
+            ]
+        },
+    }
+    (runs_dir / f"{run_id}.json").write_text(json.dumps(record))
+    return record
+
+
+class TestLedgerFromCLI:
+    def test_evaluate_leaves_ok_record(self, tmp_path, capsys):
+        runs = tmp_path / "runs"
+        assert main(EVAL_ARGS + ["--runs-dir", str(runs)]) == 0
+        records = ledger.list_runs(runs)
+        assert len(records) == 1
+        record = records[0]
+        assert record["status"] == "ok"
+        assert record["command"] == "evaluate"
+        assert record["manifest"]["workload"] == "mobilenet_v1"
+        assert record["manifest"]["accelerator_fingerprints"]
+        assert record["result"]["energy_mj"] > 0
+        assert record["wall_seconds"] > 0
+        capsys.readouterr()
+
+        # `runs show` renders it.
+        assert main(["runs", "show", "--runs-dir", str(runs)]) == 0
+        out = capsys.readouterr().out
+        assert f"run {record['id']} [ok]" in out
+        assert "key metrics:" in out
+
+    def test_dse_records_convergence_series(self, tmp_path, capsys):
+        runs = tmp_path / "runs"
+        assert main(DSE_ARGS + ["--runs-dir", str(runs)]) == 0
+        (record,) = ledger.list_runs(runs)
+        assert record["status"] == "ok"
+        assert record["command"] == "dse"
+        assert record["result"]["evaluations"] == 2
+        assert record["convergence"]
+        assert all("hypervolume" in p for p in record["convergence"])
+        assert all("evaluations" in p for p in record["convergence"])
+        capsys.readouterr()
+
+        assert main(["runs", "show", record["id"][:-2] or record["id"],
+                     "--runs-dir", str(runs), "--tail", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "convergence" in out
+
+    def test_crashed_dse_leaves_crashed_record(self, tmp_path, capsys):
+        """A run that dies mid-flight must still be in the ledger — the
+        whole point of write-at-begin."""
+        runs = tmp_path / "runs"
+        corrupt = tmp_path / "ckpt.json"
+        corrupt.write_text("{definitely not a checkpoint")
+        with pytest.raises(SystemExit, match="not a DSE checkpoint"):
+            main(DSE_ARGS + ["--runs-dir", str(runs),
+                             "--checkpoint", str(corrupt)])
+        (record,) = ledger.list_runs(runs)
+        assert record["status"] == "crashed"
+        assert "not a DSE checkpoint" in record["error"]
+        capsys.readouterr()
+
+        assert main(["runs", "show", "latest", "--runs-dir", str(runs)]) == 0
+        out = capsys.readouterr().out
+        assert "[crashed]" in out
+        assert "error:" in out
+
+    def test_telemetry_on_embeds_metrics_dump(self, tmp_path, capsys):
+        runs = tmp_path / "runs"
+        prom = tmp_path / "m.prom"
+        assert main(EVAL_ARGS + ["--runs-dir", str(runs),
+                                 "--metrics", str(prom)]) == 0
+        (record,) = ledger.list_runs(runs)
+        names = {m["name"] for m in record["metrics"]["metrics"]}
+        assert "loma_orderings_evaluated_total" in names
+        assert ledger.key_metrics(record)["orderings_per_s"] > 0
+        capsys.readouterr()
+
+    def test_no_ledger_flag_and_env(self, tmp_path, monkeypatch, capsys):
+        runs = tmp_path / "runs"
+        assert main(EVAL_ARGS + ["--runs-dir", str(runs), "--no-ledger"]) == 0
+        assert ledger.list_runs(runs) == []
+        monkeypatch.setenv(ledger.LEDGER_ENV, "0")
+        assert main(EVAL_ARGS + ["--runs-dir", str(runs)]) == 0
+        assert ledger.list_runs(runs) == []
+        capsys.readouterr()
+
+    def test_unwritable_runs_dir_warns_and_continues(self, tmp_path, capsys):
+        """A broken ledger location must never break the run itself."""
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("file where the runs dir should go")
+        assert main(EVAL_ARGS + ["--runs-dir", str(blocker)]) == 0
+        captured = capsys.readouterr()
+        assert "warning: run ledger disabled" in captured.err
+        assert "on meta_proto_like_df" in captured.out  # run completed
+
+    def test_runs_dir_env_is_honored(self, tmp_path, monkeypatch, capsys):
+        runs = tmp_path / "env-runs"
+        monkeypatch.setenv(ledger.RUNS_DIR_ENV, str(runs))
+        assert main(EVAL_ARGS) == 0
+        assert len(ledger.list_runs(runs)) == 1
+        capsys.readouterr()
+
+
+class TestRunsCLI:
+    def test_list_and_gc(self, tmp_path, capsys):
+        runs = tmp_path / "runs"
+        for i in range(4):
+            write_record(runs, f"run-{i}", 1000.0 + i)
+        assert main(["runs", "list", "--runs-dir", str(runs)]) == 0
+        out = capsys.readouterr().out
+        assert "run-0" in out and "run-3" in out
+
+        assert main(["runs", "gc", "--keep", "2", "--dry-run",
+                     "--runs-dir", str(runs)]) == 0
+        assert "would remove" in capsys.readouterr().out
+        assert len(ledger.list_runs(runs)) == 4
+
+        assert main(["runs", "gc", "--keep", "2",
+                     "--runs-dir", str(runs)]) == 0
+        assert "removed 2 run record(s)" in capsys.readouterr().out
+        assert [r["id"] for r in ledger.list_runs(runs)] == ["run-2", "run-3"]
+
+    def test_list_empty_ledger(self, tmp_path, capsys):
+        assert main(["runs", "list", "--runs-dir", str(tmp_path / "x")]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_show_unknown_ref_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="no run matching"):
+            main(["runs", "show", "zzz", "--runs-dir", str(tmp_path)])
+
+    def test_diff(self, tmp_path, capsys):
+        runs = tmp_path / "runs"
+        write_record(runs, "base", 1000.0, orderings=200.0, hv=0.9)
+        write_record(runs, "curr", 2000.0, orderings=300.0, hv=0.95)
+        assert main(["runs", "diff", "base", "curr",
+                     "--runs-dir", str(runs)]) == 0
+        out = capsys.readouterr().out
+        assert "base" in out and "curr" in out
+        assert "+50.0%" in out  # orderings 200 -> 300
+
+    def test_regress_passes_against_identical_baseline(self, tmp_path, capsys):
+        runs = tmp_path / "runs"
+        write_record(runs, "base", 1000.0)
+        write_record(runs, "curr", 2000.0)
+        assert main(["runs", "regress", "--baseline", "base",
+                     "--runs-dir", str(runs)]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_regress_fails_on_injected_throughput_regression(
+        self, tmp_path, capsys
+    ):
+        runs = tmp_path / "runs"
+        write_record(runs, "base", 1000.0, orderings=200.0)
+        # Same wall-clock, 100x fewer orderings: a 99% throughput drop.
+        write_record(runs, "curr", 2000.0, orderings=2.0)
+        assert main(["runs", "regress", "--baseline", "base",
+                     "--runs-dir", str(runs)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "orderings_per_s" in out
+
+    def test_regress_hv_skip_on_budget_mismatch(self, tmp_path, capsys):
+        runs = tmp_path / "runs"
+        write_record(runs, "base", 1000.0, hv=0.9, evals=50)
+        write_record(runs, "curr", 2000.0, hv=0.2, evals=99)
+        assert main(["runs", "regress", "--baseline", "base",
+                     "--runs-dir", str(runs)]) == 0
+        assert "SKIPPED" in capsys.readouterr().out
+
+    def test_regress_threshold_flags(self, tmp_path, capsys):
+        runs = tmp_path / "runs"
+        write_record(runs, "base", 1000.0, orderings=200.0)
+        write_record(runs, "curr", 2000.0, orderings=180.0)  # -10%
+        assert main(["runs", "regress", "--baseline", "base",
+                     "--max-slowdown", "0.05",
+                     "--runs-dir", str(runs)]) == 1
+        capsys.readouterr()
+
+    def test_regress_bench_files(self, tmp_path, capsys):
+        runs = tmp_path / "runs"
+        write_record(runs, "base", 1000.0)
+        write_record(runs, "curr", 2000.0)
+        point = {
+            "workload": "fsrcnn",
+            "accelerator": "meta_proto_like_df",
+            "batch": {"orderings_per_s": 100.0},
+            "speedup": 8.0,
+        }
+        baseline = tmp_path / "bench_base.json"
+        baseline.write_text(json.dumps({"points": [point]}))
+        slow = dict(point, batch={"orderings_per_s": 5.0})
+        current = tmp_path / "bench_curr.json"
+        current.write_text(json.dumps({"points": [slow]}))
+
+        assert main(["runs", "regress", "--baseline", "base",
+                     "--runs-dir", str(runs),
+                     "--bench", str(baseline),
+                     "--bench-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main(["runs", "regress", "--baseline", "base",
+                     "--runs-dir", str(runs),
+                     "--bench", str(current),
+                     "--bench-baseline", str(baseline)]) == 1
+        assert "batch_orderings_per_s" in capsys.readouterr().out
+
+    def test_loss_fraction_validator(self):
+        assert _loss_fraction("0") == 0.0
+        assert _loss_fraction("0.25") == 0.25
+        for bad in ("1", "1.5", "-0.1", "nan", "junk"):
+            with pytest.raises(Exception):
+                _loss_fraction(bad)
+
+
+class TestStatsRobustness:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="No such file"):
+            main(["stats", str(tmp_path / "nope.jsonl")])
+
+    def test_empty_file(self, tmp_path):
+        empty = tmp_path / "trace.jsonl"
+        empty.write_text("")
+        with pytest.raises(SystemExit, match="empty telemetry file"):
+            main(["stats", str(empty)])
+        blank = tmp_path / "blank.jsonl"
+        blank.write_text("  \n\n")
+        with pytest.raises(SystemExit, match="empty telemetry file"):
+            main(["stats", str(blank)])
+
+    def test_truncated_trace_reports_best_effort(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(EVAL_ARGS + ["--trace", str(trace), "--no-ledger"]) == 0
+        capsys.readouterr()
+        # Cut the final line mid-record, as a crash would.
+        text = trace.read_text().rstrip("\n")
+        trace.write_text(text[: len(text) - 20] + "\n")
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "warning: skipped 1 malformed line(s)" in out
+        assert "truncated by a crashed run?" in out
+
+    def test_garbage_file_mentions_unparseable_lines(self, tmp_path):
+        garbage = tmp_path / "junk.txt"
+        garbage.write_text('{"half": \n{"also half": \n')
+        with pytest.raises(SystemExit, match="unparseable line"):
+            main(["stats", str(garbage)])
