@@ -6,7 +6,6 @@ single-digit tile-type counts (9 / 6 / 3 depending on the mode, with the
 3-type fully-recompute split being 1 + 15 + 112 tiles).
 """
 
-import pytest
 
 from repro.core.backcalc import backcalculate
 from repro.core.stacks import partition_stacks

@@ -14,7 +14,6 @@ Shape checks:
   MobileNetV1).
 """
 
-import pytest
 
 from repro import (
     DepthFirstEngine,

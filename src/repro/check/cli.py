@@ -1,0 +1,162 @@
+"""The ``repro check`` CLI family.
+
+* ``repro check run`` — run every rule over the tree, reconcile with
+  the committed baseline, exit nonzero on unblessed findings
+  (``--strict`` additionally fails on stale or unjustified baseline
+  entries — the CI gate).
+* ``repro check baseline`` — regenerate the baseline from the current
+  findings, preserving the justifications of entries that still match;
+  new entries land with an empty justification, which ``run --strict``
+  rejects until a human writes the one-line reason.
+* ``repro check rules`` — list every registered rule code.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Sequence
+
+from .findings import BASELINE_NAME, Baseline, BaselineEntry
+from .registry import all_rules, get_rule
+from .runner import render_report, run_checks
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--root",
+        default=".",
+        metavar="DIR",
+        help="repo root to check (default: the current directory)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"baseline file (default: <root>/{BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="CODE,CODE",
+        help="comma-separated rule codes to run (default: all)",
+    )
+
+
+def build_check_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="Static invariant checker: determinism, guarded-by "
+        "concurrency, cache-token purity and doc-drift rules over the "
+        "source tree, with a committed baseline of blessed exceptions.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser(
+        "run", help="run the rules; exit 1 on unblessed findings"
+    )
+    _add_common(p_run)
+    p_run.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on stale baseline entries and baseline entries "
+        "without a justification (the CI mode)",
+    )
+    p_run.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list blessed findings and their justifications",
+    )
+    p_run.set_defaults(func=_run)
+
+    p_baseline = sub.add_parser(
+        "baseline",
+        help="regenerate the baseline from current findings "
+        "(preserves existing justifications)",
+    )
+    _add_common(p_baseline)
+    p_baseline.set_defaults(func=_baseline)
+
+    p_rules = sub.add_parser("rules", help="list registered rule codes")
+    p_rules.set_defaults(func=_rules)
+    return parser
+
+
+def _resolve(args: argparse.Namespace) -> tuple[Path, Path, "list | None"]:
+    root = Path(args.root)
+    if not root.is_dir():
+        raise SystemExit(f"check root {root} is not a directory")
+    baseline_path = (
+        Path(args.baseline) if args.baseline is not None else root / BASELINE_NAME
+    )
+    rules = None
+    if args.rules is not None:
+        try:
+            rules = [
+                get_rule(code.strip())
+                for code in args.rules.split(",")
+                if code.strip()
+            ]
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        if not rules:
+            raise SystemExit("--rules selected no rules")
+    return root, baseline_path, rules
+
+
+def _run(args: argparse.Namespace) -> int:
+    root, baseline_path, rules = _resolve(args)
+    try:
+        baseline = Baseline.load(baseline_path)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    report = run_checks(root, rules=rules, baseline=baseline)
+    print(render_report(report, strict=args.strict, verbose=args.verbose))
+    return 1 if report.failed(strict=args.strict) else 0
+
+
+def _baseline(args: argparse.Namespace) -> int:
+    root, baseline_path, rules = _resolve(args)
+    try:
+        previous = Baseline.load(baseline_path)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    report = run_checks(root, rules=rules, baseline=previous)
+    entries = []
+    fresh = 0
+    for finding in report.findings:
+        entry = previous.lookup(finding)
+        if entry is None:
+            entry = BaselineEntry(
+                code=finding.code,
+                file=finding.file,
+                message=finding.message,
+                justification="",
+            )
+            fresh += 1
+        entries.append(entry)
+    Baseline(entries=entries).save(baseline_path)
+    print(
+        f"wrote {baseline_path}: {len(entries)} entr"
+        f"{'y' if len(entries) == 1 else 'ies'} ({fresh} new — fill in "
+        f"their justifications; 'repro check run --strict' rejects "
+        f"empty ones)"
+    )
+    if report.broken:
+        print("warning: unparseable files were NOT baselined:")
+        for finding in report.broken:
+            print(f"  {finding.render()}")
+    return 0
+
+
+def _rules(args: argparse.Namespace) -> int:
+    for rule in all_rules():
+        print(f"{rule.code}  {rule.name}")
+        print(f"    {rule.description}")
+    return 0
+
+
+def run_check(argv: Sequence[str]) -> int:
+    args = build_check_parser().parse_args(list(argv))
+    result: int = args.func(args)
+    return result

@@ -1,0 +1,86 @@
+"""The parsed view of a source tree that every rule runs against.
+
+:class:`CheckContext` walks a repo root once — ``src/`` and
+``benchmarks/`` python files plus ``README.md`` — and hands rules
+pre-parsed :class:`SourceFile` records (source text, split lines, AST).
+Parsing happens exactly once per file per run, whatever the rule count;
+a file with a syntax error is reported by the runner (code ``CHK001``)
+and skipped by the rules, so one broken file cannot hide findings in
+the rest of the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Directories (relative to the root) whose python files are scanned.
+SOURCE_DIRS = ("src", "benchmarks")
+
+
+@dataclass
+class SourceFile:
+    """One parsed python file of the checked tree."""
+
+    rel: str
+    """Posix-style path relative to the checked root."""
+
+    source: str
+    lines: list[str]
+    tree: ast.Module | None
+    """The parsed module, or ``None`` when the file does not parse."""
+
+    error: str | None = None
+    """The syntax error that made ``tree`` ``None``, if any."""
+
+    def is_under(self, *prefixes: str) -> bool:
+        """True when the file lives under any of the given relative
+        directory prefixes (posix style, e.g. ``src/repro/mapping``)."""
+        return any(
+            self.rel == prefix or self.rel.startswith(prefix + "/")
+            for prefix in prefixes
+        )
+
+
+class CheckContext:
+    """Parsed source tree + docs, shared by every rule in one run."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.files: list[SourceFile] = []
+        for base in SOURCE_DIRS:
+            base_dir = self.root / base
+            if not base_dir.is_dir():
+                continue
+            for path in sorted(base_dir.rglob("*.py")):
+                self.files.append(self._parse(path))
+        readme = self.root / "README.md"
+        self.readme: str = readme.read_text() if readme.exists() else ""
+
+    def _parse(self, path: Path) -> SourceFile:
+        rel = path.relative_to(self.root).as_posix()
+        source = path.read_text()
+        lines = source.splitlines()
+        try:
+            tree: ast.Module | None = ast.parse(source, filename=rel)
+            error = None
+        except SyntaxError as exc:
+            tree = None
+            error = f"{type(exc).__name__}: {exc.msg} (line {exc.lineno})"
+        return SourceFile(rel=rel, source=source, lines=lines, tree=tree, error=error)
+
+    # ------------------------------------------------------------------
+    def python_files(self, *prefixes: str) -> list[SourceFile]:
+        """Parsed files under the given prefixes (all files when none
+        is given); files that failed to parse are excluded — the runner
+        reports those separately."""
+        return [
+            f
+            for f in self.files
+            if f.tree is not None and (not prefixes or f.is_under(*prefixes))
+        ]
+
+    def broken_files(self) -> list[SourceFile]:
+        """Files that did not parse."""
+        return [f for f in self.files if f.tree is None]

@@ -1,0 +1,135 @@
+"""Finding records and the committed baseline of blessed exceptions.
+
+A :class:`Finding` is one rule violation at one source location.  The
+:class:`Baseline` is the repo's list of *deliberate* exceptions
+(``check_baseline.json``): each entry names the finding it blesses —
+matched by ``(code, file, message)``, never by line number, so
+unrelated edits cannot silently unbless an entry — plus a one-line
+justification.  ``repro check run --strict`` fails on any finding
+without a baseline entry, any baseline entry without a justification,
+and any *stale* entry (one that no longer matches a finding), so the
+baseline can only shrink deliberately.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: On-disk baseline format version; bump when the entry encoding changes.
+BASELINE_FORMAT = 1
+
+#: Default baseline filename, resolved against the checked tree's root.
+BASELINE_NAME = "check_baseline.json"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``file`` is the posix-style path relative to the checked root;
+    ``line`` is 1-based.  ``message`` is line-independent by contract
+    (it names symbols, never positions) so baseline matching survives
+    unrelated edits.
+    """
+
+    file: str
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.code} {self.message}"
+
+    def key(self) -> tuple[str, str, str]:
+        """Baseline-matching identity (line number excluded)."""
+        return (self.code, self.file, self.message)
+
+
+@dataclass
+class BaselineEntry:
+    """One blessed exception: the finding it matches + why it is OK."""
+
+    code: str
+    file: str
+    message: str
+    justification: str = ""
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.code, self.file, self.message)
+
+    def to_json(self) -> dict[str, str]:
+        return {
+            "code": self.code,
+            "file": self.file,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, object]) -> BaselineEntry:
+        try:
+            return cls(
+                code=str(data["code"]),
+                file=str(data["file"]),
+                message=str(data["message"]),
+                justification=str(data.get("justification", "")),
+            )
+        except KeyError as exc:
+            raise ValueError(
+                f"baseline entry missing required field {exc}"
+            ) from None
+
+
+@dataclass
+class Baseline:
+    """The committed set of blessed findings."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    def lookup(self, finding: Finding) -> BaselineEntry | None:
+        for entry in self.entries:
+            if entry.key() == finding.key():
+                return entry
+        return None
+
+    @classmethod
+    def load(cls, path: str | Path) -> Baseline:
+        """Read a baseline file; a missing file is an empty baseline,
+        anything unparseable raises ``ValueError`` naming the file."""
+        source = Path(path)
+        if not source.exists():
+            return cls()
+        try:
+            payload = json.loads(source.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"{source}: not a check baseline: {exc}") from exc
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != BASELINE_FORMAT
+            or not isinstance(payload.get("entries"), list)
+        ):
+            raise ValueError(
+                f"{source}: unsupported check-baseline format "
+                f"(expected format={BASELINE_FORMAT} with an entries list)"
+            )
+        entries = []
+        for raw in payload["entries"]:
+            if not isinstance(raw, dict):
+                raise ValueError(f"{source}: baseline entry is not an object")
+            entries.append(BaselineEntry.from_json(raw))
+        return cls(entries=entries)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the baseline (sorted, one entry per finding)."""
+        target = Path(path)
+        payload = {
+            "format": BASELINE_FORMAT,
+            "entries": [
+                entry.to_json()
+                for entry in sorted(self.entries, key=BaselineEntry.key)
+            ],
+        }
+        target.write_text(json.dumps(payload, indent=2) + "\n")
+        return target

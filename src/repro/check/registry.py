@@ -1,0 +1,83 @@
+"""Rule registry: stable error codes mapped to check functions.
+
+A rule is a function ``(CheckContext) -> Iterable[Finding]`` registered
+under a stable code (``DET001``, ``RACE002``, ...).  Codes are part of
+the repo's public contract — baselines, CI logs and docs reference
+them — so a code is never reused for a different meaning; a retired
+rule's code is retired with it.
+
+Registration happens at import time through the :func:`rule` decorator;
+importing :mod:`repro.check` pulls in every built-in rule module.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterable, Protocol
+
+from .context import CheckContext
+from .findings import Finding
+
+_CODE_RE = re.compile(r"^[A-Z]{2,8}\d{3}$")
+
+
+class RuleFunc(Protocol):
+    def __call__(self, ctx: CheckContext) -> Iterable[Finding]: ...
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule: code, short name, what it enforces."""
+
+    code: str
+    name: str
+    description: str
+    func: RuleFunc
+
+    def run(self, ctx: CheckContext) -> list[Finding]:
+        findings = list(self.func(ctx))
+        for finding in findings:
+            if finding.code != self.code:
+                raise ValueError(
+                    f"rule {self.code} emitted a finding coded "
+                    f"{finding.code!r} ({finding.render()})"
+                )
+        return findings
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def rule(
+    code: str, name: str, description: str
+) -> Callable[[RuleFunc], RuleFunc]:
+    """Register a rule function under a stable error code."""
+    if not _CODE_RE.match(code):
+        raise ValueError(
+            f"rule code must look like DET001 (letters + 3 digits), "
+            f"got {code!r}"
+        )
+
+    def decorate(func: RuleFunc) -> RuleFunc:
+        if code in _RULES:
+            raise ValueError(f"rule code {code} registered twice")
+        _RULES[code] = Rule(
+            code=code, name=name, description=description, func=func
+        )
+        return func
+
+    return decorate
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by code."""
+    return [_RULES[code] for code in sorted(_RULES)]
+
+
+def get_rule(code: str) -> Rule:
+    try:
+        return _RULES[code]
+    except KeyError:
+        known = ", ".join(sorted(_RULES))
+        raise ValueError(f"unknown rule code {code!r}; known: {known}") from None

@@ -1,0 +1,108 @@
+"""DOC0xx — documentation drift checks.
+
+The README documents two operator-facing surfaces: the ``REPRO_*``
+environment-variable table and the CLI flags of each subcommand.  Both
+drift silently — a new env knob or flag lands in code and the docs a PR
+behind.  These rules make the README load-bearing:
+
+* **DOC001** — every ``REPRO_*`` environment variable the code reads
+  (``os.environ`` / ``os.getenv`` / a ``*_ENV`` constant) appears in
+  the README.
+* **DOC002** — every long CLI option (``--flag``) registered by an
+  ``add_argument`` call in ``src/`` appears in the README.
+
+Both rules match by literal token, so documenting a knob anywhere in
+the README satisfies them; the point is that the token exists at all.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from .context import CheckContext
+from .findings import Finding
+from .registry import rule
+
+#: Environment variables are matched by this shape.
+_ENV_VAR_RE = re.compile(r"^REPRO_[A-Z][A-Z0-9_]*$")
+
+#: Directories scanned for env-var reads (benchmarks read REPRO_JOBS &c).
+ENV_DIRS = ("src", "benchmarks")
+
+#: Directories whose argparse flags must be documented.
+CLI_DIRS = ("src",)
+
+
+@rule(
+    "DOC001",
+    "undocumented environment variable",
+    "Every REPRO_* environment variable read anywhere in src/ or "
+    "benchmarks/ must appear in the README (the env-var table).",
+)
+def check_env_vars_documented(ctx: CheckContext) -> Iterator[Finding]:
+    documented = set(re.findall(r"REPRO_[A-Z][A-Z0-9_]*", ctx.readme))
+    seen: set[str] = set()
+    for file in ctx.python_files(*ENV_DIRS):
+        assert file.tree is not None
+        for node in ast.walk(file.tree):
+            if not (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and _ENV_VAR_RE.match(node.value)
+            ):
+                continue
+            name = node.value
+            if name in documented or name in seen:
+                continue
+            seen.add(name)
+            yield Finding(
+                file=file.rel,
+                line=node.lineno,
+                code="DOC001",
+                message=f"environment variable {name} is read by the "
+                "code but missing from the README env table",
+            )
+
+
+def _argparse_flags(tree: ast.Module) -> Iterator[tuple[str, int]]:
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_argument"
+        ):
+            continue
+        for arg in node.args:
+            if (
+                isinstance(arg, ast.Constant)
+                and isinstance(arg.value, str)
+                and arg.value.startswith("--")
+            ):
+                yield arg.value, arg.lineno
+
+
+@rule(
+    "DOC002",
+    "undocumented CLI flag",
+    "Every long option (--flag) registered via add_argument in src/ "
+    "must appear in the README.",
+)
+def check_cli_flags_documented(ctx: CheckContext) -> Iterator[Finding]:
+    flag_re = re.compile(r"--[a-z][a-z0-9-]*")
+    documented = set(flag_re.findall(ctx.readme))
+    seen: set[str] = set()
+    for file in ctx.python_files(*CLI_DIRS):
+        assert file.tree is not None
+        for flag, line in _argparse_flags(file.tree):
+            if flag in documented or flag in seen:
+                continue
+            seen.add(flag)
+            yield Finding(
+                file=file.rel,
+                line=line,
+                code="DOC002",
+                message=f"CLI flag {flag} is registered by the code but "
+                "never mentioned in the README",
+            )

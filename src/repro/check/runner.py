@@ -1,0 +1,131 @@
+"""Run every registered rule over a tree and reconcile with the baseline.
+
+``run_checks`` produces a :class:`CheckReport` splitting findings into
+*new* (unblessed — these fail the run), *blessed* (matched by a
+baseline entry) and the baseline bookkeeping strict mode also gates on:
+*stale* entries (blessing nothing — the underlying finding was fixed,
+so the entry must be deleted) and *unjustified* entries (blessed
+without a reason).  Files that do not parse are reported with the
+pseudo-code ``CHK001`` and fail the run unconditionally — a syntax
+error would otherwise hide every real finding in the file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .context import CheckContext
+from .findings import Baseline, BaselineEntry, Finding
+from .registry import Rule, all_rules
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one checker run."""
+
+    new: list[Finding] = field(default_factory=list)
+    blessed: list[tuple[Finding, BaselineEntry]] = field(default_factory=list)
+    broken: list[Finding] = field(default_factory=list)
+    stale: list[BaselineEntry] = field(default_factory=list)
+    unjustified: list[BaselineEntry] = field(default_factory=list)
+    rules_run: int = 0
+    files_scanned: int = 0
+
+    def failed(self, strict: bool = False) -> bool:
+        """Whether the run should exit nonzero."""
+        if self.new or self.broken:
+            return True
+        if strict and (self.stale or self.unjustified):
+            return True
+        return False
+
+    @property
+    def findings(self) -> list[Finding]:
+        """Every finding, blessed or not (baseline regeneration input)."""
+        return sorted(
+            [*self.new, *(finding for finding, _ in self.blessed)]
+        )
+
+
+def run_checks(
+    root: str | Path,
+    rules: list[Rule] | None = None,
+    baseline: Baseline | None = None,
+) -> CheckReport:
+    """Run ``rules`` (default: all registered) over the tree at ``root``."""
+    ctx = CheckContext(root)
+    active = rules if rules is not None else all_rules()
+    baseline = baseline if baseline is not None else Baseline()
+    report = CheckReport(
+        rules_run=len(active), files_scanned=len(ctx.files)
+    )
+    for file in ctx.broken_files():
+        report.broken.append(
+            Finding(
+                file=file.rel,
+                line=1,
+                code="CHK001",
+                message=f"file does not parse: {file.error}",
+            )
+        )
+    findings: list[Finding] = []
+    for rule in active:
+        findings.extend(rule.run(ctx))
+    matched: set[int] = set()
+    for finding in sorted(findings):
+        entry = baseline.lookup(finding)
+        if entry is None:
+            report.new.append(finding)
+        else:
+            report.blessed.append((finding, entry))
+            matched.add(id(entry))
+    for entry in baseline.entries:
+        if id(entry) not in matched:
+            report.stale.append(entry)
+        elif not entry.justification.strip():
+            report.unjustified.append(entry)
+    return report
+
+
+def render_report(
+    report: CheckReport, strict: bool = False, verbose: bool = False
+) -> str:
+    """Human-readable report (the ``repro check run`` output)."""
+    lines: list[str] = []
+    for finding in report.broken:
+        lines.append(finding.render())
+    for finding in report.new:
+        lines.append(finding.render())
+    if verbose and report.blessed:
+        lines.append("")
+        lines.append(f"blessed findings ({len(report.blessed)}):")
+        for finding, entry in report.blessed:
+            lines.append(f"  {finding.render()}")
+            lines.append(f"    blessed: {entry.justification or '(no reason)'}")
+    if report.stale:
+        lines.append("")
+        lines.append(
+            f"stale baseline entries ({len(report.stale)}) — the finding "
+            "was fixed; delete the entry:"
+        )
+        for entry in report.stale:
+            lines.append(f"  {entry.code} {entry.file}: {entry.message}")
+    if report.unjustified:
+        lines.append("")
+        lines.append(
+            f"baseline entries without a justification "
+            f"({len(report.unjustified)}):"
+        )
+        for entry in report.unjustified:
+            lines.append(f"  {entry.code} {entry.file}: {entry.message}")
+    lines.append("")
+    verdict = "FAILED" if report.failed(strict) else "ok"
+    lines.append(
+        f"repro check: {verdict} — {len(report.new)} new, "
+        f"{len(report.blessed)} blessed, {len(report.broken)} unparseable, "
+        f"{len(report.stale)} stale baseline entr"
+        f"{'y' if len(report.stale) == 1 else 'ies'} "
+        f"({report.rules_run} rules over {report.files_scanned} files)"
+    )
+    return "\n".join(lines).lstrip("\n")

@@ -66,6 +66,13 @@ evaluation above):
     Live fleet monitoring: poll a cache server's ``stats``/``metrics``
     wire ops and render a refreshing terminal view — shard utilization,
     queue depth, in-flight jobs, hit rate, evals/s.
+``repro check``
+    Static invariant checker: determinism (DET0xx), guarded-by
+    concurrency (RACE0xx), cache-token purity (CACHE0xx) and doc-drift
+    (DOC0xx) rules over the source tree itself, reconciled against the
+    committed ``check_baseline.json`` of blessed exceptions.  ``check
+    run --strict`` is the CI gate; ``check baseline`` regenerates the
+    baseline; ``check rules`` lists the codes.
 
 Evaluating subcommands also accept ``--backend service``: batches then
 run through a long-lived :class:`~repro.serve.service.EvalService`
@@ -101,8 +108,7 @@ from .analysis import (
     runs_table,
     trace_report,
 )
-from .obs import ledger, regress
-from .obs import top as obs_top
+from .check.cli import run_check
 from .core import DepthFirstEngine, DFStrategy, OverlapMode
 from .core.optimizer import PAPER_TILE_GRID_X, PAPER_TILE_GRID_Y
 from .dse import (
@@ -118,11 +124,12 @@ from .dse import (
     workload_segments,
 )
 from .explore import Executor, MappingCache, SweepSpec
-from .obs import parse_prometheus
-from .serve import AUTH_TOKEN_ENV, CacheClient, CacheServer, CacheServerError
 from .hardware.zoo import ACCELERATOR_FACTORIES, get_accelerator
 from .mapping import ENGINES, OBJECTIVE_NAMES, SearchConfig, validate_objectives
 from .mapping.cache import cache_file_info
+from .obs import ledger, parse_prometheus, regress
+from .obs import top as obs_top
+from .serve import AUTH_TOKEN_ENV, CacheClient, CacheServer, CacheServerError
 from .workloads.zoo import WORKLOAD_FACTORIES, get_workload
 
 #: The artifact's --dfmode integers, kept as aliases.
@@ -1726,6 +1733,7 @@ SUBCOMMANDS = {
     "stats": run_stats,
     "runs": run_runs,
     "top": run_top,
+    "check": run_check,
 }
 
 

@@ -46,10 +46,10 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
 from .. import obs
-from ..obs import ledger
 from ..explore.executor import Executor
 from ..explore.spec import EvalJob
 from ..mapping.cost import resolve_objective
+from ..obs import ledger
 from .constraints import Constraint
 from .metrics import additive_epsilon, reference_point
 from .pareto import FrontierEntry, ParetoFrontier

@@ -167,7 +167,7 @@ class GeneticSearch(SearchStrategy):
         # same-rank neighbours only, so dominated fronts cannot distort
         # the elite's diversity ordering.
         crowding = [0.0] * len(self._pool)
-        for rank in set(ranks):
+        for rank in sorted(set(ranks)):
             members = [i for i, r in enumerate(ranks) if r == rank]
             for i, distance in zip(
                 members, crowding_distances([values[i] for i in members])

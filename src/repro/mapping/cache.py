@@ -149,9 +149,13 @@ class MappingCache:
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
-        self._entries: dict[str, SearchResult] = {}
-        self.hits = 0
-        self.misses = 0
+        # A MappingCache is externally synchronized: engines use a
+        # private instance single-threaded, and the shared instance a
+        # CacheServer fronts is only ever touched under the server's
+        # table lock (every _op_* body runs inside `with self._lock`).
+        self._entries: dict[str, SearchResult] = {}  # guarded-by: <owner>
+        self.hits = 0  # guarded-by: <owner>
+        self.misses = 0  # guarded-by: <owner>
         self.max_entries = max_entries
         self.path = Path(path) if path is not None else None
         if self.path is not None and self.path.exists():

@@ -63,6 +63,12 @@ class SearchConfig:
     objective: str = "energy"
     engine: str = "batch"
 
+    #: Fields that cannot affect results and are therefore excluded
+    #: from :meth:`cache_token` (checked by ``repro check`` CACHE001):
+    #: the engines are bit-identical by contract, so ``engine`` is a
+    #: pure speed/dependency knob.
+    NON_SEMANTIC = frozenset({"engine"})
+
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
             raise ValueError(

@@ -34,7 +34,9 @@ Usage::
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Any
 
+from . import ledger, regress, top
 from .metrics import (
     DEFAULT_BUCKETS,
     BucketMismatchError,
@@ -50,6 +52,7 @@ from .metrics import (
 )
 from .trace import (
     NULL_SPAN,
+    SpanLike,
     Tracer,
     load_trace,
     load_trace_tolerant,
@@ -57,7 +60,6 @@ from .trace import (
     trace_coverage,
     trace_spans,
 )
-from . import ledger, regress, top  # noqa: E402 - re-exported submodules
 
 __all__ = [
     "DEFAULT_BUCKETS",
@@ -67,6 +69,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SpanLike",
     "Tracer",
     "enable",
     "disable",
@@ -94,7 +97,7 @@ __all__ = [
 enabled: bool = False
 
 _registry = MetricsRegistry()
-_tracer: "Tracer | None" = None
+_tracer: Tracer | None = None
 
 
 def metrics() -> MetricsRegistry:
@@ -103,13 +106,13 @@ def metrics() -> MetricsRegistry:
     return _registry
 
 
-def tracer() -> "Tracer | None":
+def tracer() -> Tracer | None:
     """The active tracer, or ``None`` (disabled / metrics-only mode)."""
     return _tracer
 
 
 def enable(
-    trace: "str | Path | None" = None,
+    trace: str | Path | None = None,
     sample: float = 1.0,
 ) -> MetricsRegistry:
     """Turn telemetry on for this process.
@@ -144,7 +147,7 @@ def reset() -> None:
     _registry.clear()
 
 
-def span(name: str, **attrs):
+def span(name: str, **attrs: Any) -> SpanLike:
     """A tracing span when enabled, the shared no-op otherwise."""
     if not enabled or _tracer is None:
         return NULL_SPAN
@@ -177,7 +180,7 @@ def worker_begin(parent_enabled: bool) -> None:
     enabled = bool(parent_enabled)
 
 
-def harvest() -> "dict | None":
+def harvest() -> dict[str, Any] | None:
     """The worker's registry dump for fork-merge into the parent
     (``None`` when telemetry is off — nothing to ship)."""
     if not enabled:
@@ -185,7 +188,7 @@ def harvest() -> "dict | None":
     return _registry.to_json()
 
 
-def absorb(dump: "dict | None") -> None:
+def absorb(dump: dict[str, Any] | None) -> None:
     """Merge a worker's :func:`harvest` into this process's registry."""
     if dump:
         _registry.merge_json(dump)

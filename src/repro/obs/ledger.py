@@ -31,7 +31,7 @@ import platform
 import socket
 import time
 from pathlib import Path
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
 #: Bump when the record shape changes incompatibly.
 LEDGER_FORMAT_VERSION = 1
@@ -40,7 +40,7 @@ RUNS_DIR_ENV = "REPRO_RUNS_DIR"
 LEDGER_ENV = "REPRO_LEDGER"
 DEFAULT_RUNS_DIR = Path(".repro") / "runs"
 
-_active: "RunHandle | None" = None
+_active: RunHandle | None = None
 
 
 def ledger_enabled() -> bool:
@@ -49,7 +49,7 @@ def ledger_enabled() -> bool:
     return value not in ("0", "off", "false", "no")
 
 
-def runs_dir(directory: "str | Path | None" = None) -> Path:
+def runs_dir(directory: str | Path | None = None) -> Path:
     """Resolve the ledger directory: explicit argument, then
     ``REPRO_RUNS_DIR``, then ``.repro/runs`` under the cwd."""
     if directory is not None:
@@ -60,10 +60,10 @@ def runs_dir(directory: "str | Path | None" = None) -> Path:
     return DEFAULT_RUNS_DIR
 
 
-def package_versions() -> dict:
+def package_versions() -> dict[str, str | None]:
     """Interpreter and package versions recorded in every manifest —
     the first thing to check when two runs of one config disagree."""
-    versions = {"python": platform.python_version()}
+    versions: dict[str, str | None] = {"python": platform.python_version()}
     try:
         from .. import __version__ as repro_version
 
@@ -82,7 +82,7 @@ def package_versions() -> dict:
 class RunHandle:
     """A live run's ledger entry; write-at-begin, rewrite-at-finish."""
 
-    def __init__(self, directory: Path, record: dict) -> None:
+    def __init__(self, directory: Path, record: dict[str, Any]) -> None:
         self.directory = directory
         self.record = record
         self.path = directory / f"{record['id']}.json"
@@ -90,12 +90,12 @@ class RunHandle:
         self._write()
 
     # ------------------------------------------------------------------
-    def set(self, **fields) -> None:
+    def set(self, **fields: Any) -> None:
         """Attach manifest fields discovered after begin (not flushed
         until :meth:`finish` — cheap to call anywhere)."""
         self.record.update(fields)
 
-    def add_convergence(self, point: Mapping) -> None:
+    def add_convergence(self, point: Mapping[str, Any]) -> None:
         """Append one per-generation convergence point (hv/epsilon) and
         flush, so a crashed search keeps its partial series."""
         self.record.setdefault("convergence", []).append(dict(point))
@@ -109,8 +109,8 @@ class RunHandle:
     def finish(
         self,
         status: str = "ok",
-        error: "str | None" = None,
-        result: "Mapping | None" = None,
+        error: str | None = None,
+        result: Mapping[str, Any] | None = None,
     ) -> Path:
         """Seal the record (idempotent: the first finish wins, so a
         crash handler re-raising through an outer handler cannot flip a
@@ -149,8 +149,8 @@ class RunHandle:
 def begin_run(
     command: str,
     argv: Iterable[str],
-    manifest: "Mapping | None" = None,
-    directory: "str | Path | None" = None,
+    manifest: Mapping[str, Any] | None = None,
+    directory: str | Path | None = None,
 ) -> RunHandle:
     """Open a ledger record with ``status: "running"`` and make it the
     process's :func:`active_run`.  The id is timestamp + pid + command
@@ -164,7 +164,7 @@ def begin_run(
     while (target / f"{run_id}.json").exists():
         n += 1
         run_id = f"{base}-{n}"
-    record = {
+    record: dict[str, Any] = {
         "format": LEDGER_FORMAT_VERSION,
         "id": run_id,
         "command": command,
@@ -182,7 +182,7 @@ def begin_run(
     return handle
 
 
-def active_run() -> "RunHandle | None":
+def active_run() -> RunHandle | None:
     """The in-flight run's handle (lets the DSE loop stream convergence
     points into the record without threading a handle through APIs)."""
     return _active
@@ -197,14 +197,14 @@ def reset() -> None:
 # ----------------------------------------------------------------------
 # Reading the ledger back
 # ----------------------------------------------------------------------
-def list_runs(directory: "str | Path | None" = None) -> list[dict]:
+def list_runs(directory: str | Path | None = None) -> list[dict[str, Any]]:
     """All records in the ledger, oldest first.  An unreadable file
     (foreign junk, torn write from a pre-atomic-rename tool) surfaces as
     a stub with ``status: "unreadable"`` rather than hiding."""
     target = runs_dir(directory)
     if not target.is_dir():
         return []
-    records = []
+    records: list[dict[str, Any]] = []
     for path in sorted(target.glob("*.json")):
         try:
             record = json.loads(path.read_text())
@@ -219,12 +219,12 @@ def list_runs(directory: "str | Path | None" = None) -> list[dict]:
     return records
 
 
-def load_run(ref: str, directory: "str | Path | None" = None) -> dict:
+def load_run(ref: str, directory: str | Path | None = None) -> dict[str, Any]:
     """Resolve a run reference: ``latest``, an exact id, a unique id
     prefix, or a path to a record file."""
     as_path = Path(ref)
     if as_path.is_file():
-        record = json.loads(as_path.read_text())
+        record: dict[str, Any] = json.loads(as_path.read_text())
         record["_path"] = str(as_path)
         return record
     records = [r for r in list_runs(directory) if r.get("status") != "unreadable"]
@@ -248,7 +248,7 @@ def load_run(ref: str, directory: "str | Path | None" = None) -> dict:
 
 
 def gc_runs(
-    directory: "str | Path | None" = None,
+    directory: str | Path | None = None,
     keep: int = 20,
     dry_run: bool = False,
 ) -> list[str]:
@@ -257,7 +257,7 @@ def gc_runs(
         raise ValueError("keep must be >= 0")
     records = list_runs(directory)
     doomed = records[: max(0, len(records) - keep)]
-    removed = []
+    removed: list[str] = []
     for record in doomed:
         if not dry_run:
             try:
@@ -272,12 +272,12 @@ def gc_runs(
 # Derived metrics (shared by `runs show|diff` and the regression gate)
 # ----------------------------------------------------------------------
 def metric_total(
-    record: Mapping, name: str, **match: str
-) -> "float | None":
+    record: Mapping[str, Any], name: str, **match: str
+) -> float | None:
     """Sum a counter/gauge family from a record's metrics dump across
     series whose labels include ``match``; ``None`` when absent."""
     dump = record.get("metrics") or {}
-    total = None
+    total: float | None = None
     for raw in dump.get("metrics", []):
         if raw.get("name") != name:
             continue
@@ -291,11 +291,11 @@ def metric_total(
     return total
 
 
-def key_metrics(record: Mapping) -> dict:
+def key_metrics(record: Mapping[str, Any]) -> dict[str, Any]:
     """The comparable scalars of a run (``None`` where unavailable):
     wall-clock, orderings evaluated and per-second, mapping-cache hit
     rate, DSE evaluations / hypervolume / epsilon / frontier size."""
-    out: dict = {
+    out: dict[str, Any] = {
         "wall_seconds": record.get("wall_seconds"),
         "orderings": metric_total(record, "loma_orderings_evaluated_total"),
         "orderings_per_s": None,

@@ -29,7 +29,7 @@ import json
 import math
 import re
 from pathlib import Path
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Iterator, Mapping, cast
 
 
 class BucketMismatchError(ValueError):
@@ -57,7 +57,10 @@ DEFAULT_BUCKETS = (
 )
 
 #: Metric identity: name plus sorted (label, value) pairs.
-MetricKey = "tuple[str, tuple[tuple[str, str], ...]]"
+MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+
+#: Sorted, stringified label pairs (the second half of a MetricKey).
+LabelPairs = tuple[tuple[str, str], ...]
 
 
 def _labels_key(labels: Mapping[str, object]) -> tuple[tuple[str, str], ...]:
@@ -119,7 +122,7 @@ class Counter:
     __slots__ = ("name", "labels", "value")
     kind = "counter"
 
-    def __init__(self, name: str, labels: tuple = ()) -> None:
+    def __init__(self, name: str, labels: LabelPairs = ()) -> None:
         self.name = name
         self.labels = labels
         self.value = 0
@@ -127,10 +130,10 @@ class Counter:
     def inc(self, amount: int = 1) -> None:
         self.value += amount
 
-    def to_json(self):
+    def to_json(self) -> int:
         return self.value
 
-    def merge_json(self, data) -> None:
+    def merge_json(self, data: Any) -> None:
         self.value += int(data)
 
     def render(self) -> Iterable[str]:
@@ -143,7 +146,7 @@ class Gauge:
     __slots__ = ("name", "labels", "value")
     kind = "gauge"
 
-    def __init__(self, name: str, labels: tuple = ()) -> None:
+    def __init__(self, name: str, labels: LabelPairs = ()) -> None:
         self.name = name
         self.labels = labels
         self.value = 0.0
@@ -154,10 +157,10 @@ class Gauge:
     def add(self, amount: float) -> None:
         self.value += amount
 
-    def to_json(self):
+    def to_json(self) -> float:
         return self.value
 
-    def merge_json(self, data) -> None:
+    def merge_json(self, data: Any) -> None:
         # Gauges are not additive; the merged-in (worker) observation
         # wins, matching "last writer wins" for point-in-time values.
         self.value = float(data)
@@ -182,8 +185,8 @@ class Histogram:
     def __init__(
         self,
         name: str,
-        labels: tuple = (),
-        buckets: "tuple[float, ...]" = DEFAULT_BUCKETS,
+        labels: LabelPairs = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
     ) -> None:
         bounds = tuple(float(b) for b in buckets)
         if not bounds or any(
@@ -210,7 +213,7 @@ class Histogram:
                 return
         self.counts[-1] += 1
 
-    def to_json(self):
+    def to_json(self) -> dict[str, Any]:
         return {
             "buckets": list(self.buckets),
             "counts": list(self.counts),
@@ -218,7 +221,7 @@ class Histogram:
             "count": self.count,
         }
 
-    def merge_json(self, data) -> None:
+    def merge_json(self, data: Any) -> None:
         bounds = tuple(float(b) for b in data["buckets"])
         if bounds != self.buckets:
             raise BucketMismatchError(
@@ -243,7 +246,13 @@ class Histogram:
         yield f"{self.name}_count{_render_labels(label_pairs)} {self.count}"
 
 
-_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+Metric = Counter | Gauge | Histogram
+
+_KINDS: dict[str, type[Metric]] = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": Histogram,
+}
 
 
 class MetricsRegistry:
@@ -255,11 +264,13 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._metrics: "dict[tuple, Counter | Gauge | Histogram]" = {}
+        self._metrics: dict[MetricKey, Metric] = {}
         self._kinds: dict[str, str] = {}
 
     # ------------------------------------------------------------------
-    def _get(self, kind: str, name: str, labels: Mapping, **extra):
+    def _get(
+        self, kind: str, name: str, labels: Mapping[str, object], **extra: Any
+    ) -> Metric:
         key = (name, _labels_key(labels))
         metric = self._metrics.get(key)
         if metric is None:
@@ -277,34 +288,36 @@ class MetricsRegistry:
             )
         return metric
 
-    def counter(self, name: str, **labels) -> Counter:
+    def counter(self, name: str, **labels: object) -> Counter:
         """Get-or-create a counter; hold the returned object on hot
         paths so the dict lookup is paid once."""
-        return self._get("counter", name, labels)
+        return cast(Counter, self._get("counter", name, labels))
 
-    def gauge(self, name: str, **labels) -> Gauge:
-        return self._get("gauge", name, labels)
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return cast(Gauge, self._get("gauge", name, labels))
 
     def histogram(
         self,
         name: str,
-        buckets: "tuple[float, ...]" = DEFAULT_BUCKETS,
-        **labels,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: object,
     ) -> Histogram:
-        return self._get("histogram", name, labels, buckets=buckets)
+        return cast(
+            Histogram, self._get("histogram", name, labels, buckets=buckets)
+        )
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Metric]:
         return iter(self._metrics.values())
 
-    def get(self, name: str, **labels):
+    def get(self, name: str, **labels: object) -> Metric | None:
         """The live metric object, or ``None`` if never registered."""
         return self._metrics.get((name, _labels_key(labels)))
 
-    def value(self, name: str, **labels):
+    def value(self, name: str, **labels: object) -> int | float | dict[str, Any]:
         """Convenience: the current value (counter/gauge) or JSON form
         (histogram) of a metric; ``0`` when absent."""
         metric = self.get(name, **labels)
@@ -319,7 +332,7 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # Serialization and merging
     # ------------------------------------------------------------------
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, Any]:
         """JSON-serializable dump (the wire format of a fork harvest)."""
         return {
             "metrics": [
@@ -333,7 +346,7 @@ class MetricsRegistry:
             ]
         }
 
-    def merge_json(self, data: Mapping) -> None:
+    def merge_json(self, data: Mapping[str, Any]) -> None:
         """Fold a :meth:`to_json` dump into this registry (counters and
         histogram buckets add; gauges take the merged value)."""
         for raw in data.get("metrics", []):
@@ -341,13 +354,13 @@ class MetricsRegistry:
             if kind not in _KINDS:
                 raise ValueError(f"unknown metric kind {kind!r}")
             labels = {k: v for k, v in raw.get("labels", [])}
-            extra = {}
+            extra: dict[str, Any] = {}
             if kind == "histogram":
                 extra["buckets"] = tuple(raw["data"]["buckets"])
             metric = self._get(kind, raw["name"], labels, **extra)
             metric.merge_json(raw["data"])
 
-    def merge(self, other: "MetricsRegistry") -> None:
+    def merge(self, other: MetricsRegistry) -> None:
         self.merge_json(other.to_json())
 
     # ------------------------------------------------------------------
@@ -366,27 +379,27 @@ class MetricsRegistry:
             lines.extend(metric.render())
         return "\n".join(lines) + ("\n" if lines else "")
 
-    def write_prometheus(self, path: "str | Path") -> Path:
+    def write_prometheus(self, path: str | Path) -> Path:
         target = Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
         target.write_text(self.render_prometheus())
         return target
 
-    def write_json(self, path: "str | Path") -> Path:
+    def write_json(self, path: str | Path) -> Path:
         target = Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
         target.write_text(json.dumps(self.to_json()))
         return target
 
 
-def load_metrics(path: "str | Path") -> MetricsRegistry:
+def load_metrics(path: str | Path) -> MetricsRegistry:
     """Load a registry from a :meth:`MetricsRegistry.write_json` file."""
     registry = MetricsRegistry()
     registry.merge_json(json.loads(Path(path).read_text()))
     return registry
 
 
-def parse_prometheus(text: str) -> "dict[str, float]":
+def parse_prometheus(text: str) -> dict[str, float]:
     """Parse a Prometheus text exposition into ``{series: value}`` (the
     series string includes its label set verbatim).  Only what the
     ``repro stats`` pretty-printer and the smoke tests need — not a
@@ -417,7 +430,7 @@ _SERIES_RE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(?P<labels>.*)
 _LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"')
 
 
-def split_series(series: str) -> "tuple[str, dict[str, str]]":
+def split_series(series: str) -> tuple[str, dict[str, str]]:
     """Split a series string (``name{k="v",...}``) into the metric name
     and its label dict, undoing label-value escaping.  Raises
     ``ValueError`` on a string no registry would render."""

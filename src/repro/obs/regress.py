@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Mapping
+from typing import Any, Mapping
 
 from .ledger import key_metrics
 
@@ -43,8 +43,8 @@ class Check:
     """One metric's verdict in a regression comparison."""
 
     metric: str
-    baseline: "float | None"
-    current: "float | None"
+    baseline: float | None
+    current: float | None
     limit: str
     status: str  # ok | regressed | skipped
     note: str = ""
@@ -60,8 +60,8 @@ def _skip(metric: str, limit: str, note: str) -> Check:
 
 def _relative_floor_check(
     metric: str,
-    baseline: "float | None",
-    current: "float | None",
+    baseline: float | None,
+    current: float | None,
     max_loss: float,
 ) -> Check:
     """Higher-is-better metric gated at ``baseline * (1 - max_loss)``."""
@@ -75,8 +75,8 @@ def _relative_floor_check(
 
 
 def compare_runs(
-    baseline: Mapping,
-    current: Mapping,
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
     max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
     max_hv_loss: float = DEFAULT_MAX_HV_LOSS,
     max_hit_rate_drop: float = DEFAULT_MAX_HIT_RATE_DROP,
@@ -152,7 +152,7 @@ def compare_runs(
 # ----------------------------------------------------------------------
 # Bench-file comparison (BENCH_loma.json shape)
 # ----------------------------------------------------------------------
-def _bench_points(bench: Mapping) -> "dict[tuple[str, str], Mapping]":
+def _bench_points(bench: Mapping[str, Any]) -> dict[tuple[str, str], Any]:
     return {
         (p.get("workload", "?"), p.get("accelerator", "?")): p
         for p in bench.get("points", [])
@@ -160,8 +160,8 @@ def _bench_points(bench: Mapping) -> "dict[tuple[str, str], Mapping]":
 
 
 def compare_bench(
-    baseline: Mapping,
-    current: Mapping,
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
     max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
 ) -> list[Check]:
     """Gate a ``BENCH_loma.json``-shaped file against a baseline one:
@@ -206,13 +206,13 @@ def compare_bench(
     return checks
 
 
-def load_bench(path: "str | Path") -> dict:
+def load_bench(path: str | Path) -> dict[str, Any]:
     """Read a bench file, with a useful error for a non-bench file."""
-    data = json.loads(Path(path).read_text())
+    data: dict[str, Any] = json.loads(Path(path).read_text())
     if not isinstance(data, dict) or "points" not in data:
         raise ValueError(f"{path}: not a bench file (no 'points' list)")
     return data
 
 
-def has_regressions(checks: "list[Check]") -> bool:
+def has_regressions(checks: list[Check]) -> bool:
     return any(check.regressed for check in checks)

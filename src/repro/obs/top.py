@@ -16,7 +16,7 @@ tests) own cursor control and timing.
 from __future__ import annotations
 
 import time
-from typing import Mapping
+from typing import Any, Mapping
 
 from .metrics import parse_prometheus, split_series
 
@@ -25,7 +25,7 @@ from .metrics import parse_prometheus, split_series
 _PUT_OPS = ("put", "put_many")
 
 
-def sample_server(client) -> dict:
+def sample_server(client: Any) -> dict[str, Any]:
     """One monitoring sample: the server's ``stats`` op, its parsed
     ``metrics`` exposition, and a monotonic timestamp for rate math.
     ``client`` is anything with the :class:`CacheClient` control
@@ -39,13 +39,15 @@ def sample_server(client) -> dict:
     }
 
 
-def _rate(curr: float, prev: "float | None", dt: "float | None"):
+def _rate(
+    curr: float, prev: float | None, dt: float | None
+) -> float | None:
     if prev is None or dt is None or dt <= 0:
         return None
     return (curr - prev) / dt
 
 
-def _fmt(value, suffix: str = "") -> str:
+def _fmt(value: Any, suffix: str = "") -> str:
     if value is None:
         return "-"
     if isinstance(value, float):
@@ -57,7 +59,7 @@ def _fmt(value, suffix: str = "") -> str:
 
 def _series_by_label(
     values: Mapping[str, float], name: str, label: str
-) -> "dict[str, float]":
+) -> dict[str, float]:
     """``{label value: sample value}`` for one metric family."""
     out: dict[str, float] = {}
     for series, value in values.items():
@@ -71,8 +73,8 @@ def _series_by_label(
 
 
 def _shard_rows(
-    curr: dict, prev: "dict | None"
-) -> "list[tuple[str, float, float | None, float | None]]":
+    curr: dict[str, Any], prev: dict[str, Any] | None
+) -> list[tuple[str, float, float | None, float | None]]:
     """Per-shard (shard, jobs, jobs/s, busy fraction) rows from the
     service counters an embedded :class:`EvalService` exports."""
     jobs = _series_by_label(curr["values"], "service_jobs_total", "shard")
@@ -83,7 +85,7 @@ def _shard_rows(
     )
     prev_jobs: dict[str, float] = {}
     prev_busy: dict[str, float] = {}
-    dt = None
+    dt: float | None = None
     if prev is not None:
         dt = curr["time"] - prev["time"]
         prev_jobs = _series_by_label(
@@ -92,7 +94,7 @@ def _shard_rows(
         prev_busy = _series_by_label(
             prev["values"], "service_exec_seconds_sum", "shard"
         )
-    rows = []
+    rows: list[tuple[str, float, float | None, float | None]] = []
     for shard in sorted(jobs, key=lambda s: (len(s), s)):
         rows.append(
             (
@@ -106,7 +108,7 @@ def _shard_rows(
 
 
 def top_report(
-    address: str, current: dict, previous: "dict | None" = None
+    address: str, current: dict[str, Any], previous: dict[str, Any] | None = None
 ) -> str:
     """Render one refresh frame.  With a ``previous`` sample the frame
     includes rates (requests/s, evals/s, shard utilization); the first
@@ -137,7 +139,7 @@ def top_report(
         lines.append(f"  requests  {ops}")
 
     dt = None
-    prev_requests: dict = {}
+    prev_requests: dict[str, Any] = {}
     if previous is not None:
         dt = current["time"] - previous["time"]
         prev_requests = previous["stats"].get("requests", {})
@@ -151,7 +153,7 @@ def top_report(
             dt,
         )
         if shard_rows and all(r[2] is not None for r in shard_rows):
-            evals = sum(r[2] for r in shard_rows)
+            evals = sum(r[2] for r in shard_rows if r[2] is not None)
         else:
             evals = _rate(
                 sum(requests.get(op, 0) for op in _PUT_OPS),

@@ -37,7 +37,8 @@ import os
 import threading
 import time
 from pathlib import Path
-from typing import Mapping
+from types import TracebackType
+from typing import IO, Any
 
 
 class _NullSpan:
@@ -45,13 +46,13 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def __enter__(self) -> "_NullSpan":
+    def __enter__(self) -> _NullSpan:
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         return None
 
-    def set(self, **attrs) -> None:
+    def set(self, **attrs: object) -> None:
         return None
 
 
@@ -62,31 +63,47 @@ NULL_SPAN = _NullSpan()
 class _Span:
     """One live span; records on exit via its tracer."""
 
-    __slots__ = ("tracer", "name", "id", "parent", "attrs", "start", "_token")
+    __slots__ = ("tracer", "name", "id", "parent", "attrs", "start")
 
-    def __init__(self, tracer: "Tracer", name: str, parent, attrs: dict) -> None:
+    def __init__(
+        self,
+        tracer: Tracer,
+        name: str,
+        parent: int | None,
+        attrs: dict[str, Any],
+    ) -> None:
         self.tracer = tracer
         self.name = name
         self.parent = parent
         self.attrs = attrs
-        self.id = None
+        self.id: int | None = None
         self.start = 0.0
 
-    def set(self, **attrs) -> None:
+    def set(self, **attrs: object) -> None:
         """Attach attributes after the span opened (e.g. result counts)."""
         self.attrs.update(attrs)
 
-    def __enter__(self) -> "_Span":
+    def __enter__(self) -> _Span:
         self.id = self.tracer._enter(self)
         self.start = time.monotonic()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         end = time.monotonic()
         if exc_type is not None:
             self.attrs["error"] = exc_type.__name__
         self.tracer._exit(self, end)
         return None
+
+
+#: What ``Tracer.span`` / ``repro.obs.span`` hand back: a live span, or
+#: the shared no-op when this process must not record.
+SpanLike = _Span | _NullSpan
 
 
 class Tracer:
@@ -106,7 +123,7 @@ class Tracer:
         an rng.
     """
 
-    def __init__(self, path: "str | Path", sample: float = 1.0) -> None:
+    def __init__(self, path: str | Path, sample: float = 1.0) -> None:
         if not (0.0 < sample <= 1.0):
             raise ValueError(f"sample must be in (0, 1], got {sample}")
         self.path = Path(path)
@@ -114,15 +131,15 @@ class Tracer:
         self.pid = os.getpid()
         self._lock = threading.Lock()
         self._local = threading.local()
-        self._file = None
+        self._file: IO[str] | None = None
         self._next_id = 0
         self._roots_seen = 0
         self.spans_written = 0
         self.spans_dropped = 0
 
     # ------------------------------------------------------------------
-    def _stack(self) -> list:
-        stack = getattr(self._local, "stack", None)
+    def _stack(self) -> list[int | None]:
+        stack: list[int | None] | None = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
         return stack
@@ -132,12 +149,12 @@ class Tracer:
         """Whether this process may write (single-writer guard)."""
         return os.getpid() == self.pid
 
-    def span(self, name: str, **attrs) -> "_Span | _NullSpan":
+    def span(self, name: str, **attrs: Any) -> SpanLike:
         if not self.recording:
             return NULL_SPAN
         return _Span(self, name, None, attrs)
 
-    def _enter(self, span: _Span) -> "int | None":
+    def _enter(self, span: _Span) -> int | None:
         stack = self._stack()
         if stack:
             parent_id = stack[-1]
@@ -165,7 +182,7 @@ class Tracer:
         if span.id is None:
             self.spans_dropped += 1
             return
-        record = {
+        record: dict[str, Any] = {
             "type": "span",
             "id": span.id,
             "parent": span.parent,
@@ -180,7 +197,7 @@ class Tracer:
         self.spans_written += 1
 
     # ------------------------------------------------------------------
-    def _write(self, record: dict) -> None:
+    def _write(self, record: dict[str, Any]) -> None:
         line = json.dumps(record, default=str) + "\n"
         with self._lock:
             if self._file is None:
@@ -211,7 +228,7 @@ class Tracer:
 # ----------------------------------------------------------------------
 # Reading traces back
 # ----------------------------------------------------------------------
-def load_trace(path: "str | Path") -> list[dict]:
+def load_trace(path: str | Path) -> list[dict[str, Any]]:
     """Parse a trace file into its records (header included).  Raises
     ``ValueError`` naming the offending line on malformed input."""
     records, problems = _parse_trace(path, tolerant=False)
@@ -219,7 +236,9 @@ def load_trace(path: "str | Path") -> list[dict]:
     return records
 
 
-def load_trace_tolerant(path: "str | Path") -> "tuple[list[dict], list[str]]":
+def load_trace_tolerant(
+    path: str | Path,
+) -> tuple[list[dict[str, Any]], list[str]]:
     """Like :func:`load_trace`, but a malformed line is collected
     instead of raised.  A run killed mid-write leaves a final line cut
     in half; its trace is still worth summarizing.  Returns
@@ -228,9 +247,9 @@ def load_trace_tolerant(path: "str | Path") -> "tuple[list[dict], list[str]]":
 
 
 def _parse_trace(
-    path: "str | Path", tolerant: bool
-) -> "tuple[list[dict], list[str]]":
-    records: list[dict] = []
+    path: str | Path, tolerant: bool
+) -> tuple[list[dict[str, Any]], list[str]]:
+    records: list[dict[str, Any]] = []
     problems: list[str] = []
     with open(Path(path)) as fh:
         for lineno, line in enumerate(fh, start=1):
@@ -257,7 +276,9 @@ def _parse_trace(
     return records, problems
 
 
-def trace_spans(records: "list[dict] | str | Path") -> list[dict]:
+def trace_spans(
+    records: list[dict[str, Any]] | str | Path,
+) -> list[dict[str, Any]]:
     """The span records of a trace, sorted by start time."""
     if not isinstance(records, list):
         records = load_trace(records)
@@ -266,7 +287,9 @@ def trace_spans(records: "list[dict] | str | Path") -> list[dict]:
     return spans
 
 
-def span_summary(records: "list[dict] | str | Path") -> list[dict]:
+def span_summary(
+    records: list[dict[str, Any]] | str | Path,
+) -> list[dict[str, Any]]:
     """Aggregate spans by name: count, total time, and *self* time
     (total minus the time covered by direct children), sorted by self
     time descending — the "where did the run spend its time" table."""
@@ -276,7 +299,7 @@ def span_summary(records: "list[dict] | str | Path") -> list[dict]:
         parent = span.get("parent")
         if parent is not None:
             child_time[parent] = child_time.get(parent, 0.0) + span["dur"]
-    by_name: dict[str, dict] = {}
+    by_name: dict[str, dict[str, Any]] = {}
     for span in spans:
         row = by_name.setdefault(
             span["name"], {"name": span["name"], "count": 0, "total": 0.0, "self": 0.0}
@@ -287,23 +310,26 @@ def span_summary(records: "list[dict] | str | Path") -> list[dict]:
     return sorted(by_name.values(), key=lambda r: (-r["self"], r["name"]))
 
 
-def trace_coverage(records: "list[dict] | str | Path") -> "float | None":
+def trace_coverage(
+    records: list[dict[str, Any]] | str | Path,
+) -> float | None:
     """Fraction of the trace's wall-clock covered by *root* spans
     (union of their intervals over the first-start..last-end window);
     ``None`` for a trace without spans."""
     spans = trace_spans(records)
     if not spans:
         return None
-    window_start = min(s["start"] for s in spans)
-    window_end = max(s["end"] for s in spans)
+    window_start = min(float(s["start"]) for s in spans)
+    window_end = max(float(s["end"]) for s in spans)
     if window_end <= window_start:
         return 1.0
     roots = [s for s in spans if s.get("parent") is None]
     covered = 0.0
     cursor = window_start
-    for span in sorted(roots, key=lambda s: s["start"]):
-        start = max(span["start"], cursor)
-        if span["end"] > start:
-            covered += span["end"] - start
-            cursor = span["end"]
+    for span in sorted(roots, key=lambda s: float(s["start"])):
+        start = max(float(span["start"]), cursor)
+        end = float(span["end"])
+        if end > start:
+            covered += end - start
+            cursor = end
     return covered / (window_end - window_start)

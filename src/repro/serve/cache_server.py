@@ -218,25 +218,29 @@ class CacheServer:
         #: lets concurrent stop() callers wait instead of racing past.
         self._stop_done = threading.Event()
         self._stop_done.set()
-        self._server: _TCPServer | None = None
-        self._thread: threading.Thread | None = None
-        self._snapshot_thread: threading.Thread | None = None
+        # The ownership handoff in stop() runs under _stop_lock; the
+        # single start() call happens before any concurrent access
+        # exists, and the thread/server handles are only touched by
+        # the start/stop caller — hence <owner>, not a lock.
+        self._server: _TCPServer | None = None  # guarded-by: _stop_lock
+        self._thread: threading.Thread | None = None  # guarded-by: <owner>
+        self._snapshot_thread: threading.Thread | None = None  # guarded-by: <owner>
         self.metrics_port = metrics_port
-        self._http_server: _HTTPServer | None = None
-        self._http_thread: threading.Thread | None = None
+        self._http_server: _HTTPServer | None = None  # guarded-by: <owner>
+        self._http_thread: threading.Thread | None = None  # guarded-by: <owner>
         self._stopping = threading.Event()
         self.auth_token = auth_token
-        self.requests = {"get": 0, "put": 0, "put_many": 0, "snapshot": 0}
-        self.snapshots_written = 0
-        self.unauthorized = 0
+        self.requests = {"get": 0, "put": 0, "put_many": 0, "snapshot": 0}  # guarded-by: _lock
+        self.snapshots_written = 0  # guarded-by: _lock
+        self.unauthorized = 0  # guarded-by: _counter_lock
         # Live load counters (read under _counter_lock): open client
         # connections, requests currently being handled, and requests
         # blocked waiting for the shared-table lock (queue depth).
         self._counter_lock = threading.Lock()
-        self.connections = 0
-        self.connections_total = 0
-        self.in_flight = 0
-        self.queue_depth = 0
+        self.connections = 0  # guarded-by: _counter_lock
+        self.connections_total = 0  # guarded-by: _counter_lock
+        self.in_flight = 0  # guarded-by: _counter_lock
+        self.queue_depth = 0  # guarded-by: _counter_lock
 
     # ------------------------------------------------------------------
     # Load accounting

@@ -215,26 +215,31 @@ class EvalService:
             parse_address(cache_address) if cache_address is not None else None
         )
         self.max_pending = max_pending
-        self._server: CacheServer | None = None
-        self._workers: list[mp.Process] = []
-        self._job_queues: list = []
-        self._result_queue = None
-        self._collector: threading.Thread | None = None
+        # Lifecycle handles (<owner>): start()/stop() are called by the
+        # thread that owns the service — the embedded server, workers,
+        # queues and collector are created and torn down only there.
+        self._server: CacheServer | None = None  # guarded-by: <owner>
+        self._workers: list[mp.Process] = []  # guarded-by: <owner>
+        self._job_queues: list = []  # guarded-by: <owner>
+        self._result_queue = None  # guarded-by: <owner>
+        self._collector: threading.Thread | None = None  # guarded-by: <owner>
         self._stopping = threading.Event()
         self._lock = threading.Lock()
-        self._slots = (
+        self._slots = (  # guarded-by: <owner>
             threading.Semaphore(max_pending) if max_pending is not None else None
         )
-        self._inflight: dict[tuple, ServiceFuture] = {}
-        self._pending: dict[int, ServiceFuture] = {}
-        self._next_id = 0
-        self._next_shard = 0
-        self._dead_shards: set[str] = set()
-        self.submitted = 0
-        self.coalesced = 0
-        self.completed = 0
-        self.errors = 0
-        self.shard_deaths = 0
+        # Job bookkeeping and counters: submit(), the collector thread
+        # and gather()'s shard-death reporting all touch these.
+        self._inflight: dict[tuple, ServiceFuture] = {}  # guarded-by: _lock
+        self._pending: dict[int, ServiceFuture] = {}  # guarded-by: _lock
+        self._next_id = 0  # guarded-by: _lock
+        self._next_shard = 0  # guarded-by: _lock
+        self._dead_shards: set[str] = set()  # guarded-by: _lock
+        self.submitted = 0  # guarded-by: _lock
+        self.coalesced = 0  # guarded-by: _lock
+        self.completed = 0  # guarded-by: _lock
+        self.errors = 0  # guarded-by: _lock
+        self.shard_deaths = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Lifecycle

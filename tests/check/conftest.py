@@ -1,0 +1,57 @@
+"""Shared helpers for the checker tests: fixture snippets and fake
+repo trees the rules run over."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: The real repository root (the tree the self-hosting test scans).
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Directory of trigger / near-miss snippet files.
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Where a fixture must live inside a checked tree for its rule to
+#: apply — some rules are keyed to specific files (the required-guarded
+#: classes, the token contracts).  Everything else lands in a fresh
+#: module under the determinism-scoped mapping package.
+DESTINATIONS = {
+    "race002_trigger.py": "src/repro/mapping/cache.py",
+    "race002_clean.py": "src/repro/mapping/cache.py",
+    "cache001_trigger.py": "src/repro/dse/space.py",
+    "cache001_clean.py": "src/repro/dse/space.py",
+    "cache002_trigger.py": "src/repro/dse/space.py",
+}
+
+DEFAULT_DESTINATION = "src/repro/mapping/fixture_mod.py"
+
+
+def fixture_source(name: str) -> str:
+    return (FIXTURES / name).read_text()
+
+
+def destination(name: str) -> str:
+    return DESTINATIONS.get(name, DEFAULT_DESTINATION)
+
+
+def all_fixture_names(suffix: str) -> list[str]:
+    """Fixture file names ending in ``suffix`` (sorted, for parametrize)."""
+    return sorted(p.name for p in FIXTURES.glob(f"*{suffix}"))
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """Factory: build a fake repo root from ``{relpath: source}`` plus a
+    README, and return its path."""
+
+    def build(files: dict[str, str], readme: str = "# fake repo\n") -> Path:
+        for rel, content in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(content)
+        (tmp_path / "README.md").write_text(readme)
+        return tmp_path
+
+    return build

@@ -1,0 +1,26 @@
+"""CACHE001/002 near-miss (place at src/repro/dse/space.py): every
+field is in the token or allowlisted, and the allowlist is fresh."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    tile_x: int = 1
+    comment: str = ""
+    _scratch: int = 0
+
+    NON_SEMANTIC = frozenset({"comment"})
+    FORMAT: ClassVar[int] = 1
+
+    def to_json(self):
+        return {"tile_x": self.tile_x}
+
+
+@dataclass
+class DesignSpace:
+    budget: int = 100
+
+    def to_json(self):
+        return {"budget": self.budget}

@@ -1,0 +1,18 @@
+"""CACHE001 trigger (place at src/repro/dse/space.py): a field outside
+the token, and a contract class with no token method at all."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    tile_x: int = 1
+    comment: str = ""
+
+    def to_json(self):
+        return {"tile_x": self.tile_x}
+
+
+@dataclass
+class DesignSpace:
+    budget: int = 100

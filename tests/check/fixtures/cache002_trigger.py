@@ -1,0 +1,14 @@
+"""CACHE002 trigger (place at src/repro/dse/space.py): a stale
+NON_SEMANTIC entry naming no current field."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DesignSpace:
+    budget: int = 100
+
+    NON_SEMANTIC = frozenset({"ghost"})
+
+    def to_json(self):
+        return {"budget": self.budget}

@@ -1,0 +1,4 @@
+"""CHK001 trigger: this file deliberately does not parse."""
+
+def broken(:
+    pass

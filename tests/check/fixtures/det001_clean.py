@@ -1,0 +1,15 @@
+"""DET001 near-miss: monotonic durations are telemetry, not results."""
+
+import time
+
+
+def timed(fn):
+    start = time.monotonic()
+    result = fn()
+    return result, time.monotonic() - start
+
+
+def precise(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

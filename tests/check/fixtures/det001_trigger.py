@@ -1,0 +1,12 @@
+"""DET001 trigger: wall-clock reads in a determinism-scoped package."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def today():
+    return datetime.now()

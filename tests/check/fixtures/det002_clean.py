@@ -1,0 +1,15 @@
+"""DET002 near-miss: all randomness flows through seeded instances."""
+
+import random
+
+import numpy as np
+
+
+def jitter(seed):
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def noise(seed):
+    gen = np.random.default_rng(seed)
+    return gen.normal(size=3)

@@ -1,0 +1,18 @@
+"""DET002 trigger: draws from the process-global RNG state."""
+
+import random
+
+import numpy as np
+
+
+def jitter():
+    return random.random()
+
+
+def shuffle(items):
+    random.shuffle(items)
+    return items
+
+
+def noise():
+    return np.random.rand(3)

@@ -1,0 +1,11 @@
+"""DET003 near-miss: every RNG instance gets an explicit seed."""
+
+import random
+
+import numpy as np
+
+
+def make_rngs(seed):
+    rng = random.Random(seed)
+    gen = np.random.default_rng(seed)
+    return rng, gen

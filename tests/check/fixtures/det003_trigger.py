@@ -1,0 +1,11 @@
+"""DET003 trigger: RNG instances constructed without a seed."""
+
+import random
+
+import numpy as np
+
+
+def make_rngs():
+    rng = random.Random()
+    gen = np.random.default_rng()
+    return rng, gen

@@ -1,0 +1,16 @@
+"""DET004 near-miss: sets are sorted before iteration, or never iterated."""
+
+
+def walk():
+    out = []
+    for item in sorted({"a", "b", "c"}):
+        out.append(item)
+    return out
+
+
+def materialize(values):
+    return sorted(set(values))
+
+
+def membership(x):
+    return x in {1, 2, 3}

@@ -1,0 +1,16 @@
+"""DET004 trigger: iteration over unordered set expressions."""
+
+
+def walk():
+    out = []
+    for item in {"a", "b", "c"}:
+        out.append(item)
+    return out
+
+
+def materialize(values):
+    return list(set(values))
+
+
+def comprehend():
+    return [x for x in {1, 2, 3}]

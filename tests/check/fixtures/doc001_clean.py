@@ -1,0 +1,7 @@
+"""DOC001 near-miss: the env var it reads is in the README."""
+
+import os
+
+
+def documented():
+    return os.environ.get("REPRO_DOCUMENTED_KNOB")

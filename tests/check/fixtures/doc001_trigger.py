@@ -1,0 +1,7 @@
+"""DOC001 trigger: reads an env var the README never mentions."""
+
+import os
+
+
+def secret():
+    return os.environ.get("REPRO_SECRET_KNOB")

@@ -1,0 +1,11 @@
+"""DOC002 near-miss: the long option is documented; short options are
+out of scope."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--documented-flag", help="in the README")
+    parser.add_argument("-q", action="store_true", help="short-only")
+    return parser

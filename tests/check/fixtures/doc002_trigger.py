@@ -1,0 +1,9 @@
+"""DOC002 trigger: registers a long option the README never mentions."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--mystery-knob", help="undocumented")
+    return parser

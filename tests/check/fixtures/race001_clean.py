@@ -1,0 +1,24 @@
+"""RACE001 near-miss: every guarded mutation holds its lock; <owner>
+state is exempt from the lexical check."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+        self.events = []  # guarded-by: _lock
+        self.frames = 0  # guarded-by: <owner>
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def record(self, event):
+        with self._lock:
+            self.events.append(event)
+
+    def tick(self):
+        # Owner-thread state: mutated without a lock by design.
+        self.frames += 1

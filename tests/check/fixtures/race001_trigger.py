@@ -1,0 +1,16 @@
+"""RACE001 trigger: guarded attributes mutated outside their lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+        self.events = []  # guarded-by: _lock
+
+    def bump(self):
+        self.count += 1
+
+    def record(self, event):
+        self.events.append(event)

@@ -1,0 +1,22 @@
+"""RACE002 near-miss: every mutable shared attribute is annotated, a
+lock, or a thread-safe primitive (place at src/repro/mapping/cache.py)."""
+
+import threading
+
+
+class MappingCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._ready = threading.Event()
+        self._entries = {}  # guarded-by: <owner>
+        self.hits = 0  # guarded-by: <owner>
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+        return entry
+
+    def reset(self):
+        self._ready.clear()
+        self._entries.clear()

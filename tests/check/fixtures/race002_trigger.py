@@ -1,0 +1,17 @@
+"""RACE002 trigger: a required-guarded class (place this file at
+src/repro/mapping/cache.py) with unannotated mutable shared state."""
+
+
+class MappingCache:
+    def __init__(self):
+        self._entries = {}
+        self.hits = 0
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+        return entry
+
+    def put(self, key, value):
+        self._entries[key] = value

@@ -1,0 +1,29 @@
+"""RACE003 near-miss: a consistent acquisition order everywhere, and
+reentry on an RLock (reentrant by construction)."""
+
+import threading
+
+
+class Ordered:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self._r = threading.RLock()
+
+    def first(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def second(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def outer(self):
+        with self._r:
+            self.inner()
+
+    def inner(self):
+        with self._r:
+            pass

@@ -1,0 +1,17 @@
+"""RACE003 trigger: a non-reentrant Lock re-acquired through a
+same-class method call while already held."""
+
+import threading
+
+
+class Reentry:
+    def __init__(self):
+        self._a = threading.Lock()
+
+    def outer(self):
+        with self._a:
+            self.inner()
+
+    def inner(self):
+        with self._a:
+            pass

@@ -1,0 +1,20 @@
+"""RACE003 trigger: two methods acquire the same locks in opposite
+orders — the classic AB/BA deadlock."""
+
+import threading
+
+
+class Inverted:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def ab(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def ba(self):
+        with self._b:
+            with self._a:
+                pass

@@ -1,0 +1,131 @@
+"""The ``repro check`` CLI family: exit codes and the baseline workflow."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check.cli import run_check
+from repro.cli import main
+
+from .conftest import fixture_source
+
+CLEAN = {"src/repro/mapping/mod.py": "x = 1\n"}
+DIRTY = {"src/repro/mapping/mod.py": None}  # filled per test
+
+
+def _argv(root, *extra):
+    return ["run", "--root", str(root), *extra]
+
+
+def test_run_clean_tree_exits_zero(tree, capsys):
+    root = tree(CLEAN)
+    assert run_check(_argv(root)) == 0
+    assert "repro check: ok" in capsys.readouterr().out
+
+
+def test_run_findings_exit_nonzero(tree, capsys):
+    root = tree(
+        {"src/repro/mapping/mod.py": fixture_source("det001_trigger.py")}
+    )
+    assert run_check(_argv(root)) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out and "repro check: FAILED" in out
+
+
+def test_run_rule_filter(tree):
+    root = tree(
+        {"src/repro/mapping/mod.py": fixture_source("det002_trigger.py")}
+    )
+    assert run_check(_argv(root, "--rules", "DET001")) == 0
+    assert run_check(_argv(root, "--rules", "DET001,DET002")) == 1
+
+
+def test_unknown_rule_code_is_an_error(tree):
+    root = tree(CLEAN)
+    with pytest.raises(SystemExit):
+        run_check(_argv(root, "--rules", "NOPE999"))
+
+
+def test_missing_root_is_an_error(tmp_path):
+    with pytest.raises(SystemExit):
+        run_check(["run", "--root", str(tmp_path / "nowhere")])
+
+
+def test_corrupt_baseline_is_an_error(tree):
+    root = tree(CLEAN)
+    (root / "check_baseline.json").write_text("not json")
+    with pytest.raises(SystemExit):
+        run_check(_argv(root))
+
+
+def test_baseline_workflow(tree, capsys):
+    """bless -> unjustified under strict -> justify -> fix -> stale."""
+    root = tree(
+        {"src/repro/mapping/mod.py": fixture_source("det001_trigger.py")}
+    )
+    baseline_path = root / "check_baseline.json"
+
+    assert run_check(["baseline", "--root", str(root)]) == 0
+    payload = json.loads(baseline_path.read_text())
+    assert payload["format"] == 1 and payload["entries"]
+    capsys.readouterr()
+
+    # Blessed but unjustified: plain run passes, strict fails.
+    assert run_check(_argv(root)) == 0
+    assert run_check(_argv(root, "--strict")) == 1
+    assert "without a justification" in capsys.readouterr().out
+
+    for entry in payload["entries"]:
+        entry["justification"] = "blessed for the workflow test"
+    baseline_path.write_text(json.dumps(payload))
+    assert run_check(_argv(root, "--strict")) == 0
+
+    # Regenerating preserves the hand-written justifications.
+    assert run_check(["baseline", "--root", str(root)]) == 0
+    regenerated = json.loads(baseline_path.read_text())
+    assert all(
+        entry["justification"] == "blessed for the workflow test"
+        for entry in regenerated["entries"]
+    )
+
+    # Fix the findings: entries go stale, strict demands their removal.
+    (root / "src/repro/mapping/mod.py").write_text("x = 1\n")
+    capsys.readouterr()
+    assert run_check(_argv(root)) == 0
+    assert run_check(_argv(root, "--strict")) == 1
+    assert "stale" in capsys.readouterr().out
+
+
+def test_baseline_never_blesses_syntax_errors(tree, capsys):
+    root = tree(
+        {"src/repro/mapping/broken.py": fixture_source("chk001_trigger.py")}
+    )
+    assert run_check(["baseline", "--root", str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "NOT baselined" in out
+    assert run_check(_argv(root)) == 1
+
+
+def test_verbose_lists_blessed_findings(tree, capsys):
+    root = tree(
+        {"src/repro/mapping/mod.py": fixture_source("det001_trigger.py")}
+    )
+    run_check(["baseline", "--root", str(root)])
+    capsys.readouterr()
+    assert run_check(_argv(root, "--verbose")) == 0
+    assert "blessed findings" in capsys.readouterr().out
+
+
+def test_rules_listing(capsys):
+    assert run_check(["rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("DET001", "RACE003", "CACHE002", "DOC002"):
+        assert code in out
+
+
+def test_dispatch_through_main(tree, capsys):
+    root = tree(CLEAN)
+    assert main(["check", "run", "--root", str(root)]) == 0
+    assert "repro check: ok" in capsys.readouterr().out

@@ -1,0 +1,52 @@
+"""CACHE0xx cache-token purity: trigger and near-miss fixtures."""
+
+from __future__ import annotations
+
+from repro.check.registry import get_rule
+from repro.check.runner import run_checks
+
+from .conftest import fixture_source
+
+
+def test_cache001_trigger(tree):
+    root = tree(
+        {"src/repro/dse/space.py": fixture_source("cache001_trigger.py")}
+    )
+    report = run_checks(root, rules=[get_rule("CACHE001")])
+    messages = sorted(finding.message for finding in report.new)
+    assert len(messages) == 2
+    # An out-of-token field and a contract class missing its method.
+    assert any("DesignPoint.comment" in m for m in messages)
+    assert any("no to_json() method" in m for m in messages)
+
+
+def test_cache001_clean(tree):
+    """Token references, NON_SEMANTIC entries, private and ClassVar
+    attributes all satisfy the contract — and the allowlist is fresh."""
+    root = tree(
+        {"src/repro/dse/space.py": fixture_source("cache001_clean.py")}
+    )
+    report = run_checks(
+        root, rules=[get_rule("CACHE001"), get_rule("CACHE002")]
+    )
+    assert report.new == []
+
+
+def test_cache002_stale_allowlist_entry(tree):
+    root = tree(
+        {"src/repro/dse/space.py": fixture_source("cache002_trigger.py")}
+    )
+    report = run_checks(root, rules=[get_rule("CACHE002")])
+    assert len(report.new) == 1
+    assert "'ghost'" in report.new[0].message
+
+
+def test_contract_is_keyed_to_the_file(tree):
+    """The same class at a non-contract path is out of scope."""
+    root = tree(
+        {"src/repro/dse/other.py": fixture_source("cache001_trigger.py")}
+    )
+    report = run_checks(
+        root, rules=[get_rule("CACHE001"), get_rule("CACHE002")]
+    )
+    assert report.new == []

@@ -1,0 +1,82 @@
+"""DET0xx determinism lints: trigger and near-miss fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.registry import get_rule
+from repro.check.runner import run_checks
+
+from .conftest import fixture_source
+
+DET_CODES = ("DET001", "DET002", "DET003", "DET004")
+
+
+@pytest.mark.parametrize("code", DET_CODES)
+def test_trigger_fires(tree, code):
+    root = tree(
+        {
+            "src/repro/mapping/mod.py": fixture_source(
+                f"{code.lower()}_trigger.py"
+            )
+        }
+    )
+    report = run_checks(root, rules=[get_rule(code)])
+    assert report.new, f"{code} trigger fixture produced no findings"
+    assert all(finding.code == code for finding in report.new)
+
+
+@pytest.mark.parametrize("code", DET_CODES)
+def test_near_miss_is_clean(tree, code):
+    root = tree(
+        {
+            "src/repro/mapping/mod.py": fixture_source(
+                f"{code.lower()}_clean.py"
+            )
+        }
+    )
+    report = run_checks(root, rules=[get_rule(code)])
+    assert report.new == []
+
+
+@pytest.mark.parametrize("code", DET_CODES)
+def test_rules_only_police_determinism_dirs(tree, code):
+    """The same trigger outside mapping/dse/explore is out of scope."""
+    root = tree(
+        {
+            "src/repro/serve/mod.py": fixture_source(
+                f"{code.lower()}_trigger.py"
+            )
+        }
+    )
+    report = run_checks(root, rules=[get_rule(code)])
+    assert report.new == []
+
+
+def test_det001_names_the_call(tree):
+    root = tree(
+        {"src/repro/dse/mod.py": fixture_source("det001_trigger.py")}
+    )
+    report = run_checks(root, rules=[get_rule("DET001")])
+    messages = " ".join(finding.message for finding in report.new)
+    assert "time.time" in messages
+    assert "datetime.now" in messages
+
+
+def test_det002_counts_every_draw(tree):
+    root = tree(
+        {"src/repro/explore/mod.py": fixture_source("det002_trigger.py")}
+    )
+    report = run_checks(root, rules=[get_rule("DET002")])
+    # random.random, random.shuffle, np.random.rand
+    assert len(report.new) == 3
+
+
+def test_det004_flags_each_iteration_site(tree):
+    root = tree(
+        {"src/repro/mapping/mod.py": fixture_source("det004_trigger.py")}
+    )
+    report = run_checks(root, rules=[get_rule("DET004")])
+    # for-loop over a set literal, list(set(...)), set-driven listcomp
+    assert len(report.new) == 3
+    assert len({finding.line for finding in report.new}) == 3

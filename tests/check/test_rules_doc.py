@@ -1,0 +1,68 @@
+"""DOC0xx documentation-drift checks: trigger and near-miss fixtures."""
+
+from __future__ import annotations
+
+from repro.check.registry import get_rule
+from repro.check.runner import run_checks
+
+from .conftest import fixture_source
+
+
+def test_doc001_undocumented_env_var(tree):
+    root = tree({"src/repro/util.py": fixture_source("doc001_trigger.py")})
+    report = run_checks(root, rules=[get_rule("DOC001")])
+    assert len(report.new) == 1
+    assert "REPRO_SECRET_KNOB" in report.new[0].message
+
+
+def test_doc001_documented_env_var(tree):
+    root = tree(
+        {"src/repro/util.py": fixture_source("doc001_clean.py")},
+        readme="Set REPRO_DOCUMENTED_KNOB to tune it.\n",
+    )
+    report = run_checks(root, rules=[get_rule("DOC001")])
+    assert report.new == []
+
+
+def test_doc001_mentioning_the_var_fixes_the_finding(tree):
+    root = tree(
+        {"src/repro/util.py": fixture_source("doc001_trigger.py")},
+        readme="| REPRO_SECRET_KNOB | does a thing |\n",
+    )
+    report = run_checks(root, rules=[get_rule("DOC001")])
+    assert report.new == []
+
+
+def test_doc001_reports_each_var_once(tree):
+    source = fixture_source("doc001_trigger.py")
+    root = tree(
+        {"src/repro/a.py": source, "src/repro/b.py": source}
+    )
+    report = run_checks(root, rules=[get_rule("DOC001")])
+    assert len(report.new) == 1
+
+
+def test_doc002_undocumented_flag(tree):
+    root = tree({"src/repro/cli.py": fixture_source("doc002_trigger.py")})
+    report = run_checks(root, rules=[get_rule("DOC002")])
+    assert len(report.new) == 1
+    assert "--mystery-knob" in report.new[0].message
+
+
+def test_doc002_documented_and_short_flags(tree):
+    root = tree(
+        {"src/repro/cli.py": fixture_source("doc002_clean.py")},
+        readme="Use `--documented-flag` for the thing.\n",
+    )
+    report = run_checks(root, rules=[get_rule("DOC002")])
+    assert report.new == []
+
+
+def test_doc002_ignores_benchmarks(tree):
+    """Only src/ parsers are held to the README; benchmark helpers are
+    not operator-facing."""
+    root = tree(
+        {"benchmarks/bench_x.py": fixture_source("doc002_trigger.py")}
+    )
+    report = run_checks(root, rules=[get_rule("DOC002")])
+    assert report.new == []

@@ -1,0 +1,98 @@
+"""RACE0xx guarded-by analysis: trigger and near-miss fixtures."""
+
+from __future__ import annotations
+
+from repro.check.registry import get_rule
+from repro.check.runner import run_checks
+
+from .conftest import fixture_source
+
+
+def _run(tree, files, code):
+    return run_checks(tree(files), rules=[get_rule(code)])
+
+
+def test_race001_trigger(tree):
+    report = _run(
+        tree,
+        {"src/repro/serve/counter.py": fixture_source("race001_trigger.py")},
+        "RACE001",
+    )
+    assert len(report.new) == 2
+    messages = " ".join(finding.message for finding in report.new)
+    assert "bump()" in messages and "record()" in messages
+    assert "Counter.count" in messages and "Counter.events" in messages
+
+
+def test_race001_clean(tree):
+    report = _run(
+        tree,
+        {"src/repro/serve/counter.py": fixture_source("race001_clean.py")},
+        "RACE001",
+    )
+    assert report.new == []
+
+
+def test_race002_trigger_in_required_class(tree):
+    report = _run(
+        tree,
+        {"src/repro/mapping/cache.py": fixture_source("race002_trigger.py")},
+        "RACE002",
+    )
+    attrs = {finding.message.split()[3] for finding in report.new}
+    assert attrs == {"MappingCache._entries", "MappingCache.hits"}
+
+
+def test_race002_clean(tree):
+    report = _run(
+        tree,
+        {"src/repro/mapping/cache.py": fixture_source("race002_clean.py")},
+        "RACE002",
+    )
+    assert report.new == []
+
+
+def test_race002_ignores_unlisted_classes(tree):
+    """The same unannotated class outside the required (file, class)
+    list is out of scope."""
+    report = _run(
+        tree,
+        {"src/repro/mapping/other.py": fixture_source("race002_trigger.py")},
+        "RACE002",
+    )
+    assert report.new == []
+
+
+def test_race003_order_inversion(tree):
+    report = _run(
+        tree,
+        {"src/repro/serve/locks.py": fixture_source("race003_trigger.py")},
+        "RACE003",
+    )
+    # The AB/BA cycle is reported once, not once per direction.
+    assert len(report.new) == 1
+    assert "lock-order inversion" in report.new[0].message
+
+
+def test_race003_reacquire_through_method_call(tree):
+    report = _run(
+        tree,
+        {
+            "src/repro/serve/locks.py": fixture_source(
+                "race003_reentry_trigger.py"
+            )
+        },
+        "RACE003",
+    )
+    assert len(report.new) == 1
+    assert "not reentrant" in report.new[0].message
+
+
+def test_race003_clean(tree):
+    """Consistent order and RLock reentry raise nothing."""
+    report = _run(
+        tree,
+        {"src/repro/serve/locks.py": fixture_source("race003_clean.py")},
+        "RACE003",
+    )
+    assert report.new == []

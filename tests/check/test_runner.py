@@ -1,0 +1,153 @@
+"""Runner semantics: baseline reconciliation, CHK001, report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.findings import Baseline, BaselineEntry, Finding
+from repro.check.registry import all_rules, get_rule
+from repro.check.runner import render_report, run_checks
+
+from .conftest import fixture_source
+
+
+def _bless(report, justification="deliberate, see DESIGN.md"):
+    return Baseline(
+        entries=[
+            BaselineEntry(
+                code=finding.code,
+                file=finding.file,
+                message=finding.message,
+                justification=justification,
+            )
+            for finding in report.new
+        ]
+    )
+
+
+def test_unparseable_file_fails_the_run(tree):
+    root = tree(
+        {"src/repro/mapping/broken.py": fixture_source("chk001_trigger.py")}
+    )
+    report = run_checks(root)
+    assert len(report.broken) == 1
+    assert report.broken[0].code == "CHK001"
+    assert report.failed()
+    assert "does not parse" in report.broken[0].message
+
+
+def test_blessed_findings_pass(tree):
+    files = {"src/repro/mapping/mod.py": fixture_source("det001_trigger.py")}
+    root = tree(files)
+    first = run_checks(root)
+    assert first.failed()
+    baseline = _bless(first)
+    second = run_checks(root, baseline=baseline)
+    assert second.new == []
+    assert len(second.blessed) == len(first.new)
+    assert not second.failed()
+    assert not second.failed(strict=True)
+
+
+def test_baseline_matching_ignores_line_numbers(tree):
+    files = {"src/repro/mapping/mod.py": fixture_source("det001_trigger.py")}
+    root = tree(files)
+    baseline = _bless(run_checks(root))
+    # Shift every finding down two lines; the blessing must survive.
+    shifted = "# shifted\n# shifted\n" + files["src/repro/mapping/mod.py"]
+    (root / "src/repro/mapping/mod.py").write_text(shifted)
+    report = run_checks(root, baseline=baseline)
+    assert report.new == []
+    assert not report.failed(strict=True)
+
+
+def test_unjustified_entries_fail_only_strict(tree):
+    root = tree(
+        {"src/repro/mapping/mod.py": fixture_source("det001_trigger.py")}
+    )
+    baseline = _bless(run_checks(root), justification="   ")
+    report = run_checks(root, baseline=baseline)
+    assert report.new == []
+    assert report.unjustified
+    assert not report.failed()
+    assert report.failed(strict=True)
+
+
+def test_stale_entries_fail_only_strict(tree):
+    root = tree({"src/repro/mapping/mod.py": "x = 1\n"})
+    baseline = Baseline(
+        entries=[
+            BaselineEntry(
+                code="DET001",
+                file="src/repro/mapping/mod.py",
+                message="long gone",
+                justification="was deliberate once",
+            )
+        ]
+    )
+    report = run_checks(root, baseline=baseline)
+    assert report.stale == baseline.entries
+    assert not report.failed()
+    assert report.failed(strict=True)
+
+
+def test_rule_subset_runs_only_those_rules(tree):
+    root = tree(
+        {"src/repro/mapping/mod.py": fixture_source("det002_trigger.py")}
+    )
+    report = run_checks(root, rules=[get_rule("DET001")])
+    assert report.new == []
+    assert report.rules_run == 1
+
+
+def test_every_rule_code_is_registered():
+    codes = [rule.code for rule in all_rules()]
+    assert codes == sorted(codes)
+    expected = {
+        "DET001",
+        "DET002",
+        "DET003",
+        "DET004",
+        "RACE001",
+        "RACE002",
+        "RACE003",
+        "CACHE001",
+        "CACHE002",
+        "DOC001",
+        "DOC002",
+    }
+    assert expected <= set(codes)
+
+
+def test_render_report_verdict_and_findings(tree):
+    root = tree(
+        {"src/repro/mapping/mod.py": fixture_source("det001_trigger.py")}
+    )
+    report = run_checks(root)
+    text = render_report(report)
+    assert "repro check: FAILED" in text
+    for finding in report.new:
+        assert finding.render() in text
+
+    blessed = run_checks(root, baseline=_bless(report))
+    ok_text = render_report(blessed, verbose=True)
+    assert "repro check: ok" in ok_text
+    assert "blessed findings" in ok_text
+    assert "deliberate, see DESIGN.md" in ok_text
+
+
+def test_finding_render_and_ordering():
+    finding = Finding(
+        file="src/x.py", line=3, code="DET001", message="boom"
+    )
+    assert finding.render() == "src/x.py:3: DET001 boom"
+    earlier = Finding(file="src/a.py", line=9, code="DET001", message="m")
+    assert sorted([finding, earlier])[0] is earlier
+
+
+def test_baseline_rejects_unknown_format(tmp_path):
+    target = tmp_path / "check_baseline.json"
+    target.write_text('{"format": 99, "entries": []}')
+    with pytest.raises(ValueError):
+        Baseline.load(target)
+    assert Baseline.load(tmp_path / "missing.json").entries == []

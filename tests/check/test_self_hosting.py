@@ -1,0 +1,58 @@
+"""The checker checks its own repository.
+
+Two contracts from the issue: the real tree must be clean under the
+committed baseline (strict — no unjustified or stale entries either),
+and *every* trigger fixture, dropped into a source tree, must fail a
+full ``repro check run``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.findings import BASELINE_NAME, Baseline
+from repro.check.runner import run_checks
+
+from .conftest import REPO_ROOT, all_fixture_names, destination, fixture_source
+
+#: A minimal clean scaffold so DOC/required-class rules have a tree to
+#: scan; each trigger fixture is layered on top of it.
+SCAFFOLD = {"src/repro/__init__.py": ""}
+
+
+def test_repo_tree_is_clean_under_committed_baseline():
+    baseline = Baseline.load(REPO_ROOT / BASELINE_NAME)
+    report = run_checks(REPO_ROOT, baseline=baseline)
+    assert report.broken == []
+    rendered = "\n".join(finding.render() for finding in report.new)
+    assert not report.new, f"unblessed findings in the repo:\n{rendered}"
+    assert not report.failed(strict=True), (
+        "stale or unjustified baseline entries: "
+        f"{[e.key() for e in (*report.stale, *report.unjustified)]}"
+    )
+
+
+def test_committed_baseline_entries_are_justified():
+    baseline = Baseline.load(REPO_ROOT / BASELINE_NAME)
+    for entry in baseline.entries:
+        assert entry.justification.strip(), entry.key()
+
+
+@pytest.mark.parametrize("name", all_fixture_names("_trigger.py"))
+def test_every_trigger_fixture_fails_a_full_run(tree, name):
+    files = dict(SCAFFOLD)
+    files[destination(name)] = fixture_source(name)
+    report = run_checks(tree(files))
+    assert report.failed(), f"{name} placed in src/ did not fail the run"
+
+
+@pytest.mark.parametrize("name", all_fixture_names("_clean.py"))
+def test_every_clean_fixture_passes_its_family(tree, name):
+    """Each near-miss fixture is clean under the full rule set (with a
+    README documenting its deliberately-used knobs)."""
+    files = dict(SCAFFOLD)
+    files[destination(name)] = fixture_source(name)
+    readme = "REPRO_DOCUMENTED_KNOB and `--documented-flag` are documented.\n"
+    report = run_checks(tree(files, readme=readme))
+    rendered = "\n".join(finding.render() for finding in report.new)
+    assert not report.failed(), f"{name} raised findings:\n{rendered}"

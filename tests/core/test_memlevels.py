@@ -1,6 +1,5 @@
 """Unit tests for top-memory-level determination (step 3)."""
 
-import pytest
 
 from repro.core.backcalc import backcalculate
 from repro.core.memlevels import (

@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro import DepthFirstEngine, DFStrategy, OverlapMode, StackBoundary
+from repro import DFStrategy, OverlapMode, StackBoundary
 from repro.core.optimizer import evaluate_layer_by_layer, evaluate_single_layer
 
-from ..conftest import make_branchy_workload, make_tiny_workload
+from ..conftest import make_tiny_workload
 
 
 class TestEndToEnd:

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro import DepthFirstEngine, DFStrategy
-from repro.mapping import MappingCache, SearchConfig
+from repro.mapping import MappingCache
 from repro.mapping.cache import (
     decode_search_result,
     encode_search_result,

@@ -5,7 +5,6 @@ import pytest
 from repro.hardware.zoo import meta_proto_like_df
 from repro.mapping.temporal import (
     TemporalMapping,
-    cumulative_dim_products,
     operand_footprint_elems,
     temporal_sizes,
     utilized_spatial,
